@@ -1,0 +1,224 @@
+package oblivious
+
+// One benchmark per experiment table (E1–E15, see DESIGN.md and
+// EXPERIMENTS.md): each bench regenerates its table in quick mode, so
+// `go test -bench=.` exercises the full evaluation pipeline. Micro
+// benchmarks for the core algorithmic building blocks follow.
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/coloring"
+	"repro/internal/experiment"
+	"repro/internal/hst"
+	"repro/internal/instance"
+	"repro/internal/lp"
+	"repro/internal/power"
+	"repro/internal/powerctl"
+	"repro/internal/sinr"
+	"repro/internal/treestar"
+)
+
+func benchExperiment(b *testing.B, run experiment.Runner) {
+	b.Helper()
+	cfg := experiment.Config{Seed: 1, Quick: true}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1DirectedLowerBound(b *testing.B) {
+	benchExperiment(b, experiment.E1DirectedLowerBound)
+}
+
+func BenchmarkE2NestedSingleSlot(b *testing.B) {
+	benchExperiment(b, experiment.E2NestedSingleSlot)
+}
+
+func BenchmarkE3SqrtPolylog(b *testing.B) {
+	benchExperiment(b, experiment.E3SqrtPolylog)
+}
+
+func BenchmarkE4LPColoring(b *testing.B) {
+	benchExperiment(b, experiment.E4LPColoring)
+}
+
+func BenchmarkE5GainScaling(b *testing.B) {
+	benchExperiment(b, experiment.E5GainScaling)
+}
+
+func BenchmarkE6TreeEmbedding(b *testing.B) {
+	benchExperiment(b, experiment.E6TreeEmbedding)
+}
+
+func BenchmarkE7StarSelection(b *testing.B) {
+	benchExperiment(b, experiment.E7StarSelection)
+}
+
+func BenchmarkE8ExponentSweep(b *testing.B) {
+	benchExperiment(b, experiment.E8ExponentSweep)
+}
+
+func BenchmarkE9DirectedVsBidirectional(b *testing.B) {
+	benchExperiment(b, experiment.E9DirectedVsBidirectional)
+}
+
+func BenchmarkE10Energy(b *testing.B) {
+	benchExperiment(b, experiment.E10Energy)
+}
+
+func BenchmarkE11Distributed(b *testing.B) {
+	benchExperiment(b, experiment.E11Distributed)
+}
+
+func BenchmarkE12AspectRatio(b *testing.B) {
+	benchExperiment(b, experiment.E12AspectRatio)
+}
+
+func BenchmarkE13Connectivity(b *testing.B) {
+	benchExperiment(b, experiment.E13Connectivity)
+}
+
+func BenchmarkE14Ablations(b *testing.B) {
+	benchExperiment(b, experiment.E14Ablations)
+}
+
+func BenchmarkE15MultihopLatency(b *testing.B) {
+	benchExperiment(b, experiment.E15MultihopLatency)
+}
+
+func BenchmarkE16OnlineArrivals(b *testing.B) {
+	benchExperiment(b, experiment.E16OnlineArrivals)
+}
+
+func BenchmarkE17GridBaseline(b *testing.B) {
+	benchExperiment(b, experiment.E17GridBaseline)
+}
+
+func BenchmarkE18ModelSensitivity(b *testing.B) {
+	benchExperiment(b, experiment.E18ModelSensitivity)
+}
+
+func BenchmarkE19SymmetricAsymmetric(b *testing.B) {
+	benchExperiment(b, experiment.E19SymmetricAsymmetric)
+}
+
+// --- micro benchmarks of the core building blocks ---
+
+func benchInstance(b *testing.B, n int) *Instance {
+	b.Helper()
+	in, err := instance.UniformRandom(rand.New(rand.NewSource(1)), n, 300, 1, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return in
+}
+
+func BenchmarkGreedyColoring128(b *testing.B) {
+	m := sinr.Default()
+	in := benchInstance(b, 128)
+	powers := power.Powers(m, in, power.Sqrt())
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := coloring.GreedyFirstFit(m, in, sinr.Bidirectional, powers, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLPColoring64(b *testing.B) {
+	m := sinr.Default()
+	in := benchInstance(b, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := coloring.SqrtLPColoring(m, in, rand.New(rand.NewSource(int64(i)))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPipeline64(b *testing.B) {
+	m := sinr.Default()
+	in := benchInstance(b, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := (treestar.Pipeline{}).Run(m, in, rand.New(rand.NewSource(int64(i)))); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFRTBuild128(b *testing.B) {
+	in := benchInstance(b, 64) // 128 nodes
+	rng := rand.New(rand.NewSource(1))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hst.Build(in.Space, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFeasibilityOracle64(b *testing.B) {
+	m := sinr.Default()
+	in := benchInstance(b, 64)
+	set := make([]int, in.N())
+	for i := range set {
+		set[i] = i
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := powerctl.Feasible(m, in, sinr.Bidirectional, set, powerctl.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimplex50x100(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	nVars, nRows := 100, 50
+	p := lp.Problem{C: make([]float64, nVars), A: make([][]float64, nRows), B: make([]float64, nRows)}
+	for j := range p.C {
+		p.C[j] = 1
+	}
+	for i := range p.A {
+		p.A[i] = make([]float64, nVars)
+		for j := range p.A[i] {
+			if rng.Float64() < 0.3 {
+				p.A[i][j] = rng.Float64()
+			}
+		}
+		p.B[i] = 1 + rng.Float64()*3
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := lp.Solve(p, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSINRCheck128(b *testing.B) {
+	m := sinr.Default()
+	in := benchInstance(b, 128)
+	powers := power.Powers(m, in, power.Sqrt())
+	set := make([]int, in.N())
+	for i := range set {
+		set[i] = i
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SetFeasible(in, sinr.Bidirectional, powers, set)
+	}
+}

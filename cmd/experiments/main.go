@@ -1,0 +1,103 @@
+// Command experiments regenerates every evaluation table of the
+// reproduction (E1–E10, see DESIGN.md), printing them as aligned ASCII or
+// Markdown. EXPERIMENTS.md records a reference run.
+//
+// Usage:
+//
+//	experiments [-quick] [-seed N] [-md] [-only E3,E7]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	var (
+		quick    = flag.Bool("quick", false, "run reduced workloads (seconds instead of minutes)")
+		seed     = flag.Int64("seed", 1, "random seed shared by all experiments")
+		md       = flag.Bool("md", false, "emit Markdown tables instead of ASCII")
+		only     = flag.String("only", "", "comma-separated experiment ids to run (default: all)")
+		parallel = flag.Int("parallel", 1, "number of experiments to run concurrently (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *quick, *seed, *md, *only, *parallel); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+// result carries one experiment's outcome back to the printer.
+type result struct {
+	table   *experiment.Table
+	err     error
+	elapsed time.Duration
+}
+
+func run(w io.Writer, quick bool, seed int64, md bool, only string, parallel int) error {
+	cfg := experiment.Config{Seed: seed, Quick: quick}
+	want := map[string]bool{}
+	for _, id := range strings.Split(only, ",") {
+		if id = strings.TrimSpace(id); id != "" {
+			want[strings.ToUpper(id)] = true
+		}
+	}
+	var selected []struct {
+		ID  string
+		Run experiment.Runner
+	}
+	for _, e := range experiment.All() {
+		if len(want) == 0 || want[e.ID] {
+			selected = append(selected, e)
+		}
+	}
+	if parallel <= 0 {
+		parallel = runtime.GOMAXPROCS(0)
+	}
+
+	// Run with a bounded worker pool; print strictly in registry order so
+	// the output is deterministic regardless of completion order.
+	results := make([]result, len(selected))
+	sem := make(chan struct{}, parallel)
+	var wg sync.WaitGroup
+	for i, e := range selected {
+		wg.Add(1)
+		go func(i int, id string, runExp experiment.Runner) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			t, err := runExp(cfg)
+			results[i] = result{table: t, err: err, elapsed: time.Since(start)}
+			if err != nil {
+				results[i].err = fmt.Errorf("%s: %w", id, err)
+			}
+		}(i, e.ID, e.Run)
+	}
+	wg.Wait()
+
+	for i, r := range results {
+		if r.err != nil {
+			return r.err
+		}
+		if md {
+			if err := r.table.Markdown(w); err != nil {
+				return err
+			}
+			continue
+		}
+		if err := r.table.Render(w); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "(%s in %.1fs)\n\n", selected[i].ID, r.elapsed.Seconds())
+	}
+	return nil
+}

@@ -1,0 +1,25 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+func TestRunSingleQuick(t *testing.T) {
+	if err := run(io.Discard, true, 1, true, "E2", 1); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunParallelQuick(t *testing.T) {
+	if err := run(io.Discard, true, 1, true, "E2,E8,E9", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknownIDIsNoop(t *testing.T) {
+	// Unknown ids select nothing; that is not an error.
+	if err := run(io.Discard, true, 1, true, "E99", 1); err != nil {
+		t.Fatal(err)
+	}
+}

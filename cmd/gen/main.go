@@ -1,0 +1,95 @@
+// Command gen generates interference scheduling instances as JSON for use
+// with cmd/oblsched.
+//
+// Usage:
+//
+//	gen -kind uniform   -n 64 [-seed 1] > instance.json
+//	gen -kind clustered -n 64 [-clusters 4]
+//	gen -kind nested    -n 32
+//	gen -kind chain     -n 32 [-length 1] [-gap 4]
+//	gen -kind adversarial -n 16 -power linear
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+
+	oblivious "repro"
+	"repro/internal/instance"
+	"repro/internal/power"
+	"repro/internal/problem"
+	"repro/internal/sinr"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "uniform", "uniform, clustered, nested, chain, or adversarial")
+		n        = flag.Int("n", 32, "number of requests")
+		seed     = flag.Int64("seed", 1, "random seed")
+		side     = flag.Float64("side", 300, "square side for random workloads")
+		maxLen   = flag.Float64("maxlen", 8, "maximum request length for random workloads")
+		clusters = flag.Int("clusters", 4, "cluster count for -kind clustered")
+		length   = flag.Float64("length", 1, "request length for -kind chain")
+		gap      = flag.Float64("gap", 4, "gap for -kind chain")
+		powerFn  = flag.String("power", "linear", "target assignment for -kind adversarial (linear, sqrt, quadratic)")
+		alpha    = flag.Float64("alpha", 3, "path-loss exponent for -kind adversarial")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *kind, *n, *seed, *side, *maxLen, *clusters, *length, *gap, *powerFn, *alpha); err != nil {
+		fmt.Fprintln(os.Stderr, "gen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, kind string, n int, seed int64, side, maxLen float64, clusters int, length, gap float64, powerFn string, alpha float64) error {
+	rng := rand.New(rand.NewSource(seed))
+	var (
+		in  *problem.Instance
+		err error
+	)
+	switch kind {
+	case "uniform":
+		in, err = instance.UniformRandom(rng, n, side, 1, maxLen)
+	case "clustered":
+		in, err = instance.Clustered(rng, n, clusters, maxLen*2.5, side, 1)
+	case "nested":
+		in, err = instance.NestedExponential(n, 2)
+	case "chain":
+		in, err = instance.LineChain(n, length, gap)
+	case "adversarial":
+		var a power.Assignment
+		switch powerFn {
+		case "linear":
+			a = power.Linear()
+		case "sqrt":
+			a = power.Sqrt()
+		case "quadratic":
+			a = power.Exponent(2)
+		default:
+			return fmt.Errorf("unknown -power %q", powerFn)
+		}
+		m := sinr.Model{Alpha: alpha, Beta: 1}
+		var adv *instance.Adversarial
+		adv, err = instance.AdversarialDirected(m, a, n, 1e60)
+		if err == nil {
+			in = adv.Instance
+			if adv.Built < n {
+				fmt.Fprintf(os.Stderr, "gen: construction capped at %d pairs (float64 range)\n", adv.Built)
+			}
+		}
+	default:
+		return fmt.Errorf("unknown -kind %q", kind)
+	}
+	if err != nil {
+		return err
+	}
+	data, err := oblivious.MarshalInstance(in)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(append(data, '\n'))
+	return err
+}

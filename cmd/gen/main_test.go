@@ -1,0 +1,34 @@
+package main
+
+import (
+	"io"
+	"testing"
+)
+
+func TestRunKinds(t *testing.T) {
+	for _, kind := range []string{"uniform", "clustered", "nested", "chain"} {
+		if err := run(io.Discard, kind, 8, 1, 300, 8, 3, 1, 4, "linear", 3); err != nil {
+			t.Errorf("kind %s: %v", kind, err)
+		}
+	}
+}
+
+func TestRunAdversarial(t *testing.T) {
+	for _, pf := range []string{"linear", "sqrt", "quadratic"} {
+		if err := run(io.Discard, "adversarial", 4, 1, 300, 8, 3, 1, 4, pf, 3); err != nil {
+			t.Errorf("power %s: %v", pf, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(io.Discard, "mystery", 8, 1, 300, 8, 3, 1, 4, "linear", 3); err == nil {
+		t.Error("unknown kind should fail")
+	}
+	if err := run(io.Discard, "adversarial", 4, 1, 300, 8, 3, 1, 4, "cubic", 3); err == nil {
+		t.Error("unknown adversarial power should fail")
+	}
+	if err := run(io.Discard, "uniform", 0, 1, 300, 8, 3, 1, 4, "linear", 3); err == nil {
+		t.Error("n=0 should fail")
+	}
+}

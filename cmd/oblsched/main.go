@@ -1,0 +1,157 @@
+// Command oblsched schedules an interference instance read from a JSON
+// file (see cmd/gen for the format) and prints the resulting coloring.
+//
+// Usage:
+//
+//	oblsched -in instance.json [-variant bidirectional] [-power sqrt]
+//	         [-algo greedy|lp|pipeline] [-alpha 3] [-beta 1] [-seed 1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	oblivious "repro"
+)
+
+func main() {
+	var (
+		inPath  = flag.String("in", "", "path to the instance JSON (required)")
+		variant = flag.String("variant", "bidirectional", "directed or bidirectional")
+		powerFn = flag.String("power", "sqrt", "uniform, linear, sqrt, or exp:<tau>")
+		algo    = flag.String("algo", "greedy", "greedy, lp, or pipeline (lp/pipeline imply sqrt powers)")
+		alpha   = flag.Float64("alpha", 3, "path-loss exponent α")
+		beta    = flag.Float64("beta", 1, "SINR gain β")
+		noise   = flag.Float64("noise", 0, "ambient noise ν")
+		seed    = flag.Int64("seed", 1, "seed for the randomized algorithms")
+		verbose = flag.Bool("v", false, "print the full color classes")
+		outPath = flag.String("out", "", "write the schedule as JSON to this path")
+		check   = flag.String("check", "", "instead of scheduling, validate this schedule JSON against the instance")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *inPath, *variant, *powerFn, *algo, *alpha, *beta, *noise, *seed, *verbose, *outPath, *check); err != nil {
+		fmt.Fprintln(os.Stderr, "oblsched:", err)
+		os.Exit(1)
+	}
+}
+
+func parseAssignment(s string) (oblivious.Assignment, error) {
+	switch {
+	case s == "uniform":
+		return oblivious.Uniform(1), nil
+	case s == "linear":
+		return oblivious.Linear(), nil
+	case s == "sqrt":
+		return oblivious.Sqrt(), nil
+	case strings.HasPrefix(s, "exp:"):
+		tau, err := strconv.ParseFloat(strings.TrimPrefix(s, "exp:"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad exponent in %q: %w", s, err)
+		}
+		return oblivious.Exponent(tau), nil
+	default:
+		return nil, fmt.Errorf("unknown power assignment %q", s)
+	}
+}
+
+func run(w io.Writer, inPath, variant, powerFn, algo string, alpha, beta, noise float64, seed int64, verbose bool, outPath, check string) error {
+	if inPath == "" {
+		return fmt.Errorf("missing -in")
+	}
+	data, err := os.ReadFile(inPath)
+	if err != nil {
+		return err
+	}
+	in, err := oblivious.UnmarshalInstance(data)
+	if err != nil {
+		return err
+	}
+	var v oblivious.Variant
+	switch variant {
+	case "directed":
+		v = oblivious.Directed
+	case "bidirectional":
+		v = oblivious.Bidirectional
+	default:
+		return fmt.Errorf("unknown variant %q", variant)
+	}
+	m := oblivious.Model{Alpha: alpha, Beta: beta, Noise: noise}
+
+	if check != "" {
+		sdata, err := os.ReadFile(check)
+		if err != nil {
+			return err
+		}
+		sched, err := oblivious.UnmarshalSchedule(sdata)
+		if err != nil {
+			return err
+		}
+		if err := oblivious.Validate(m, in, v, sched); err != nil {
+			return fmt.Errorf("schedule invalid: %w", err)
+		}
+		fmt.Fprintf(w, "schedule valid: %d requests, %d colors\n", in.N(), sched.NumColors())
+		return nil
+	}
+
+	var s *oblivious.Schedule
+	switch algo {
+	case "greedy":
+		a, err := parseAssignment(powerFn)
+		if err != nil {
+			return err
+		}
+		s, err = oblivious.ScheduleGreedy(m, in, v, a)
+		if err != nil {
+			return err
+		}
+	case "lp":
+		if v != oblivious.Bidirectional {
+			return fmt.Errorf("the LP algorithm targets the bidirectional variant")
+		}
+		var err error
+		s, _, err = oblivious.ScheduleLP(m, in, seed)
+		if err != nil {
+			return err
+		}
+	case "pipeline":
+		if v != oblivious.Bidirectional {
+			return fmt.Errorf("the pipeline targets the bidirectional variant")
+		}
+		var err error
+		s, err = oblivious.SchedulePipeline(m, in, seed)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown algorithm %q", algo)
+	}
+
+	if err := oblivious.Validate(m, in, v, s); err != nil {
+		return fmt.Errorf("produced schedule failed validation: %w", err)
+	}
+	fmt.Fprintf(w, "requests: %d\ncolors:   %d\nenergy:   %.4g\nvalid:    yes\n",
+		in.N(), s.NumColors(), s.TotalEnergy())
+	if outPath != "" {
+		data, err := oblivious.MarshalSchedule(s)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if verbose {
+		for c, class := range s.Classes() {
+			fmt.Fprintf(w, "color %d:", c)
+			for _, i := range class {
+				fmt.Fprintf(w, " %d", i)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	return nil
+}

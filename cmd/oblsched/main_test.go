@@ -1,0 +1,96 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	oblivious "repro"
+)
+
+func writeInstance(t *testing.T) string {
+	t.Helper()
+	in, err := oblivious.NewLineInstance(
+		[]float64{0, 1, 50, 51, 200, 202},
+		[]oblivious.Request{{U: 0, V: 1}, {U: 2, V: 3}, {U: 4, V: 5}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := oblivious.MarshalInstance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "inst.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunGreedy(t *testing.T) {
+	path := writeInstance(t)
+	for _, algo := range []string{"greedy", "lp", "pipeline"} {
+		if err := run(io.Discard, path, "bidirectional", "sqrt", algo, 3, 1, 0, 1, false, "", ""); err != nil {
+			t.Errorf("algo %s: %v", algo, err)
+		}
+	}
+}
+
+func TestRunDirectedGreedy(t *testing.T) {
+	path := writeInstance(t)
+	if err := run(io.Discard, path, "directed", "linear", "greedy", 3, 1, 0, 1, true, "", ""); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRunWriteAndCheck(t *testing.T) {
+	path := writeInstance(t)
+	out := filepath.Join(t.TempDir(), "sched.json")
+	if err := run(io.Discard, path, "bidirectional", "sqrt", "greedy", 3, 1, 0, 1, false, out, ""); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(io.Discard, path, "bidirectional", "sqrt", "greedy", 3, 1, 0, 1, false, "", out); err != nil {
+		t.Errorf("check of a written schedule failed: %v", err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	path := writeInstance(t)
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{name: "missing input", err: run(io.Discard, "", "bidirectional", "sqrt", "greedy", 3, 1, 0, 1, false, "", "")},
+		{name: "bad variant", err: run(io.Discard, path, "sideways", "sqrt", "greedy", 3, 1, 0, 1, false, "", "")},
+		{name: "bad algo", err: run(io.Discard, path, "bidirectional", "sqrt", "annealing", 3, 1, 0, 1, false, "", "")},
+		{name: "bad power", err: run(io.Discard, path, "bidirectional", "cubic", "greedy", 3, 1, 0, 1, false, "", "")},
+		{name: "lp directed", err: run(io.Discard, path, "directed", "sqrt", "lp", 3, 1, 0, 1, false, "", "")},
+		{name: "missing file", err: run(io.Discard, filepath.Join(t.TempDir(), "no.json"), "bidirectional", "sqrt", "greedy", 3, 1, 0, 1, false, "", "")},
+		{name: "bad check file", err: run(io.Discard, path, "bidirectional", "sqrt", "greedy", 3, 1, 0, 1, false, "", path)},
+	}
+	for _, tc := range cases {
+		if tc.err == nil {
+			t.Errorf("%s: expected an error", tc.name)
+		}
+	}
+}
+
+func TestParseAssignment(t *testing.T) {
+	for _, s := range []string{"uniform", "linear", "sqrt", "exp:0.75"} {
+		if _, err := parseAssignment(s); err != nil {
+			t.Errorf("%s: %v", s, err)
+		}
+	}
+	if _, err := parseAssignment("exp:abc"); err == nil {
+		t.Error("bad exponent should fail")
+	}
+	a, err := parseAssignment("exp:2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Power(3); got != 9 {
+		t.Errorf("exp:2 power = %g, want 9", got)
+	}
+}

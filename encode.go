@@ -1,0 +1,115 @@
+package oblivious
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// instanceJSON is the on-disk format used by cmd/gen and cmd/oblsched.
+// Exactly one of Points, Line, Matrix must be set.
+type instanceJSON struct {
+	// Points are Euclidean coordinates, one per node.
+	Points [][]float64 `json:"points,omitempty"`
+	// Line are 1-dimensional node coordinates.
+	Line []float64 `json:"line,omitempty"`
+	// Matrix is an explicit symmetric distance matrix.
+	Matrix [][]float64 `json:"matrix,omitempty"`
+	// Requests are the communication requests over the node indices.
+	Requests []Request `json:"requests"`
+}
+
+// MarshalInstance encodes an instance as JSON. Only instances over
+// Euclidean, line, or explicit-matrix spaces can be encoded; other spaces
+// (trees, stars, restrictions) are serialized as an explicit matrix.
+func MarshalInstance(in *Instance) ([]byte, error) {
+	if in == nil {
+		return nil, errors.New("oblivious: nil instance")
+	}
+	enc := instanceJSON{Requests: in.Reqs}
+	switch s := in.Space.(type) {
+	case *geom.Euclidean:
+		enc.Points = make([][]float64, s.N())
+		for i := range enc.Points {
+			enc.Points[i] = s.Point(i)
+		}
+	case *geom.Line:
+		enc.Line = make([]float64, s.N())
+		for i := range enc.Line {
+			enc.Line[i] = s.Coord(i)
+		}
+	default:
+		n := in.Space.N()
+		enc.Matrix = make([][]float64, n)
+		for i := 0; i < n; i++ {
+			row := make([]float64, n)
+			for j := 0; j < n; j++ {
+				row[j] = in.Space.Dist(i, j)
+			}
+			enc.Matrix[i] = row
+		}
+	}
+	return json.MarshalIndent(enc, "", "  ")
+}
+
+// scheduleJSON is the on-disk schedule format.
+type scheduleJSON struct {
+	// Colors[i] is the 0-based time slot of request i.
+	Colors []int `json:"colors"`
+	// Powers[i] is the transmission power of request i.
+	Powers []float64 `json:"powers"`
+}
+
+// MarshalSchedule encodes a schedule as JSON.
+func MarshalSchedule(s *Schedule) ([]byte, error) {
+	if s == nil {
+		return nil, errors.New("oblivious: nil schedule")
+	}
+	if len(s.Colors) != len(s.Powers) {
+		return nil, fmt.Errorf("oblivious: %d colors, %d powers", len(s.Colors), len(s.Powers))
+	}
+	return json.MarshalIndent(scheduleJSON{Colors: s.Colors, Powers: s.Powers}, "", "  ")
+}
+
+// UnmarshalSchedule decodes a schedule written by MarshalSchedule.
+func UnmarshalSchedule(data []byte) (*Schedule, error) {
+	var enc scheduleJSON
+	if err := json.Unmarshal(data, &enc); err != nil {
+		return nil, fmt.Errorf("oblivious: decode schedule: %w", err)
+	}
+	if len(enc.Colors) == 0 || len(enc.Colors) != len(enc.Powers) {
+		return nil, fmt.Errorf("oblivious: schedule with %d colors, %d powers", len(enc.Colors), len(enc.Powers))
+	}
+	return &Schedule{
+		Colors: append([]int(nil), enc.Colors...),
+		Powers: append([]float64(nil), enc.Powers...),
+	}, nil
+}
+
+// UnmarshalInstance decodes an instance from the JSON produced by
+// MarshalInstance (or hand-written in the same format).
+func UnmarshalInstance(data []byte) (*Instance, error) {
+	var enc instanceJSON
+	if err := json.Unmarshal(data, &enc); err != nil {
+		return nil, fmt.Errorf("oblivious: decode instance: %w", err)
+	}
+	set := 0
+	for _, ok := range []bool{len(enc.Points) > 0, len(enc.Line) > 0, len(enc.Matrix) > 0} {
+		if ok {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, errors.New("oblivious: exactly one of points, line, matrix must be set")
+	}
+	switch {
+	case len(enc.Points) > 0:
+		return NewEuclideanInstance(enc.Points, enc.Requests)
+	case len(enc.Line) > 0:
+		return NewLineInstance(enc.Line, enc.Requests)
+	default:
+		return NewMatrixInstance(enc.Matrix, enc.Requests)
+	}
+}

@@ -1,0 +1,72 @@
+// Strong-connectivity scheduling: the workload that started the field.
+//
+// Moscibroda and Wattenhofer (Section 1.3 of the paper) asked how many time
+// slots are needed to schedule a set of links that strongly connects n
+// arbitrarily placed nodes. This example places random sensor nodes, takes
+// the minimum spanning tree as the connecting link set, and schedules its
+// edges as full-duplex (bidirectional) channels under the oblivious power
+// assignments of the paper, plus a distributed contention protocol that
+// needs no coordinator at all.
+//
+// Run with:
+//
+//	go run ./examples/connectivity
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	oblivious "repro"
+	"repro/internal/distributed"
+	"repro/internal/sinr"
+	"repro/internal/topology"
+)
+
+func main() {
+	const (
+		nodes = 80
+		side  = 500.0
+		seed  = 12
+	)
+	rng := rand.New(rand.NewSource(seed))
+	in, err := topology.ConnectivityInstance(rng, nodes, side)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := oblivious.DefaultModel()
+	degree := topology.MaxDegree(in.Space, in.Reqs)
+
+	fmt.Printf("sensor field: %d nodes, MST with %d edges, max degree %d\n\n", nodes, in.N(), degree)
+	fmt.Println("slots to schedule the spanning tree (degree is a hard lower bound):")
+	for _, a := range []oblivious.Assignment{
+		oblivious.Uniform(1),
+		oblivious.Linear(),
+		oblivious.Sqrt(),
+	} {
+		s, err := oblivious.ScheduleGreedy(m, in, oblivious.Bidirectional, a)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := oblivious.Validate(m, in, oblivious.Bidirectional, s); err != nil {
+			log.Fatalf("%s: %v", a.Name(), err)
+		}
+		fmt.Printf("  %-8s %2d slots\n", a.Name(), s.NumColors())
+	}
+
+	// Fully distributed: no coordinator, just local powers and backoff.
+	res, err := distributed.Default().Run(m, in, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := m.CheckSchedule(in, sinr.Bidirectional, res.Schedule); err != nil {
+		log.Fatalf("distributed: %v", err)
+	}
+	fmt.Printf("  %-8s %2d contention slots (%d attempts, %d failures)\n\n",
+		"decay", res.Slots, res.Attempts, res.Failures)
+
+	fmt.Println("every schedule above satisfies the exact SINR constraints;")
+	fmt.Println("the square root assignment tracks the degree bound without any")
+	fmt.Println("global knowledge — the paper's case for oblivious power control.")
+}

@@ -1,0 +1,64 @@
+// Quickstart: build a small instance, schedule it under the square root
+// power assignment, and validate the result.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	oblivious "repro"
+)
+
+func main() {
+	// Eight devices in the plane: four communication links. Nodes 2i and
+	// 2i+1 are the endpoints of request i.
+	points := [][]float64{
+		{0, 0}, {3, 0}, // link 0, length 3
+		{1, 1}, {1, 5}, // link 1, length 4
+		{40, 40}, {42, 40}, // link 2, far away, length 2
+		{41, 45}, {41, 41}, // link 3, length 4
+	}
+	reqs := []oblivious.Request{
+		{U: 0, V: 1},
+		{U: 2, V: 3},
+		{U: 4, V: 5},
+		{U: 6, V: 7},
+	}
+	in, err := oblivious.NewEuclideanInstance(points, reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The physical model: path-loss exponent α = 3, SINR gain β = 1.
+	m := oblivious.DefaultModel()
+
+	// Schedule the full-duplex (bidirectional) links under the square root
+	// power assignment — the paper's universally good oblivious assignment.
+	s, err := oblivious.ScheduleGreedy(m, in, oblivious.Bidirectional, oblivious.Sqrt())
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := oblivious.Validate(m, in, oblivious.Bidirectional, s); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("scheduled %d links in %d time slot(s)\n", in.N(), s.NumColors())
+	for c, class := range s.Classes() {
+		fmt.Printf("  slot %d:", c)
+		for _, i := range class {
+			fmt.Printf(" link%d(len=%.1f, p=%.2f)", i, in.Length(i), s.Powers[i])
+		}
+		fmt.Println()
+	}
+
+	// Could all four links share a single slot with unconstrained powers?
+	feasible, _, err := oblivious.SingleSlotFeasible(m, in, oblivious.Bidirectional, []int{0, 1, 2, 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("single slot with optimal power control: %v\n", feasible)
+}

@@ -1,0 +1,58 @@
+package oblivious
+
+import "testing"
+
+// FuzzUnmarshalInstance guards the JSON decoder against panics and checks
+// the round-trip invariant on every successfully decoded instance.
+func FuzzUnmarshalInstance(f *testing.F) {
+	f.Add([]byte(`{"line":[0,1],"requests":[{"u":0,"v":1}]}`))
+	f.Add([]byte(`{"points":[[0,0],[1,1]],"requests":[{"u":0,"v":1}]}`))
+	f.Add([]byte(`{"matrix":[[0,1],[1,0]],"requests":[{"u":0,"v":1}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"line":[0,0],"requests":[{"u":0,"v":1}]}`))
+	f.Add([]byte(`{"line":[0,1],"requests":[{"u":0,"v":9}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		in, err := UnmarshalInstance(data)
+		if err != nil {
+			return // malformed input must be rejected, not panic
+		}
+		// Decoded instances must satisfy the constructor invariants.
+		if in.N() == 0 {
+			t.Fatal("decoded instance with zero requests")
+		}
+		for i := 0; i < in.N(); i++ {
+			if !(in.Length(i) > 0) {
+				t.Fatalf("request %d has non-positive length", i)
+			}
+		}
+		// And round-trip.
+		out, err := MarshalInstance(in)
+		if err != nil {
+			t.Fatalf("marshal of a decoded instance failed: %v", err)
+		}
+		back, err := UnmarshalInstance(out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if back.N() != in.N() {
+			t.Fatalf("round trip changed N: %d -> %d", in.N(), back.N())
+		}
+	})
+}
+
+// FuzzUnmarshalSchedule guards the schedule decoder.
+func FuzzUnmarshalSchedule(f *testing.F) {
+	f.Add([]byte(`{"colors":[0,1],"powers":[1,2]}`))
+	f.Add([]byte(`{"colors":[],"powers":[]}`))
+	f.Add([]byte(`{"colors":[0],"powers":[1,2]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := UnmarshalSchedule(data)
+		if err != nil {
+			return
+		}
+		if len(s.Colors) == 0 || len(s.Colors) != len(s.Powers) {
+			t.Fatal("decoder accepted an inconsistent schedule")
+		}
+	})
+}

@@ -1,0 +1,352 @@
+package coloring
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/instance"
+	"repro/internal/power"
+	"repro/internal/problem"
+	"repro/internal/sinr"
+)
+
+func randomInstance(t *testing.T, seed int64, n int) *problem.Instance {
+	t.Helper()
+	in, err := instance.UniformRandom(rand.New(rand.NewSource(seed)), n, 200, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestLengthOrder(t *testing.T) {
+	in, err := instance.LineChain(3, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Equal lengths: stable order by index.
+	got := LengthOrder(in)
+	if got[0] != 0 || got[1] != 1 || got[2] != 2 {
+		t.Errorf("LengthOrder = %v, want [0 1 2]", got)
+	}
+	nested, err := instance.NestedExponential(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = LengthOrder(nested)
+	if got[0] != 3 || got[3] != 0 {
+		t.Errorf("LengthOrder of nested = %v, want longest (3) first", got)
+	}
+}
+
+func TestGreedyFirstFitValid(t *testing.T) {
+	m := sinr.Default()
+	for _, v := range []sinr.Variant{sinr.Directed, sinr.Bidirectional} {
+		for _, a := range []power.Assignment{power.Uniform(1), power.Linear(), power.Sqrt()} {
+			in := randomInstance(t, 42, 40)
+			powers := power.Powers(m, in, a)
+			s, err := GreedyFirstFit(m, in, v, powers, nil)
+			if err != nil {
+				t.Fatalf("%v/%s: %v", v, a.Name(), err)
+			}
+			if !s.Complete() {
+				t.Fatalf("%v/%s: incomplete schedule", v, a.Name())
+			}
+			if err := m.CheckSchedule(in, v, s); err != nil {
+				t.Errorf("%v/%s: invalid schedule: %v", v, a.Name(), err)
+			}
+			if s.NumColors() < 1 || s.NumColors() > in.N() {
+				t.Errorf("%v/%s: colors = %d", v, a.Name(), s.NumColors())
+			}
+		}
+	}
+}
+
+func TestGreedyFirstFitSeparatedPairsOneColor(t *testing.T) {
+	m := sinr.Default()
+	in, err := instance.LineChain(10, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	powers := power.Powers(m, in, power.Uniform(1))
+	s, err := GreedyFirstFit(m, in, sinr.Directed, powers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumColors() != 1 {
+		t.Errorf("widely separated equal pairs need %d colors, want 1", s.NumColors())
+	}
+}
+
+func TestGreedyFirstFitPowersMismatch(t *testing.T) {
+	m := sinr.Default()
+	in := randomInstance(t, 1, 5)
+	if _, err := GreedyFirstFit(m, in, sinr.Directed, []float64{1}, nil); err == nil {
+		t.Error("mismatched powers should fail")
+	}
+}
+
+func TestGreedyFirstFitNoiseUnschedulable(t *testing.T) {
+	m := sinr.Model{Alpha: 3, Beta: 1, Noise: 100}
+	in := randomInstance(t, 1, 5)
+	powers := power.Powers(m, in, power.Uniform(1e-6))
+	if _, err := GreedyFirstFit(m, in, sinr.Directed, powers, nil); err == nil {
+		t.Error("powers below the noise floor should be unschedulable")
+	}
+}
+
+func TestMaxFeasibleSubsetGreedy(t *testing.T) {
+	m := sinr.Default()
+	in, err := instance.LineChain(10, 1, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	powers := power.Powers(m, in, power.Uniform(1))
+	got := MaxFeasibleSubsetGreedy(m, in, sinr.Directed, powers, nil)
+	if len(got) != 10 {
+		t.Errorf("separated pairs subset = %d, want all 10", len(got))
+	}
+	if !m.SetFeasible(in, sinr.Directed, powers, got) {
+		t.Error("greedy subset must be feasible")
+	}
+}
+
+// TestNestedSingleSlot reproduces the paper's intro intuition on the nested
+// instance: uniform and linear powers schedule only O(1) requests
+// simultaneously, the square root assignment a constant fraction.
+func TestNestedSingleSlot(t *testing.T) {
+	m := sinr.Default()
+	in, err := instance.NestedExponential(24, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := make(map[string]int)
+	for _, a := range []power.Assignment{power.Uniform(1), power.Linear(), power.Sqrt()} {
+		powers := power.Powers(m, in, a)
+		set := MaxFeasibleSubsetGreedy(m, in, sinr.Bidirectional, powers, nil)
+		if !m.SetFeasible(in, sinr.Bidirectional, powers, set) {
+			t.Fatalf("%s: infeasible greedy subset", a.Name())
+		}
+		sizes[a.Name()] = len(set)
+	}
+	if sizes["sqrt"] < 3*sizes["uniform"] || sizes["sqrt"] < 3*sizes["linear"] {
+		t.Errorf("sqrt should dominate on nested instances: %v", sizes)
+	}
+	if sizes["sqrt"] < 24/4 {
+		t.Errorf("sqrt subset %d below a constant fraction of 24", sizes["sqrt"])
+	}
+}
+
+func TestThinToGainPostcondition(t *testing.T) {
+	m := sinr.Default()
+	in := randomInstance(t, 7, 30)
+	powers := power.Powers(m, in, power.Sqrt())
+	set := MaxFeasibleSubsetGreedy(m, in, sinr.Bidirectional, powers, nil)
+	if len(set) < 3 {
+		t.Skip("degenerate instance")
+	}
+	betaPrime := 4 * m.Beta
+	sub, err := ThinToGain(m, in, sinr.Bidirectional, powers, set, betaPrime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict := m.WithBeta(betaPrime)
+	if !strict.SetFeasible(in, sinr.Bidirectional, powers, sub) {
+		t.Error("thinned set does not satisfy the stronger gain")
+	}
+	if len(sub) == 0 {
+		t.Error("thinned set empty")
+	}
+	// Proposition 3 predicts a β/8β' fraction; the greedy should do at
+	// least that well here.
+	if frac := float64(len(sub)) / float64(len(set)); frac < m.Beta/(8*betaPrime) {
+		t.Errorf("retained fraction %g below β/8β' = %g", frac, m.Beta/(8*betaPrime))
+	}
+}
+
+func TestThinToGainRejectsWeakerGain(t *testing.T) {
+	m := sinr.Default()
+	in := randomInstance(t, 7, 10)
+	powers := power.Powers(m, in, power.Sqrt())
+	if _, err := ThinToGain(m, in, sinr.Bidirectional, powers, []int{0, 1}, m.Beta/2); err == nil {
+		t.Error("betaPrime below beta should fail")
+	}
+}
+
+func TestColorWithGainCoversAll(t *testing.T) {
+	m := sinr.Default()
+	in := randomInstance(t, 9, 25)
+	powers := power.Powers(m, in, power.Sqrt())
+	set := make([]int, in.N())
+	for i := range set {
+		set[i] = i
+	}
+	betaPrime := 2 * m.Beta
+	classes, err := ColorWithGain(m, in, sinr.Bidirectional, powers, set, betaPrime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[int]bool)
+	strict := m.WithBeta(betaPrime)
+	for _, class := range classes {
+		if !strict.SetFeasible(in, sinr.Bidirectional, powers, class) {
+			t.Error("class violates the stronger gain")
+		}
+		for _, i := range class {
+			if seen[i] {
+				t.Errorf("request %d colored twice", i)
+			}
+			seen[i] = true
+		}
+	}
+	if len(seen) != in.N() {
+		t.Errorf("colored %d of %d requests", len(seen), in.N())
+	}
+}
+
+func TestSqrtLPColoringValid(t *testing.T) {
+	m := sinr.Default()
+	in := randomInstance(t, 11, 40)
+	s, stats, err := SqrtLPColoring(m, in, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Complete() {
+		t.Fatal("incomplete schedule")
+	}
+	if err := m.CheckSchedule(in, sinr.Bidirectional, s); err != nil {
+		t.Errorf("invalid LP schedule: %v", err)
+	}
+	if stats.Rounds != s.NumColors() {
+		t.Errorf("rounds %d != colors %d", stats.Rounds, s.NumColors())
+	}
+}
+
+func TestSqrtLPColoringNilRNG(t *testing.T) {
+	m := sinr.Default()
+	in := randomInstance(t, 11, 5)
+	if _, _, err := SqrtLPColoring(m, in, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+}
+
+// TestLPColoringCompetitiveWithGreedy: the LP coloring should not be much
+// worse than the greedy first-fit under the same power assignment.
+func TestLPColoringCompetitiveWithGreedy(t *testing.T) {
+	m := sinr.Default()
+	in := randomInstance(t, 13, 60)
+	powers := power.Powers(m, in, power.Sqrt())
+	g, err := GreedyFirstFit(m, in, sinr.Bidirectional, powers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := SqrtLPColoring(m, in, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumColors() > 3*g.NumColors()+2 {
+		t.Errorf("LP colors %d vs greedy %d: unexpectedly bad", s.NumColors(), g.NumColors())
+	}
+}
+
+func TestDistanceClasses(t *testing.T) {
+	in, err := instance.NestedExponential(9, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := make([]int, in.N())
+	for i := range set {
+		set[i] = i
+	}
+	classes := distanceClasses(in, set)
+	// Lengths are 4, 8, ..., 1024: ratios of 2, so classes hold at most 2
+	// consecutive lengths and are ordered short to long.
+	total := 0
+	lastMax := 0.0
+	for _, c := range classes {
+		if len(c) == 0 || len(c) > 2 {
+			t.Errorf("class size %d, want 1..2", len(c))
+		}
+		for _, j := range c {
+			if in.Length(j) < lastMax {
+				t.Error("classes not sorted by length")
+			}
+			if in.Length(j) > lastMax {
+				lastMax = in.Length(j)
+			}
+		}
+		total += len(c)
+	}
+	if total != in.N() {
+		t.Errorf("classes cover %d of %d requests", total, in.N())
+	}
+	if distanceClasses(in, nil) != nil {
+		t.Error("empty set should produce no classes")
+	}
+}
+
+// TestGreedyValidityProperty: greedy schedules on random instances always
+// validate, for both variants and a spread of assignments.
+func TestGreedyValidityProperty(t *testing.T) {
+	m := sinr.Default()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in, err := instance.UniformRandom(r, 4+r.Intn(20), 150, 1, 6)
+		if err != nil {
+			return false
+		}
+		tau := r.Float64() * 1.2
+		powers := power.Powers(m, in, power.Exponent(tau))
+		for _, v := range []sinr.Variant{sinr.Directed, sinr.Bidirectional} {
+			s, err := GreedyFirstFit(m, in, v, powers, nil)
+			if err != nil {
+				return false
+			}
+			if err := m.CheckSchedule(in, v, s); err != nil {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(31))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestLPColoringValidityProperty: LP coloring always yields valid
+// bidirectional schedules.
+func TestLPColoringValidityProperty(t *testing.T) {
+	m := sinr.Default()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in, err := instance.UniformRandom(r, 4+r.Intn(12), 120, 1, 6)
+		if err != nil {
+			return false
+		}
+		s, _, err := SqrtLPColoring(m, in, r)
+		if err != nil {
+			return false
+		}
+		return s.Complete() && m.CheckSchedule(in, sinr.Bidirectional, s) == nil
+	}
+	cfg := &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(33))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBudget(t *testing.T) {
+	m := sinr.Default()
+	in, err := instance.LineChain(2, 2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Loss = 8 for length 2 at α=3; budget = 1/(β·√8).
+	want := 1 / math.Sqrt(8)
+	if got := budget(m, in, 0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("budget = %g, want %g", got, want)
+	}
+}

@@ -1,0 +1,106 @@
+package coloring
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/instance"
+	"repro/internal/power"
+	"repro/internal/sinr"
+)
+
+func TestThinStrategyString(t *testing.T) {
+	for _, tc := range []struct {
+		s    ThinStrategy
+		want string
+	}{
+		{s: ThinWorstOffender, want: "worst-offender"},
+		{s: ThinWorstMargin, want: "worst-margin"},
+		{s: ThinRandom, want: "random"},
+	} {
+		if got := tc.s.String(); got != tc.want {
+			t.Errorf("String() = %q, want %q", got, tc.want)
+		}
+	}
+	if !strings.Contains(ThinStrategy(42).String(), "42") {
+		t.Error("unknown strategy should include its number")
+	}
+}
+
+// TestThinStrategiesPostcondition: every victim heuristic produces a subset
+// that meets the stronger gain.
+func TestThinStrategiesPostcondition(t *testing.T) {
+	m := sinr.Default()
+	in, err := instance.Clustered(rand.New(rand.NewSource(6)), 30, 3, 12, 150, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	powers := power.Powers(m, in, power.Sqrt())
+	base := MaxFeasibleSubsetGreedy(m, in, sinr.Bidirectional, powers, nil)
+	if len(base) < 4 {
+		t.Skip("degenerate base set")
+	}
+	betaPrime := 6 * m.Beta
+	strict := m.WithBeta(betaPrime)
+	for _, strat := range []ThinStrategy{ThinWorstOffender, ThinWorstMargin, ThinRandom} {
+		sub, err := ThinToGainStrategy(m, in, sinr.Bidirectional, powers, base, betaPrime,
+			strat, rand.New(rand.NewSource(1)))
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		if len(sub) == 0 {
+			t.Errorf("%v: empty subset", strat)
+		}
+		if !strict.SetFeasible(in, sinr.Bidirectional, powers, sub) {
+			t.Errorf("%v: subset violates the stronger gain", strat)
+		}
+	}
+}
+
+func TestThinRandomNeedsRNG(t *testing.T) {
+	m := sinr.Default()
+	in, err := instance.LineChain(4, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	powers := power.Powers(m, in, power.Sqrt())
+	if _, err := ThinToGainStrategy(m, in, sinr.Bidirectional, powers, []int{0, 1}, 2, ThinRandom, nil); err == nil {
+		t.Error("ThinRandom without rng should fail")
+	}
+}
+
+// TestWorstOffenderNoWorseThanRandom: on a contended workload the default
+// heuristic should retain at least as many requests as random removal
+// (averaged over seeds).
+func TestWorstOffenderNoWorseThanRandom(t *testing.T) {
+	m := sinr.Default()
+	in, err := instance.Clustered(rand.New(rand.NewSource(8)), 48, 3, 15, 200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	powers := power.Powers(m, in, power.Sqrt())
+	base := MaxFeasibleSubsetGreedy(m, in, sinr.Bidirectional, powers, nil)
+	if len(base) < 6 {
+		t.Skip("degenerate base set")
+	}
+	betaPrime := 8 * m.Beta
+	offender, err := ThinToGain(m, in, sinr.Bidirectional, powers, base, betaPrime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var randomTotal int
+	const trials = 5
+	for s := int64(0); s < trials; s++ {
+		sub, err := ThinToGainStrategy(m, in, sinr.Bidirectional, powers, base, betaPrime,
+			ThinRandom, rand.New(rand.NewSource(s)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		randomTotal += len(sub)
+	}
+	if float64(len(offender)) < float64(randomTotal)/trials-1 {
+		t.Errorf("worst-offender retained %d, random average %.1f",
+			len(offender), float64(randomTotal)/trials)
+	}
+}

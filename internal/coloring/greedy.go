@@ -1,0 +1,163 @@
+// Package coloring implements the scheduling (coloring) algorithms of the
+// paper: greedy first-fit coloring under a fixed power assignment, the
+// constructive gain-scaling of Propositions 3 and 4, and the randomized
+// LP-based O(log n)-approximation for the square root assignment
+// (Theorem 15).
+package coloring
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/problem"
+	"repro/internal/sinr"
+)
+
+// LengthOrder returns the request indices sorted by decreasing length
+// (ties broken by index). Scheduling long requests first is the standard
+// greedy order for SINR scheduling.
+func LengthOrder(in *problem.Instance) []int {
+	idx := make([]int, in.N())
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		return in.Length(idx[a]) > in.Length(idx[b])
+	})
+	return idx
+}
+
+// classState caches, for one color class, the interference received at the
+// relevant nodes of each member, so that first-fit insertions cost O(|class|)
+// instead of O(|class|^2).
+type classState struct {
+	members []int
+	// interf[k] is the interference currently received by members[k]: for
+	// the directed variant only entry 0 (at the receiver) is used; for the
+	// bidirectional variant entry 0 is at U and entry 1 at V.
+	interf [][2]float64
+}
+
+// contribution returns the interference request j adds at the constraint
+// node(s) of request i: for Directed, the single value at i's receiver;
+// for Bidirectional, the values at i's two endpoints.
+func contribution(m sinr.Model, in *problem.Instance, v sinr.Variant, powers []float64, j, i int) [2]float64 {
+	switch v {
+	case sinr.Directed:
+		return [2]float64{powers[j] / m.Loss(in.Space.Dist(in.Reqs[j].U, in.Reqs[i].V)), 0}
+	case sinr.Bidirectional:
+		return [2]float64{
+			powers[j] / m.MinLossToNode(in, j, in.Reqs[i].U),
+			powers[j] / m.MinLossToNode(in, j, in.Reqs[i].V),
+		}
+	default:
+		panic(fmt.Sprintf("coloring: unknown variant %d", int(v)))
+	}
+}
+
+// fits reports whether request j can join the class without violating any
+// SINR constraint (the candidate's and the members'), and returns the
+// interference j would receive and the contributions j would add.
+func (cs *classState) fits(m sinr.Model, in *problem.Instance, v sinr.Variant, powers []float64, j int) (own [2]float64, adds [][2]float64, ok bool) {
+	signalJ := powers[j] / m.RequestLoss(in, j)
+	for _, i := range cs.members {
+		c := contribution(m, in, v, powers, i, j)
+		own[0] += c[0]
+		own[1] += c[1]
+	}
+	if signalJ < m.Beta*(own[0]+m.Noise) || (v == sinr.Bidirectional && signalJ < m.Beta*(own[1]+m.Noise)) {
+		return own, nil, false
+	}
+	adds = make([][2]float64, len(cs.members))
+	for k, i := range cs.members {
+		c := contribution(m, in, v, powers, j, i)
+		adds[k] = c
+		signalI := powers[i] / m.RequestLoss(in, i)
+		if signalI < m.Beta*(cs.interf[k][0]+c[0]+m.Noise) {
+			return own, nil, false
+		}
+		if v == sinr.Bidirectional && signalI < m.Beta*(cs.interf[k][1]+c[1]+m.Noise) {
+			return own, nil, false
+		}
+	}
+	return own, adds, true
+}
+
+// add inserts request j with the precomputed interference values.
+func (cs *classState) add(j int, own [2]float64, adds [][2]float64) {
+	for k := range cs.members {
+		cs.interf[k][0] += adds[k][0]
+		cs.interf[k][1] += adds[k][1]
+	}
+	cs.members = append(cs.members, j)
+	cs.interf = append(cs.interf, own)
+}
+
+// ErrUnschedulable is returned when a request cannot be scheduled even
+// alone, which only happens with positive noise and insufficient power.
+var ErrUnschedulable = errors.New("coloring: request infeasible even in its own color")
+
+// GreedyFirstFit colors the requests in the given order (LengthOrder if nil)
+// by assigning each to the first color class it fits into, opening a new
+// class when none fits. The powers slice is fixed and copied into the
+// schedule.
+func GreedyFirstFit(m sinr.Model, in *problem.Instance, v sinr.Variant, powers []float64, order []int) (*problem.Schedule, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if len(powers) != in.N() {
+		return nil, fmt.Errorf("coloring: %d powers for %d requests", len(powers), in.N())
+	}
+	if order == nil {
+		order = LengthOrder(in)
+	}
+	s := problem.NewSchedule(in.N())
+	copy(s.Powers, powers)
+	var classes []*classState
+	for _, j := range order {
+		if powers[j]/m.RequestLoss(in, j) < m.Beta*m.Noise {
+			return nil, fmt.Errorf("%w: request %d", ErrUnschedulable, j)
+		}
+		placed := false
+		for c, cs := range classes {
+			own, adds, ok := cs.fits(m, in, v, powers, j)
+			if ok {
+				cs.add(j, own, adds)
+				s.Colors[j] = c
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			cs := &classState{}
+			own, adds, ok := cs.fits(m, in, v, powers, j)
+			if !ok {
+				return nil, fmt.Errorf("%w: request %d", ErrUnschedulable, j)
+			}
+			cs.add(j, own, adds)
+			classes = append(classes, cs)
+			s.Colors[j] = len(classes) - 1
+		}
+	}
+	return s, nil
+}
+
+// MaxFeasibleSubsetGreedy builds a single color class greedily: it scans the
+// requests in the given order (LengthOrder if nil) and keeps every request
+// that still fits. The result is a maximal (not maximum) feasible set, used
+// as a constructive lower-bound proxy for the per-slot capacity.
+func MaxFeasibleSubsetGreedy(m sinr.Model, in *problem.Instance, v sinr.Variant, powers []float64, order []int) []int {
+	if order == nil {
+		order = LengthOrder(in)
+	}
+	cs := &classState{}
+	for _, j := range order {
+		if own, adds, ok := cs.fits(m, in, v, powers, j); ok {
+			cs.add(j, own, adds)
+		}
+	}
+	out := append([]int(nil), cs.members...)
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,82 @@
+package coloring
+
+import (
+	"sort"
+
+	"repro/internal/problem"
+	"repro/internal/sinr"
+)
+
+// ConflictGraph returns the pairwise-conflict adjacency for the given
+// powers: requests i and j conflict when the two of them alone violate the
+// SINR constraints, so no color class of any valid schedule (under these
+// powers) can contain both.
+func ConflictGraph(m sinr.Model, in *problem.Instance, v sinr.Variant, powers []float64) [][]bool {
+	n := in.N()
+	adj := make([][]bool, n)
+	for i := range adj {
+		adj[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !m.SetFeasible(in, v, powers, []int{i, j}) {
+				adj[i][j] = true
+				adj[j][i] = true
+			}
+		}
+	}
+	return adj
+}
+
+// CliqueLowerBound returns a lower bound on the number of colors any
+// schedule under the given powers needs: the size of a greedily grown
+// clique in the pairwise-conflict graph (every member pair is mutually
+// infeasible, so all members need distinct colors). The greedy seeds from
+// every vertex in degree order and keeps the best clique found.
+func CliqueLowerBound(m sinr.Model, in *problem.Instance, v sinr.Variant, powers []float64) int {
+	n := in.N()
+	if n == 0 {
+		return 0
+	}
+	adj := ConflictGraph(m, in, v, powers)
+	deg := make([]int, n)
+	for i := range adj {
+		for j := range adj[i] {
+			if adj[i][j] {
+				deg[i]++
+			}
+		}
+	}
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return deg[order[a]] > deg[order[b]] })
+
+	best := 1
+	for _, seed := range order {
+		if deg[seed]+1 <= best {
+			break // degree-sorted: no later seed can beat the incumbent
+		}
+		clique := []int{seed}
+		for _, cand := range order {
+			if cand == seed {
+				continue
+			}
+			ok := true
+			for _, c := range clique {
+				if !adj[cand][c] {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				clique = append(clique, cand)
+			}
+		}
+		if len(clique) > best {
+			best = len(clique)
+		}
+	}
+	return best
+}

@@ -1,0 +1,87 @@
+package coloring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/instance"
+	"repro/internal/power"
+	"repro/internal/sinr"
+)
+
+func TestConflictGraphSymmetric(t *testing.T) {
+	m := sinr.Default()
+	in, err := instance.Clustered(rand.New(rand.NewSource(1)), 20, 2, 10, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	powers := power.Powers(m, in, power.Sqrt())
+	adj := ConflictGraph(m, in, sinr.Bidirectional, powers)
+	for i := range adj {
+		if adj[i][i] {
+			t.Errorf("self conflict at %d", i)
+		}
+		for j := range adj {
+			if adj[i][j] != adj[j][i] {
+				t.Errorf("asymmetric conflict (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCliqueLowerBoundSeparatedPairs(t *testing.T) {
+	m := sinr.Default()
+	in, err := instance.LineChain(8, 1, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	powers := power.Powers(m, in, power.Uniform(1))
+	if got := CliqueLowerBound(m, in, sinr.Bidirectional, powers); got != 1 {
+		t.Errorf("separated pairs LB = %d, want 1", got)
+	}
+}
+
+func TestCliqueLowerBoundNestedUniform(t *testing.T) {
+	// Nested requests under uniform powers are pairwise infeasible, so the
+	// clique LB must be n.
+	m := sinr.Default()
+	in, err := instance.NestedExponential(10, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	powers := power.Powers(m, in, power.Uniform(1))
+	if got := CliqueLowerBound(m, in, sinr.Bidirectional, powers); got != 10 {
+		t.Errorf("nested uniform LB = %d, want 10", got)
+	}
+}
+
+// TestCliqueLowerBoundValidProperty: the LB never exceeds the colors of any
+// schedule produced under the same powers.
+func TestCliqueLowerBoundValidProperty(t *testing.T) {
+	m := sinr.Default()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in, err := instance.UniformRandom(r, 6+r.Intn(24), 120, 1, 8)
+		if err != nil {
+			return false
+		}
+		tau := r.Float64() * 1.2
+		powers := power.Powers(m, in, power.Exponent(tau))
+		for _, v := range []sinr.Variant{sinr.Directed, sinr.Bidirectional} {
+			lb := CliqueLowerBound(m, in, v, powers)
+			s, err := GreedyFirstFit(m, in, v, powers, nil)
+			if err != nil {
+				return false
+			}
+			if lb > s.NumColors() {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(101))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

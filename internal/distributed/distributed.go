@@ -1,0 +1,197 @@
+// Package distributed implements a slotted, fully distributed contention
+// protocol for the bidirectional interference scheduling problem under an
+// oblivious power assignment — an experimental answer to the open question
+// of Section 6 of the paper ("is there a distributed coloring procedure
+// with the same kind of performance guarantee?").
+//
+// Oblivious assignments need no coordination to pick powers; the only
+// remaining coordination problem is who transmits when. The protocol is a
+// classic decay scheme: in every slot each pending request transmits with
+// its current probability; a transmission succeeds if its SINR constraint
+// holds against all simultaneously transmitting requests, and failures
+// back off multiplicatively. The slot of first success is the request's
+// color, so the produced schedule is feasible by construction (removing
+// failed transmitters from a slot only lowers interference).
+package distributed
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/power"
+	"repro/internal/problem"
+	"repro/internal/sinr"
+)
+
+// Protocol configures the contention scheme. The zero value is invalid;
+// use Default.
+type Protocol struct {
+	// Assignment is the oblivious power assignment every node applies
+	// locally (the paper's motivation for obliviousness).
+	Assignment power.Assignment
+	// InitialProb is the transmission probability of a fresh request.
+	InitialProb float64
+	// Backoff multiplies a request's probability after a failed attempt
+	// (0 < Backoff ≤ 1).
+	Backoff float64
+	// MinProb floors the transmission probability.
+	MinProb float64
+	// MaxSlots aborts the simulation (0 means 64·n + 1024).
+	MaxSlots int
+}
+
+// Default returns the protocol parameters used by the experiments: square
+// root powers, initial probability 1/2, halving backoff, floor 1/64.
+func Default() Protocol {
+	return Protocol{
+		Assignment:  power.Sqrt(),
+		InitialProb: 0.5,
+		Backoff:     0.5,
+		MinProb:     1.0 / 64,
+	}
+}
+
+// Result reports one protocol run.
+type Result struct {
+	// Schedule is the feasible schedule induced by the success slots
+	// (colors compressed to be contiguous).
+	Schedule *problem.Schedule
+	// Slots is the number of contention slots until the last success; the
+	// distributed analogue of the schedule length.
+	Slots int
+	// Attempts is the total number of transmission attempts.
+	Attempts int
+	// Failures is the number of failed attempts.
+	Failures int
+}
+
+// ErrSlotsExhausted is returned when the protocol fails to drain the
+// request set within MaxSlots (pathological parameters).
+var ErrSlotsExhausted = errors.New("distributed: slot budget exhausted")
+
+// Run simulates the protocol on a bidirectional instance.
+func (p Protocol) Run(m sinr.Model, in *problem.Instance, rng *rand.Rand) (*Result, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if rng == nil {
+		return nil, errors.New("distributed: nil rng")
+	}
+	if p.Assignment == nil {
+		return nil, errors.New("distributed: nil assignment")
+	}
+	if !(p.InitialProb > 0 && p.InitialProb <= 1) {
+		return nil, fmt.Errorf("distributed: initial probability %g outside (0,1]", p.InitialProb)
+	}
+	if !(p.Backoff > 0 && p.Backoff <= 1) {
+		return nil, fmt.Errorf("distributed: backoff %g outside (0,1]", p.Backoff)
+	}
+	if !(p.MinProb > 0 && p.MinProb <= p.InitialProb) {
+		return nil, fmt.Errorf("distributed: min probability %g outside (0, initial]", p.MinProb)
+	}
+	maxSlots := p.MaxSlots
+	if maxSlots <= 0 {
+		maxSlots = 64*in.N() + 1024
+	}
+
+	powers := power.Powers(m, in, p.Assignment)
+	s := problem.NewSchedule(in.N())
+	copy(s.Powers, powers)
+
+	prob := make([]float64, in.N())
+	pending := make([]int, 0, in.N())
+	for i := range prob {
+		prob[i] = p.InitialProb
+		pending = append(pending, i)
+	}
+
+	res := &Result{}
+	var successSlots []int // slot of success per request (parallel to Colors)
+	successSlots = make([]int, in.N())
+
+	slot := 0
+	for ; len(pending) > 0 && slot < maxSlots; slot++ {
+		// Each pending request independently decides to transmit.
+		var active []int
+		for _, i := range pending {
+			if rng.Float64() < prob[i] {
+				active = append(active, i)
+			}
+		}
+		if len(active) == 0 {
+			continue
+		}
+		res.Attempts += len(active)
+		// A transmission succeeds if its own SINR constraint holds against
+		// the full active set (success is a local property: each endpoint
+		// decodes or it does not).
+		var succeeded []int
+		for _, i := range active {
+			if m.RequestFeasible(in, sinr.Bidirectional, powers, active, i) {
+				succeeded = append(succeeded, i)
+			}
+		}
+		res.Failures += len(active) - len(succeeded)
+		if len(succeeded) == 0 {
+			for _, i := range active {
+				if prob[i] *= p.Backoff; prob[i] < p.MinProb {
+					prob[i] = p.MinProb
+				}
+			}
+			continue
+		}
+		done := make(map[int]bool, len(succeeded))
+		for _, i := range succeeded {
+			done[i] = true
+			successSlots[i] = slot
+		}
+		next := pending[:0]
+		for _, i := range pending {
+			if !done[i] {
+				next = append(next, i)
+				if contains(active, i) {
+					if prob[i] *= p.Backoff; prob[i] < p.MinProb {
+						prob[i] = p.MinProb
+					}
+				}
+			}
+		}
+		pending = next
+		res.Slots = slot + 1
+	}
+	if len(pending) > 0 {
+		return nil, fmt.Errorf("%w: %d requests pending after %d slots", ErrSlotsExhausted, len(pending), maxSlots)
+	}
+
+	// Compress success slots into contiguous colors.
+	slotColor := make(map[int]int)
+	for _, sl := range successSlots {
+		if _, ok := slotColor[sl]; !ok {
+			slotColor[sl] = 0
+		}
+	}
+	ordered := make([]int, 0, len(slotColor))
+	for sl := range slotColor {
+		ordered = append(ordered, sl)
+	}
+	sort.Ints(ordered)
+	for c, sl := range ordered {
+		slotColor[sl] = c
+	}
+	for i := range s.Colors {
+		s.Colors[i] = slotColor[successSlots[i]]
+	}
+	res.Schedule = s
+	return res, nil
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

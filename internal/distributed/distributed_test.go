@@ -1,0 +1,161 @@
+package distributed
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/instance"
+	"repro/internal/power"
+	"repro/internal/sinr"
+)
+
+func TestDefaultParameters(t *testing.T) {
+	p := Default()
+	if p.Assignment == nil || p.Assignment.Name() != "sqrt" {
+		t.Error("default assignment should be sqrt")
+	}
+	if p.InitialProb <= 0 || p.Backoff <= 0 || p.MinProb <= 0 {
+		t.Error("default probabilities must be positive")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	m := sinr.Default()
+	in, err := instance.LineChain(4, 1, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := (Protocol{}).Run(m, in, rng); err == nil {
+		t.Error("zero-value protocol should fail")
+	}
+	p := Default()
+	if _, err := p.Run(m, in, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+	p = Default()
+	p.InitialProb = 2
+	if _, err := p.Run(m, in, rng); err == nil {
+		t.Error("probability > 1 should fail")
+	}
+	p = Default()
+	p.Backoff = 0
+	if _, err := p.Run(m, in, rng); err == nil {
+		t.Error("zero backoff should fail")
+	}
+	p = Default()
+	p.MinProb = 1
+	p.InitialProb = 0.5
+	if _, err := p.Run(m, in, rng); err == nil {
+		t.Error("min probability above initial should fail")
+	}
+}
+
+func TestProtocolDrainsAndValidates(t *testing.T) {
+	m := sinr.Default()
+	in, err := instance.UniformRandom(rand.New(rand.NewSource(2)), 40, 200, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Default().Run(m, in, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Schedule.Complete() {
+		t.Fatal("incomplete schedule")
+	}
+	if err := m.CheckSchedule(in, sinr.Bidirectional, res.Schedule); err != nil {
+		t.Errorf("invalid distributed schedule: %v", err)
+	}
+	if res.Slots < res.Schedule.NumColors() {
+		t.Errorf("slots %d below colors %d", res.Slots, res.Schedule.NumColors())
+	}
+	if res.Attempts < in.N() {
+		t.Errorf("attempts %d below n", res.Attempts)
+	}
+	if res.Failures != res.Attempts-countSuccesses(res) {
+		t.Errorf("failure accounting inconsistent: %d attempts, %d failures", res.Attempts, res.Failures)
+	}
+}
+
+// countSuccesses: every request succeeds exactly once.
+func countSuccesses(res *Result) int { return len(res.Schedule.Colors) }
+
+func TestProtocolSingleRequest(t *testing.T) {
+	m := sinr.Default()
+	in, err := instance.LineChain(1, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Default().Run(m, in, rand.New(rand.NewSource(4)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Schedule.NumColors() != 1 {
+		t.Errorf("colors = %d, want 1", res.Schedule.NumColors())
+	}
+}
+
+func TestSlotBudgetExhausted(t *testing.T) {
+	m := sinr.Default()
+	// The nested instance under uniform powers allows only one request per
+	// slot; with a tiny slot budget the protocol cannot drain.
+	in, err := instance.NestedExponential(16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Default()
+	p.Assignment = power.Uniform(1)
+	p.MaxSlots = 2
+	_, err = p.Run(m, in, rand.New(rand.NewSource(5)))
+	if !errors.Is(err, ErrSlotsExhausted) {
+		t.Errorf("error = %v, want ErrSlotsExhausted", err)
+	}
+}
+
+func TestDeterministicGivenSeed(t *testing.T) {
+	m := sinr.Default()
+	in, err := instance.UniformRandom(rand.New(rand.NewSource(6)), 20, 150, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Default().Run(m, in, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Default().Run(m, in, rand.New(rand.NewSource(7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Slots != b.Slots || a.Attempts != b.Attempts {
+		t.Error("protocol not deterministic for a fixed seed")
+	}
+}
+
+// TestProtocolValidityProperty: the protocol always produces valid
+// bidirectional schedules across random workloads and assignments.
+func TestProtocolValidityProperty(t *testing.T) {
+	m := sinr.Default()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in, err := instance.UniformRandom(r, 4+r.Intn(24), 200, 1, 6)
+		if err != nil {
+			return false
+		}
+		p := Default()
+		if r.Intn(2) == 0 {
+			p.Assignment = power.Exponent(0.25 + r.Float64()*0.5)
+		}
+		res, err := p.Run(m, in, r)
+		if err != nil {
+			return false
+		}
+		return res.Schedule.Complete() && m.CheckSchedule(in, sinr.Bidirectional, res.Schedule) == nil
+	}
+	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(91))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

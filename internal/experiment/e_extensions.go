@@ -1,0 +1,258 @@
+package experiment
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/coloring"
+	"repro/internal/distributed"
+	"repro/internal/geom"
+	"repro/internal/hst"
+	"repro/internal/power"
+	"repro/internal/sinr"
+	"repro/internal/topology"
+	"repro/internal/treestar"
+)
+
+// E11Distributed addresses the open question of Section 6: a fully
+// distributed decay protocol under the square root assignment is compared
+// against the centralized greedy coloring. The "price of distribution" is
+// the ratio of contention slots to centralized colors.
+func E11Distributed(cfg Config) (*Table, error) {
+	m := sinr.Default()
+	t := &Table{
+		ID:      "E11",
+		Title:   "Section 6 open question: distributed decay protocol vs centralized coloring (sqrt powers)",
+		Columns: []string{"workload", "n", "central colors", "dist slots", "price", "attempts/req", "valid"},
+		Notes: []string{
+			"price = distributed slots / centralized colors; expected shape: a logarithmic-in-n factor, not a polynomial one",
+		},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 11))
+	sizes := cfg.sizes([]int{32, 64, 128, 256}, []int{16, 32})
+	trials := cfg.trials(3)
+	for _, kind := range []string{"uniform", "clustered"} {
+		for _, n := range sizes {
+			var (
+				colorSum, slotSum, attempts float64
+				valid                       = "yes"
+			)
+			for trial := 0; trial < trials; trial++ {
+				in, err := randomWorkload(rng, kind, n)
+				if err != nil {
+					return nil, err
+				}
+				powers := power.Powers(m, in, power.Sqrt())
+				g, err := coloring.GreedyFirstFit(m, in, sinr.Bidirectional, powers, nil)
+				if err != nil {
+					return nil, err
+				}
+				res, err := distributed.Default().Run(m, in, rng)
+				if err != nil {
+					return nil, err
+				}
+				if err := m.CheckSchedule(in, sinr.Bidirectional, res.Schedule); err != nil {
+					valid = "NO"
+				}
+				colorSum += float64(g.NumColors())
+				slotSum += float64(res.Slots)
+				attempts += float64(res.Attempts) / float64(n)
+			}
+			k := float64(trials)
+			t.AddRow(kind, Itoa(n), Ftoa(colorSum/k, 1), Ftoa(slotSum/k, 1),
+				Ftoa(slotSum/math.Max(colorSum, 1), 1), Ftoa(attempts/k, 1), valid)
+		}
+	}
+	return t, nil
+}
+
+// E12AspectRatio reproduces the related-work observation (Section 1.3 and
+// [5]) that the linear assignment's performance degrades with the aspect
+// ratio Γ of the instance while the square root assignment does not: on
+// geometric chains with growing length ratios, colors under τ=1 track
+// log Γ whereas τ=0.5 stays flat.
+func E12AspectRatio(cfg Config) (*Table, error) {
+	m := sinr.Default()
+	t := &Table{
+		ID:      "E12",
+		Title:   "Aspect-ratio dependence: linear vs sqrt on geometric chains (bidirectional)",
+		Columns: []string{"ratio", "n", "log2 Γ", "uniform", "linear", "sqrt"},
+		Notes: []string{
+			"Γ is the instance aspect ratio; expected shape: the linear and uniform columns grow with log Γ, sqrt stays near-constant",
+		},
+	}
+	n := 48
+	if cfg.Quick {
+		n = 16
+	}
+	for _, ratio := range []float64{1.2, 1.5, 2, 3, 4} {
+		in, err := topology.ExponentialChain(n, ratio)
+		if err != nil {
+			return nil, err
+		}
+		aspect := geom.AspectRatio(in.Space)
+		cells := []string{Ftoa(ratio, 1), Itoa(n), Ftoa(math.Log2(aspect), 1)}
+		for _, a := range []power.Assignment{power.Uniform(1), power.Linear(), power.Sqrt()} {
+			powers := power.Powers(m, in, a)
+			s, err := coloring.GreedyFirstFit(m, in, sinr.Bidirectional, powers, nil)
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, Itoa(s.NumColors()))
+		}
+		t.AddRow(cells...)
+	}
+	return t, nil
+}
+
+// E13Connectivity reproduces the strong-connectivity workload that
+// motivated the field (Moscibroda–Wattenhofer, Section 1.3): schedule the
+// MST edges of random point sets. The degree of the tree lower-bounds any
+// schedule; the square root assignment stays within a small factor of it.
+func E13Connectivity(cfg Config) (*Table, error) {
+	m := sinr.Default()
+	t := &Table{
+		ID:      "E13",
+		Title:   "Strong connectivity (Section 1.3): scheduling MST edges of random point sets",
+		Columns: []string{"points", "edges", "degree LB", "uniform", "linear", "sqrt", "sqrt LP"},
+		Notes: []string{
+			"degree LB: requests sharing a node can never share a slot; expected shape: sqrt within a small factor of the LB and not degrading with n",
+		},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 13))
+	sizes := cfg.sizes([]int{32, 64, 128, 256}, []int{16, 32})
+	for _, n := range sizes {
+		in, err := topology.ConnectivityInstance(rng, n, 1000)
+		if err != nil {
+			return nil, err
+		}
+		deg := topology.MaxDegree(in.Space, in.Reqs)
+		cells := []string{Itoa(n), Itoa(in.N()), Itoa(deg)}
+		for _, a := range []power.Assignment{power.Uniform(1), power.Linear(), power.Sqrt()} {
+			powers := power.Powers(m, in, a)
+			s, err := coloring.GreedyFirstFit(m, in, sinr.Bidirectional, powers, nil)
+			if err != nil {
+				return nil, err
+			}
+			if err := m.CheckSchedule(in, sinr.Bidirectional, s); err != nil {
+				return nil, err
+			}
+			cells = append(cells, Itoa(s.NumColors()))
+		}
+		lpS, _, err := coloring.SqrtLPColoring(m, in, rng)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.CheckSchedule(in, sinr.Bidirectional, lpS); err != nil {
+			return nil, err
+		}
+		cells = append(cells, Itoa(lpS.NumColors()))
+		t.AddRow(cells...)
+	}
+	return t, nil
+}
+
+// E14Ablations quantifies the design choices DESIGN.md calls out: the LP
+// maximality pass, the rounding divisor κ, the thinning victim heuristic,
+// the pipeline's star-selection mode, and the number of FRT trees.
+func E14Ablations(cfg Config) (*Table, error) {
+	m := sinr.Default()
+	t := &Table{
+		ID:      "E14",
+		Title:   "Ablations: LP maximality, rounding κ, thinning heuristic, pipeline mode, FRT count",
+		Columns: []string{"ablation", "variant", "metric", "value"},
+		Notes: []string{
+			"single clustered workload per group (seeded); lower is better for colors, higher for retained/kept",
+		},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 14))
+	n := 96
+	if cfg.Quick {
+		n = 32
+	}
+	in, err := randomWorkload(rng, "clustered", n)
+	if err != nil {
+		return nil, err
+	}
+
+	// A1: LP maximality pass on/off; A2: rounding divisor κ.
+	for _, v := range []struct {
+		name string
+		opts coloring.LPOptions
+	}{
+		{name: "default (κ=2, maximality on)", opts: coloring.LPOptions{}},
+		{name: "maximality off", opts: coloring.LPOptions{DisableMaximality: true}},
+		{name: "κ=1", opts: coloring.LPOptions{Kappa: 1}},
+		{name: "κ=8", opts: coloring.LPOptions{Kappa: 8}},
+	} {
+		s, _, err := coloring.SqrtLPColoringOpts(m, in, rand.New(rand.NewSource(cfg.Seed)), v.opts)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("LP coloring", v.name, "colors", Itoa(s.NumColors()))
+	}
+
+	// A3: thinning victim heuristic at β'/β = 8.
+	powers := power.Powers(m, in, power.Sqrt())
+	base := coloring.MaxFeasibleSubsetGreedy(m, in, sinr.Bidirectional, powers, nil)
+	for _, strat := range []coloring.ThinStrategy{
+		coloring.ThinWorstOffender, coloring.ThinWorstMargin, coloring.ThinRandom,
+	} {
+		sub, err := coloring.ThinToGainStrategy(m, in, sinr.Bidirectional, powers, base,
+			8*m.Beta, strat, rand.New(rand.NewSource(cfg.Seed)))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("thinning β'/β=8", strat.String(), "retained frac",
+			Ftoa(float64(len(sub))/float64(len(base)), 3))
+	}
+
+	// A4: pipeline star-selection mode.
+	for _, v := range []struct {
+		name string
+		p    treestar.Pipeline
+	}{
+		{name: "light stars (default)", p: treestar.Pipeline{}},
+		{name: "faithful Lemma 5 stars", p: treestar.Pipeline{Faithful: true}},
+	} {
+		class, _, err := v.p.Run(m, in, rand.New(rand.NewSource(cfg.Seed)))
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow("pipeline", v.name, "first-class size", Itoa(len(class)))
+	}
+
+	// A5: number of FRT trees vs best-core coverage.
+	sub, err := geom.NewSub(in.Space, allEndpointNodes(in.N()))
+	if err != nil {
+		return nil, err
+	}
+	logN := int(math.Ceil(math.Log2(float64(sub.N()))))
+	for _, r := range []int{1, logN, 2 * logN} {
+		if r < 1 {
+			r = 1
+		}
+		en, err := hst.BuildEnsemble(sub, r, 0, rand.New(rand.NewSource(cfg.Seed)))
+		if err != nil {
+			return nil, err
+		}
+		all := make([]int, sub.N())
+		for i := range all {
+			all[i] = i
+		}
+		_, core := en.BestCoreTree(all)
+		t.AddRow("FRT ensemble", "r="+Itoa(r), "best core frac",
+			Ftoa(float64(len(core))/float64(sub.N()), 2))
+	}
+	return t, nil
+}
+
+// allEndpointNodes returns node ids 0..2n-1 (the generators place request
+// endpoints at consecutive indices).
+func allEndpointNodes(n int) []int {
+	out := make([]int, 2*n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

@@ -1,0 +1,129 @@
+package experiment
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/hst"
+	"repro/internal/sinr"
+	"repro/internal/star"
+)
+
+// E6TreeEmbedding reproduces Lemma 6's shape: sampling r = O(log n) FRT
+// trees over a random point set yields metrics that dominate the original
+// (always) and, for most nodes, stretch all distances by at most a
+// logarithmic factor, so the best core covers nearly all nodes.
+func E6TreeEmbedding(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E6",
+		Title:   "Lemma 6: FRT tree ensembles — domination, stretch, core coverage",
+		Columns: []string{"n", "trees r", "dominates", "avg stretch", "bound", "avg good frac", "best core"},
+		Notes: []string{
+			"expected shape: dominates = all; avg stretch = O(log n); good fraction ≥ 0.9ish; best core ≈ n",
+		},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 6))
+	sizes := cfg.sizes([]int{32, 64, 128, 256}, []int{32})
+	for _, n := range sizes {
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{rng.Float64() * 1000, rng.Float64() * 1000}
+		}
+		base, err := geom.NewEuclidean(pts)
+		if err != nil {
+			return nil, err
+		}
+		r := int(math.Ceil(math.Log2(float64(n)))) + 2
+		en, err := hst.BuildEnsemble(base, r, 0, rng)
+		if err != nil {
+			return nil, err
+		}
+		dominated := 0
+		var stretches []float64
+		for _, tree := range en.Trees {
+			if tree.Dominates() {
+				dominated++
+			}
+			for v := 0; v < n; v++ {
+				stretches = append(stretches, tree.Stretch(v))
+			}
+		}
+		var goodSum float64
+		for v := 0; v < n; v++ {
+			goodSum += en.GoodTreeFraction(v)
+		}
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		_, core := en.BestCoreTree(all)
+		domCell := Itoa(dominated) + "/" + Itoa(r)
+		t.AddRow(Itoa(n), Itoa(r), domCell, Ftoa(Mean(stretches), 1),
+			Ftoa(en.StretchBound, 1), Ftoa(goodSum/float64(n), 2),
+			Itoa(len(core))+"/"+Itoa(n))
+	}
+	return t, nil
+}
+
+// E7StarSelection reproduces Lemma 5's shape: on β'-feasible random stars,
+// the constructive selection keeps the nodes β-feasible under the square
+// root assignment while dropping a fraction that scales like (β/β')^{2/3}.
+func E7StarSelection(cfg Config) (*Table, error) {
+	m := sinr.Default()
+	t := &Table{
+		ID:      "E7",
+		Title:   "Lemma 5: star selection under the sqrt assignment",
+		Columns: []string{"n", "β'/β", "dropped frac", "predicted", "markov", "interf", "crowd", "repair", "feasible"},
+		Notes: []string{
+			"predicted = min(0.9, ((2^α+1)·β/β')^{2/3}): the Lemma 5 drop rate including the β''=(2^α+1)β constant of Section 4.4",
+			"expected shape: dropped fraction tracks the prediction and shrinks as β'/β grows",
+		},
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed + 7))
+	sizes := cfg.sizes([]int{128, 256}, []int{64})
+	trials := cfg.trials(3)
+	for _, n := range sizes {
+		for _, ratio := range []float64{8, 64, 512} {
+			var dropped []float64
+			stats := &star.SelectStats{}
+			feasible := true
+			for trial := 0; trial < trials; trial++ {
+				st, err := star.Random(rng, m, n, 1000, 0.5, 50)
+				if err != nil {
+					return nil, err
+				}
+				betaPrime := st.OptimalGain(m) * 0.9
+				if !(betaPrime > 0) || math.IsInf(betaPrime, 1) {
+					continue
+				}
+				beta := betaPrime / ratio
+				kept, s, err := star.Select(m, st, betaPrime, beta)
+				if err != nil {
+					return nil, err
+				}
+				if !st.Feasible(m, beta, st.SqrtPowers(), kept) {
+					feasible = false
+				}
+				dropped = append(dropped, float64(n-len(kept))/float64(n))
+				stats.DroppedMarkov += s.DroppedMarkov
+				stats.DroppedInterference += s.DroppedInterference
+				stats.DroppedCrowding += s.DroppedCrowding
+				stats.DroppedRepair += s.DroppedRepair
+			}
+			feas := "yes"
+			if !feasible {
+				feas = "NO"
+			}
+			pred := math.Pow((math.Pow(2, m.Alpha)+1)/ratio, 2.0/3.0)
+			if pred > 0.9 {
+				pred = 0.9
+			}
+			t.AddRow(Itoa(n), Ftoa(ratio, 0), Ftoa(Mean(dropped), 3),
+				Ftoa(pred, 3),
+				Itoa(stats.DroppedMarkov), Itoa(stats.DroppedInterference),
+				Itoa(stats.DroppedCrowding), Itoa(stats.DroppedRepair), feas)
+		}
+	}
+	return t, nil
+}

@@ -1,0 +1,191 @@
+package experiment
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID:      "EX",
+		Title:   "demo",
+		Columns: []string{"a", "bb"},
+		Notes:   []string{"a note"},
+	}
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"EX — demo", "a    bb", "333", "note: a note"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := &Table{ID: "EX", Title: "demo", Columns: []string{"a", "b"}}
+	tab.AddRow("1", "2")
+	var buf bytes.Buffer
+	if err := tab.Markdown(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "| a | b |") || !strings.Contains(out, "| 1 | 2 |") {
+		t.Errorf("markdown output wrong:\n%s", out)
+	}
+}
+
+func TestAddRowPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	tab := &Table{Columns: []string{"a"}}
+	tab.AddRow("1", "2")
+}
+
+func TestFormatters(t *testing.T) {
+	if Itoa(42) != "42" {
+		t.Error("Itoa")
+	}
+	if Ftoa(1.25, 1) != "1.2" && Ftoa(1.25, 1) != "1.3" {
+		t.Errorf("Ftoa = %q", Ftoa(1.25, 1))
+	}
+	if Ftoa(math.Inf(1), 2) != "inf" {
+		t.Error("Ftoa inf")
+	}
+	if Ftoa(math.NaN(), 2) != "nan" {
+		t.Error("Ftoa nan")
+	}
+	if !strings.Contains(Etoa(12345), "e+04") {
+		t.Errorf("Etoa = %q", Etoa(12345))
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil)")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("Mean([1 2 3])")
+	}
+}
+
+func TestConfigHelpers(t *testing.T) {
+	full := []int{1, 2, 3}
+	quick := []int{1}
+	if got := (Config{}).sizes(full, quick); len(got) != 3 {
+		t.Error("full sizes")
+	}
+	if got := (Config{Quick: true}).sizes(full, quick); len(got) != 1 {
+		t.Error("quick sizes")
+	}
+	if (Config{Quick: true}).trials(5) != 1 || (Config{}).trials(5) != 5 {
+		t.Error("trials")
+	}
+}
+
+// TestAllExperimentsQuick runs every registered experiment in quick mode
+// and sanity-checks the tables. This is the repository's end-to-end smoke
+// test of the evaluation harness.
+func TestAllExperimentsQuick(t *testing.T) {
+	cfg := Config{Seed: 1, Quick: true}
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tab, err := e.Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tab.ID != e.ID {
+				t.Errorf("table id %q, want %q", tab.ID, e.ID)
+			}
+			if len(tab.Rows) == 0 {
+				t.Error("no rows")
+			}
+			for _, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Errorf("row width %d, want %d", len(row), len(tab.Columns))
+				}
+			}
+			var buf bytes.Buffer
+			if err := tab.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestE2Shape asserts the headline separation of the intro instance: the
+// sqrt column strictly dominates uniform and linear on the largest quick
+// size.
+func TestE2Shape(t *testing.T) {
+	tab, err := E2NestedSingleSlot(Config{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tab.Rows[len(tab.Rows)-1]
+	uniform, _ := strconv.Atoi(last[1])
+	linear, _ := strconv.Atoi(last[2])
+	sqrt, _ := strconv.Atoi(last[3])
+	if sqrt <= uniform || sqrt <= linear {
+		t.Errorf("sqrt %d should dominate uniform %d and linear %d", sqrt, uniform, linear)
+	}
+}
+
+// TestE8Shape asserts that τ=0.5 is the best column for the nested row.
+func TestE8Shape(t *testing.T) {
+	tab, err := E8ExponentSweep(Config{Seed: 1, Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := tab.Rows[0] // nested
+	if row[0] != "nested" {
+		t.Fatalf("first row is %q", row[0])
+	}
+	sqrtCol := 4 // workload, n, τ=0, τ=0.25, τ=0.5
+	best, _ := strconv.Atoi(row[sqrtCol])
+	for c := 2; c < len(row); c++ {
+		v, _ := strconv.Atoi(row[c])
+		if v < best {
+			t.Errorf("column %s = %d beats τ=0.5 = %d", tab.Columns[c], v, best)
+		}
+	}
+}
+
+func TestDoubleDirected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in, err := randomWorkload(rng, "uniform", 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doubled, err := DoubleDirected(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doubled.N() != 2*in.N() {
+		t.Fatalf("doubled N = %d, want %d", doubled.N(), 2*in.N())
+	}
+	for i := 0; i < in.N(); i++ {
+		fwd := doubled.Reqs[2*i]
+		rev := doubled.Reqs[2*i+1]
+		if fwd.U != in.Reqs[i].U || fwd.V != in.Reqs[i].V {
+			t.Errorf("forward request %d wrong", i)
+		}
+		if rev.U != in.Reqs[i].V || rev.V != in.Reqs[i].U {
+			t.Errorf("reverse request %d wrong", i)
+		}
+		if doubled.Length(2*i) != doubled.Length(2*i+1) {
+			t.Errorf("direction lengths differ for pair %d", i)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+// Package experiment implements the evaluation harness of the
+// reproduction: one experiment per quantitative claim of the paper
+// (E1–E15, see DESIGN.md), each producing an ASCII table that
+// cmd/experiments prints and EXPERIMENTS.md records. bench_test.go at the
+// repository root exposes one benchmark per experiment.
+package experiment
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID is the experiment identifier (e.g. "E1").
+	ID string
+	// Title describes the paper claim being reproduced.
+	Title string
+	// Columns are the column headers.
+	Columns []string
+	// Rows are the data cells.
+	Rows [][]string
+	// Notes are free-form footnotes (expected shape, caveats).
+	Notes []string
+}
+
+// AddRow appends a data row; the cell count must match the header.
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("experiment: row with %d cells for %d columns", len(cells), len(t.Columns)))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table in aligned ASCII form.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.Columns))
+	for j, c := range t.Columns {
+		widths[j] = utf8.RuneCountInString(c)
+	}
+	for _, row := range t.Rows {
+		for j, cell := range row {
+			if w := utf8.RuneCountInString(cell); w > widths[j] {
+				widths[j] = w
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	writeRow := func(cells []string) {
+		for j, cell := range cells {
+			if j > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[j]-utf8.RuneCountInString(cell)))
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	var total int
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	b.WriteString(strings.Repeat("-", total-2))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Markdown writes the table as a GitHub-flavored Markdown table.
+func (t *Table) Markdown(w io.Writer) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	b.WriteString("|" + strings.Repeat("---|", len(t.Columns)) + "\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "\n*%s*\n", n)
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Itoa formats an int cell.
+func Itoa(v int) string { return strconv.Itoa(v) }
+
+// Ftoa formats a float cell with the given number of decimals.
+func Ftoa(v float64, prec int) string {
+	if math.IsInf(v, 1) {
+		return "inf"
+	}
+	if math.IsNaN(v) {
+		return "nan"
+	}
+	return strconv.FormatFloat(v, 'f', prec, 64)
+}
+
+// Etoa formats a float cell in scientific notation.
+func Etoa(v float64) string {
+	return strconv.FormatFloat(v, 'e', 2, 64)
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Config controls experiment sizes and reproducibility.
+type Config struct {
+	// Seed drives all randomness; equal seeds give identical tables.
+	Seed int64
+	// Quick shrinks the workloads for benchmarks and CI smoke runs.
+	Quick bool
+}
+
+// sizes returns full when Quick is unset, quick otherwise.
+func (c Config) sizes(full, quick []int) []int {
+	if c.Quick {
+		return quick
+	}
+	return full
+}
+
+// trials returns the number of repetitions per configuration.
+func (c Config) trials(full int) int {
+	if c.Quick {
+		return 1
+	}
+	return full
+}
+
+// Runner is the signature every experiment implements.
+type Runner func(Config) (*Table, error)
+
+// All returns the experiment registry in order E1..E19.
+func All() []struct {
+	ID  string
+	Run Runner
+} {
+	return []struct {
+		ID  string
+		Run Runner
+	}{
+		{ID: "E1", Run: E1DirectedLowerBound},
+		{ID: "E2", Run: E2NestedSingleSlot},
+		{ID: "E3", Run: E3SqrtPolylog},
+		{ID: "E4", Run: E4LPColoring},
+		{ID: "E5", Run: E5GainScaling},
+		{ID: "E6", Run: E6TreeEmbedding},
+		{ID: "E7", Run: E7StarSelection},
+		{ID: "E8", Run: E8ExponentSweep},
+		{ID: "E9", Run: E9DirectedVsBidirectional},
+		{ID: "E10", Run: E10Energy},
+		{ID: "E11", Run: E11Distributed},
+		{ID: "E12", Run: E12AspectRatio},
+		{ID: "E13", Run: E13Connectivity},
+		{ID: "E14", Run: E14Ablations},
+		{ID: "E15", Run: E15MultihopLatency},
+		{ID: "E16", Run: E16OnlineArrivals},
+		{ID: "E17", Run: E17GridBaseline},
+		{ID: "E18", Run: E18ModelSensitivity},
+		{ID: "E19", Run: E19SymmetricAsymmetric},
+	}
+}

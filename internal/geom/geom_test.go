@@ -1,0 +1,323 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEuclideanValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		pts     [][]float64
+		wantErr bool
+	}{
+		{name: "empty", pts: nil, wantErr: true},
+		{name: "zero dim", pts: [][]float64{{}}, wantErr: true},
+		{name: "mismatched dims", pts: [][]float64{{1, 2}, {1}}, wantErr: true},
+		{name: "valid 1d", pts: [][]float64{{0}, {1}}, wantErr: false},
+		{name: "valid 3d", pts: [][]float64{{0, 0, 0}, {1, 2, 3}}, wantErr: false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewEuclidean(tc.pts)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("NewEuclidean(%v) error = %v, wantErr %v", tc.pts, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestEuclideanDist(t *testing.T) {
+	e, err := NewEuclidean([][]float64{{0, 0}, {3, 4}, {0, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Dist(0, 1); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Dist(0,1) = %g, want 5", got)
+	}
+	if got := e.Dist(1, 0); math.Abs(got-5) > 1e-12 {
+		t.Errorf("Dist(1,0) = %g, want 5 (symmetry)", got)
+	}
+	if got := e.Dist(0, 2); got != 0 {
+		t.Errorf("Dist of coincident points = %g, want 0", got)
+	}
+	if got := e.Dist(1, 1); got != 0 {
+		t.Errorf("Dist(i,i) = %g, want 0", got)
+	}
+}
+
+func TestEuclideanPointIsCopy(t *testing.T) {
+	e, err := NewEuclidean([][]float64{{1, 2}, {3, 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := e.Point(0)
+	p[0] = 99
+	if e.Dist(0, 1) != math.Hypot(2, 2) {
+		t.Error("mutating the returned point changed the metric")
+	}
+}
+
+func TestLine(t *testing.T) {
+	l, err := NewLine([]float64{-2, 0, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := l.Dist(0, 2); got != 7 {
+		t.Errorf("Dist(0,2) = %g, want 7", got)
+	}
+	if got := l.Coord(1); got != 0 {
+		t.Errorf("Coord(1) = %g, want 0", got)
+	}
+	if _, err := NewLine(nil); err == nil {
+		t.Error("NewLine(nil) should fail")
+	}
+}
+
+func TestNewMatrixValidation(t *testing.T) {
+	tests := []struct {
+		name    string
+		d       [][]float64
+		wantErr bool
+	}{
+		{name: "empty", d: nil, wantErr: true},
+		{name: "ragged", d: [][]float64{{0, 1}, {1}}, wantErr: true},
+		{name: "nonzero diag", d: [][]float64{{1}}, wantErr: true},
+		{name: "negative", d: [][]float64{{0, -1}, {-1, 0}}, wantErr: true},
+		{name: "asymmetric", d: [][]float64{{0, 1}, {2, 0}}, wantErr: true},
+		{name: "valid", d: [][]float64{{0, 1}, {1, 0}}, wantErr: false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewMatrix(tc.d)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("NewMatrix error = %v, wantErr %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestStar(t *testing.T) {
+	s, err := NewStar([]float64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Dist(0, 2); got != 4 {
+		t.Errorf("Dist(0,2) = %g, want 4", got)
+	}
+	if got := s.Dist(1, 1); got != 0 {
+		t.Errorf("Dist(1,1) = %g, want 0", got)
+	}
+	if got := s.Radius(1); got != 2 {
+		t.Errorf("Radius(1) = %g, want 2", got)
+	}
+	if err := ValidateTriangle(s); err != nil {
+		t.Errorf("star metric should satisfy the triangle inequality: %v", err)
+	}
+	if _, err := NewStar([]float64{1, 0}); err == nil {
+		t.Error("zero radius should be rejected")
+	}
+	if _, err := NewStar([]float64{1, math.Inf(1)}); err == nil {
+		t.Error("infinite radius should be rejected")
+	}
+}
+
+func TestTreePathDistances(t *testing.T) {
+	// Path 0 -1- 1 -2- 2 -4- 3.
+	tr, err := NewTree(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range [][3]float64{{0, 1, 1}, {1, 2, 2}, {2, 3, 4}} {
+		if err := tr.AddEdge(int(e[0]), int(e[1]), e[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]float64{
+		{0, 1, 3, 7},
+		{1, 0, 2, 6},
+		{3, 2, 0, 4},
+		{7, 6, 4, 0},
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if got := tr.Dist(i, j); math.Abs(got-want[i][j]) > 1e-12 {
+				t.Errorf("Dist(%d,%d) = %g, want %g", i, j, got, want[i][j])
+			}
+		}
+	}
+}
+
+func TestTreeStarTopology(t *testing.T) {
+	// Star with center 0 and leaves 1..4.
+	tr, err := NewTree(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for leaf := 1; leaf < 5; leaf++ {
+		if err := tr.AddEdge(0, leaf, float64(leaf)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Dist(1, 4); got != 5 {
+		t.Errorf("Dist(1,4) = %g, want 5", got)
+	}
+	nodes, weights := tr.Neighbors(0)
+	if len(nodes) != 4 || len(weights) != 4 {
+		t.Errorf("Neighbors(0) returned %d nodes, want 4", len(nodes))
+	}
+}
+
+func TestTreeErrors(t *testing.T) {
+	tr, err := NewTree(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AddEdge(0, 0, 1); err == nil {
+		t.Error("self-loop should be rejected")
+	}
+	if err := tr.AddEdge(0, 5, 1); err == nil {
+		t.Error("out-of-range edge should be rejected")
+	}
+	if err := tr.AddEdge(0, 1, -1); err == nil {
+		t.Error("negative weight should be rejected")
+	}
+	if err := tr.Finalize(); err == nil {
+		t.Error("Finalize with missing edges should fail")
+	}
+	// Disconnected: 2 edges among {0,1} duplicated.
+	tr2, _ := NewTree(3)
+	_ = tr2.AddEdge(0, 1, 1)
+	_ = tr2.AddEdge(0, 1, 1)
+	if err := tr2.Finalize(); err == nil {
+		t.Error("Finalize of a multigraph should fail")
+	}
+	if _, err := NewTree(0); err == nil {
+		t.Error("NewTree(0) should fail")
+	}
+}
+
+func TestTreeAddEdgeAfterFinalize(t *testing.T) {
+	tr, _ := NewTree(2)
+	_ = tr.AddEdge(0, 1, 1)
+	if err := tr.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.AddEdge(0, 1, 1); err == nil {
+		t.Error("AddEdge after Finalize should fail")
+	}
+}
+
+func TestSub(t *testing.T) {
+	l, _ := NewLine([]float64{0, 1, 4, 9})
+	s, err := NewSub(l, []int{3, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 2 {
+		t.Fatalf("N = %d, want 2", s.N())
+	}
+	if got := s.Dist(0, 1); got != 8 {
+		t.Errorf("Dist(0,1) = %g, want 8", got)
+	}
+	if got := s.Base(0); got != 3 {
+		t.Errorf("Base(0) = %d, want 3", got)
+	}
+	if _, err := NewSub(l, []int{7}); err == nil {
+		t.Error("out-of-range node should be rejected")
+	}
+	if _, err := NewSub(l, nil); err == nil {
+		t.Error("empty sub-metric should be rejected")
+	}
+}
+
+func TestMinMaxAspect(t *testing.T) {
+	l, _ := NewLine([]float64{0, 1, 10})
+	if got := MinDist(l); got != 1 {
+		t.Errorf("MinDist = %g, want 1", got)
+	}
+	if got := MaxDist(l); got != 10 {
+		t.Errorf("MaxDist = %g, want 10", got)
+	}
+	if got := AspectRatio(l); got != 10 {
+		t.Errorf("AspectRatio = %g, want 10", got)
+	}
+	dup, _ := NewLine([]float64{0, 0, 1})
+	if got := AspectRatio(dup); !math.IsInf(got, 1) {
+		t.Errorf("AspectRatio with coincident nodes = %g, want +Inf", got)
+	}
+}
+
+func TestValidateTriangleRejects(t *testing.T) {
+	// 0-1 and 1-2 are short but 0-2 is long: violates the triangle
+	// inequality.
+	m, err := NewMatrix([][]float64{
+		{0, 1, 10},
+		{1, 0, 1},
+		{10, 1, 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateTriangle(m); err == nil {
+		t.Error("expected a triangle inequality violation")
+	}
+}
+
+// TestEuclideanTriangleProperty checks the triangle inequality on random
+// Euclidean point sets.
+func TestEuclideanTriangleProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(8)
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{r.NormFloat64() * 10, r.NormFloat64() * 10}
+		}
+		e, err := NewEuclidean(pts)
+		if err != nil {
+			return false
+		}
+		return ValidateTriangle(e) == nil
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTreeDistanceMetricProperty checks symmetry and the triangle
+// inequality on random trees.
+func TestTreeDistanceMetricProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(20)
+		tr, err := NewTree(n)
+		if err != nil {
+			return false
+		}
+		for v := 1; v < n; v++ {
+			p := r.Intn(v)
+			if err := tr.AddEdge(p, v, 0.1+r.Float64()*5); err != nil {
+				return false
+			}
+		}
+		if err := tr.Finalize(); err != nil {
+			return false
+		}
+		return ValidateTriangle(tr) == nil
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(2))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,301 @@
+// Package hst implements the tree-embedding machinery behind Lemma 6 of the
+// paper (adapted from Gupta, Hajiaghayi and Räcke, "Oblivious network
+// design"): randomized hierarchically separated trees in the style of
+// Fakcharoenphol–Rao–Talwar whose shortest-path metric dominates the
+// original metric, sampled O(log n) times so that for every node a constant
+// fraction of the trees stretches all of its distances by at most a
+// logarithmic factor (the node's "core" trees).
+package hst
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+
+	"repro/internal/geom"
+)
+
+// Embedding is one random HST over the nodes of a base metric.
+type Embedding struct {
+	base geom.Metric
+	// level[i][u] is the cluster id of node u at level i; level 0 has
+	// singleton clusters, the top level one cluster.
+	level [][]int
+	// radii[i] is the cluster radius b·2^{i-1} at level i.
+	radii []float64
+	// b is the random scale factor in [1, 2).
+	b float64
+}
+
+// sepLevel returns the smallest level at which u and v share a cluster.
+func (e *Embedding) sepLevel(u, v int) int {
+	for i := 0; i < len(e.level); i++ {
+		if e.level[i][u] == e.level[i][v] {
+			return i
+		}
+	}
+	return len(e.level) - 1
+}
+
+// Dist returns the HST distance between u and v: both nodes hang at depth
+// equal to the separation level below their lowest common cluster, with
+// edge weight equal to the cluster radius at each level, so
+// T(u,v) = 2·Σ_{j=1..sep} b·2^{j-1} = 2b·(2^sep − 1).
+func (e *Embedding) Dist(u, v int) float64 {
+	if u == v {
+		return 0
+	}
+	sep := e.sepLevel(u, v)
+	return 2 * e.b * (math.Pow(2, float64(sep)) - 1)
+}
+
+// N returns the number of nodes.
+func (e *Embedding) N() int { return e.base.N() }
+
+var _ geom.Metric = (*Embedding)(nil)
+
+// Build constructs one random FRT-style HST over the metric. The metric
+// must have strictly positive distances between distinct nodes.
+func Build(base geom.Metric, rng *rand.Rand) (*Embedding, error) {
+	n := base.N()
+	if n == 0 {
+		return nil, errors.New("hst: empty metric")
+	}
+	minD := geom.MinDist(base)
+	if n > 1 && !(minD > 0) {
+		return nil, errors.New("hst: coincident nodes")
+	}
+	maxD := geom.MaxDist(base)
+	if n == 1 {
+		return &Embedding{base: base, level: [][]int{{0}}, radii: []float64{0}, b: 1}, nil
+	}
+
+	// Scale so the minimum distance is 1 (implicitly: work with d/minD).
+	scale := 1 / minD
+	// Number of levels: radius at level L must cover the diameter.
+	lmax := int(math.Ceil(math.Log2(maxD*scale))) + 2
+	if lmax < 1 {
+		lmax = 1
+	}
+
+	perm := rng.Perm(n)
+	b := 1 + rng.Float64()
+
+	// Build the laminar partition family top-down: the top level is a
+	// single cluster; descending to level i, each node u picks the first
+	// permutation node within the level radius r_i = b·2^{i-1}, and the new
+	// cluster is keyed by (parent cluster, picked center), which refines
+	// the parent partition. At level 0 the radius is below the minimum
+	// distance, so clusters are singletons.
+	level := make([][]int, lmax+1)
+	radii := make([]float64, lmax+1)
+	level[lmax] = make([]int, n) // all zeros: one cluster
+	radii[lmax] = b * math.Pow(2, float64(lmax-1)) / scale
+	for i := lmax - 1; i >= 0; i-- {
+		r := b * math.Pow(2, float64(i-1)) / scale
+		radii[i] = r
+		cur := make([]int, n)
+		type key struct{ parent, center int }
+		idOf := make(map[key]int, n)
+		for u := 0; u < n; u++ {
+			center := u
+			for _, c := range perm {
+				if base.Dist(u, c) <= r {
+					center = c
+					break
+				}
+			}
+			k := key{parent: level[i+1][u], center: center}
+			id, ok := idOf[k]
+			if !ok {
+				id = len(idOf)
+				idOf[k] = id
+			}
+			cur[u] = id
+		}
+		level[i] = cur
+	}
+
+	e := &Embedding{base: base, level: level, radii: radii, b: b / scale}
+	return e, nil
+}
+
+// Stretch returns max over u ≠ v of T(v,u)/d(v,u) for the given node v.
+func (e *Embedding) Stretch(v int) float64 {
+	n := e.base.N()
+	var worst float64
+	for u := 0; u < n; u++ {
+		if u == v {
+			continue
+		}
+		d := e.base.Dist(v, u)
+		if d == 0 {
+			return math.Inf(1)
+		}
+		if s := e.Dist(v, u) / d; s > worst {
+			worst = s
+		}
+	}
+	return worst
+}
+
+// Dominates verifies T(u,v) ≥ d(u,v) for all pairs (up to a relative
+// tolerance); the FRT construction guarantees it, and tests call this.
+func (e *Embedding) Dominates() bool {
+	n := e.base.N()
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if e.Dist(u, v) < e.base.Dist(u, v)*(1-1e-9) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Ensemble is a collection of independent HST samples over one metric,
+// playing the role of the trees T_1..T_r of Lemma 6.
+type Ensemble struct {
+	Trees []*Embedding
+	// StretchBound is the stretch threshold defining tree cores.
+	StretchBound float64
+}
+
+// BuildEnsemble samples r independent HSTs. A stretchBound ≤ 0 defaults to
+// 24·ln(n+1): an O(log n) threshold calibrated so that, matching Lemma 6's
+// statement, roughly 9/10 of the trees are good for each node (the
+// per-node quantity is the maximum stretch over all partners, which needs
+// a larger constant than the FRT expected per-pair stretch).
+//
+// The trees are built concurrently; determinism is preserved by drawing one
+// seed per tree from rng up front, so equal rng states yield equal
+// ensembles regardless of scheduling.
+func BuildEnsemble(base geom.Metric, r int, stretchBound float64, rng *rand.Rand) (*Ensemble, error) {
+	if r <= 0 {
+		return nil, fmt.Errorf("hst: need r ≥ 1 trees, got %d", r)
+	}
+	if stretchBound <= 0 {
+		stretchBound = 24 * math.Log(float64(base.N())+1)
+	}
+	seeds := make([]int64, r)
+	for i := range seeds {
+		seeds[i] = rng.Int63()
+	}
+	trees := make([]*Embedding, r)
+	errs := make([]error, r)
+	var wg sync.WaitGroup
+	for i := range trees {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			trees[i], errs[i] = Build(base, rand.New(rand.NewSource(seeds[i])))
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Ensemble{Trees: trees, StretchBound: stretchBound}, nil
+}
+
+// Core returns the nodes of tree t whose stretch is within the ensemble's
+// bound (the core C_t of Lemma 6).
+func (en *Ensemble) Core(t int) []int {
+	var core []int
+	tree := en.Trees[t]
+	for v := 0; v < tree.N(); v++ {
+		if tree.Stretch(v) <= en.StretchBound {
+			core = append(core, v)
+		}
+	}
+	return core
+}
+
+// GoodTreeFraction returns, for node v, the fraction of trees whose core
+// contains v. Lemma 6 guarantees this is ≥ 9/10 for suitable parameters.
+func (en *Ensemble) GoodTreeFraction(v int) float64 {
+	var good int
+	for _, t := range en.Trees {
+		if t.Stretch(v) <= en.StretchBound {
+			good++
+		}
+	}
+	return float64(good) / float64(len(en.Trees))
+}
+
+// BestCoreTree returns the index of the tree whose core covers the most
+// nodes of the given set, together with the covered subset (Proposition 7's
+// constructive counterpart).
+func (en *Ensemble) BestCoreTree(set []int) (int, []int) {
+	bestTree, bestCovered := 0, []int(nil)
+	for t, tree := range en.Trees {
+		var covered []int
+		for _, v := range set {
+			if tree.Stretch(v) <= en.StretchBound {
+				covered = append(covered, v)
+			}
+		}
+		if len(covered) > len(bestCovered) {
+			bestTree, bestCovered = t, covered
+		}
+	}
+	return bestTree, bestCovered
+}
+
+// ExplicitTree materializes the HST as an explicit edge-weighted tree whose
+// first base.N() nodes are the metric's nodes (leaves) and whose remaining
+// nodes are the internal clusters. It is the input for the centroid
+// decomposition of Lemma 9.
+func (e *Embedding) ExplicitTree() (*geom.Tree, error) {
+	n := e.base.N()
+	if n == 1 {
+		return geom.NewTree(1)
+	}
+	// Collect cluster node ids per level (level 0 clusters are the leaves
+	// themselves).
+	type clusterKey struct {
+		level, id int
+	}
+	nodeOf := make(map[clusterKey]int)
+	next := n
+	for i := 1; i < len(e.level); i++ {
+		seen := make(map[int]bool)
+		for u := 0; u < n; u++ {
+			id := e.level[i][u]
+			if !seen[id] {
+				seen[id] = true
+				nodeOf[clusterKey{level: i, id: id}] = next
+				next++
+			}
+		}
+	}
+	t, err := geom.NewTree(next)
+	if err != nil {
+		return nil, err
+	}
+	// Edges: each cluster at level i-1 connects to its parent at level i
+	// with weight equal to the level-i radius.
+	added := make(map[[2]int]bool)
+	for u := 0; u < n; u++ {
+		child := u
+		for i := 1; i < len(e.level); i++ {
+			parent := nodeOf[clusterKey{level: i, id: e.level[i][u]}]
+			ek := [2]int{child, parent}
+			if !added[ek] {
+				added[ek] = true
+				if err := t.AddEdge(child, parent, e.radii[i]); err != nil {
+					return nil, err
+				}
+			}
+			child = parent
+		}
+	}
+	if err := t.Finalize(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,267 @@
+package hst
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+)
+
+func randomPoints(r *rand.Rand, n int, side float64) geom.Metric {
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = []float64{r.Float64() * side, r.Float64() * side}
+	}
+	e, err := geom.NewEuclidean(pts)
+	if err != nil {
+		panic(err)
+	}
+	return e
+}
+
+func TestBuildSingleNode(t *testing.T) {
+	l, _ := geom.NewLine([]float64{5})
+	e, err := Build(l, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.N() != 1 {
+		t.Fatalf("N = %d, want 1", e.N())
+	}
+	if e.Dist(0, 0) != 0 {
+		t.Error("self distance must be 0")
+	}
+}
+
+func TestBuildRejectsCoincident(t *testing.T) {
+	l, _ := geom.NewLine([]float64{1, 1})
+	if _, err := Build(l, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("coincident nodes should be rejected")
+	}
+}
+
+func TestDomination(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := randomPoints(rng, 40, 100)
+	for trial := 0; trial < 5; trial++ {
+		e, err := Build(base, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !e.Dominates() {
+			t.Fatal("HST does not dominate the base metric")
+		}
+	}
+}
+
+func TestTreeDistanceIsUltrametricProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base := randomPoints(r, 4+r.Intn(12), 50)
+		e, err := Build(base, r)
+		if err != nil {
+			return false
+		}
+		n := base.N()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				for k := 0; k < n; k++ {
+					if e.Dist(i, j) > math.Max(e.Dist(i, k), e.Dist(k, j))+1e-9 {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(51))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExpectedStretchLogarithmic: the average HST stretch over random trees
+// stays within a generous O(log n) bound.
+func TestExpectedStretchLogarithmic(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base := randomPoints(rng, 32, 100)
+	const trials = 20
+	var sum float64
+	var count int
+	for trial := 0; trial < trials; trial++ {
+		e, err := Build(base, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for u := 0; u < base.N(); u++ {
+			for v := u + 1; v < base.N(); v++ {
+				sum += e.Dist(u, v) / base.Dist(u, v)
+				count++
+			}
+		}
+	}
+	avg := sum / float64(count)
+	// FRT guarantees O(log n) ≈ 5 for n=32; allow a wide constant.
+	if avg > 60 {
+		t.Errorf("average stretch %g too large", avg)
+	}
+	if avg < 1 {
+		t.Errorf("average stretch %g below 1 (domination broken)", avg)
+	}
+}
+
+func TestExplicitTreeMatchesEmbedding(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	base := randomPoints(rng, 20, 100)
+	e, err := Build(base, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := e.ExplicitTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.N() < base.N() {
+		t.Fatalf("explicit tree has %d nodes, fewer than %d leaves", tree.N(), base.N())
+	}
+	for u := 0; u < base.N(); u++ {
+		for v := u + 1; v < base.N(); v++ {
+			te := e.Dist(u, v)
+			tt := tree.Dist(u, v)
+			if math.Abs(te-tt) > 1e-9*(1+te) {
+				t.Fatalf("tree distance (%d,%d): embedding %g vs explicit %g", u, v, te, tt)
+			}
+		}
+	}
+}
+
+func TestExplicitTreeSingleNode(t *testing.T) {
+	l, _ := geom.NewLine([]float64{3})
+	e, err := Build(l, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := e.ExplicitTree()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.N() != 1 {
+		t.Errorf("tree N = %d, want 1", tree.N())
+	}
+}
+
+func TestEnsembleCoreAndGoodFraction(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	base := randomPoints(rng, 24, 100)
+	en, err := BuildEnsemble(base, 16, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(en.Trees) != 16 {
+		t.Fatalf("trees = %d, want 16", len(en.Trees))
+	}
+	if en.StretchBound <= 0 {
+		t.Fatal("default stretch bound not set")
+	}
+	// Lemma 6's shape: on average, most trees are good for each node.
+	var sum float64
+	for v := 0; v < base.N(); v++ {
+		sum += en.GoodTreeFraction(v)
+	}
+	if avg := sum / float64(base.N()); avg < 0.5 {
+		t.Errorf("average good-tree fraction %g, want ≥ 0.5", avg)
+	}
+	// Core consistency: v in Core(t) iff stretch within bound.
+	core := en.Core(0)
+	inCore := make(map[int]bool)
+	for _, v := range core {
+		inCore[v] = true
+	}
+	for v := 0; v < base.N(); v++ {
+		want := en.Trees[0].Stretch(v) <= en.StretchBound
+		if inCore[v] != want {
+			t.Errorf("core membership of %d inconsistent", v)
+		}
+	}
+}
+
+func TestBestCoreTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	base := randomPoints(rng, 16, 100)
+	en, err := BuildEnsemble(base, 8, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, base.N())
+	for i := range all {
+		all[i] = i
+	}
+	ti, covered := en.BestCoreTree(all)
+	if ti < 0 || ti >= 8 {
+		t.Fatalf("tree index %d out of range", ti)
+	}
+	for _, other := range en.Trees {
+		var c int
+		for _, v := range all {
+			if other.Stretch(v) <= en.StretchBound {
+				c++
+			}
+		}
+		if c > len(covered) {
+			t.Error("BestCoreTree did not return the best tree")
+		}
+	}
+}
+
+func TestBuildEnsembleValidation(t *testing.T) {
+	l, _ := geom.NewLine([]float64{0, 1})
+	if _, err := BuildEnsemble(l, 0, 0, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("r=0 should fail")
+	}
+}
+
+// TestBuildEnsembleDeterministic: equal rng states produce identical
+// ensembles despite the concurrent construction.
+func TestBuildEnsembleDeterministic(t *testing.T) {
+	base := randomPoints(rand.New(rand.NewSource(7)), 20, 100)
+	a, err := BuildEnsemble(base, 6, 0, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildEnsemble(base, 6, 0, rand.New(rand.NewSource(42)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ti := range a.Trees {
+		for u := 0; u < base.N(); u++ {
+			for v := u + 1; v < base.N(); v++ {
+				if a.Trees[ti].Dist(u, v) != b.Trees[ti].Dist(u, v) {
+					t.Fatalf("tree %d differs at (%d,%d)", ti, u, v)
+				}
+			}
+		}
+	}
+}
+
+// TestEmbeddingDistSymmetric: HST distances are symmetric and zero on the
+// diagonal.
+func TestEmbeddingDistSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	base := randomPoints(rng, 24, 100)
+	e, err := Build(base, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < base.N(); u++ {
+		if e.Dist(u, u) != 0 {
+			t.Errorf("Dist(%d,%d) = %g", u, u, e.Dist(u, u))
+		}
+		for v := 0; v < base.N(); v++ {
+			if e.Dist(u, v) != e.Dist(v, u) {
+				t.Errorf("asymmetric HST distance (%d,%d)", u, v)
+			}
+		}
+	}
+}

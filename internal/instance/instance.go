@@ -1,0 +1,273 @@
+// Package instance generates interference scheduling workloads: random and
+// clustered point sets, the paper's nested exponential chain (Section 1.2
+// intuition), plain line chains, and the adversarial family from the proof
+// of Theorem 1 parameterized by an arbitrary oblivious power function.
+package instance
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/power"
+	"repro/internal/problem"
+	"repro/internal/sinr"
+)
+
+// UniformRandom places n requests in the square [0, side]^2: each sender is
+// uniform in the square and its receiver is at a uniform-random direction
+// and distance in [minLen, maxLen]. Endpoints are nodes 2i (sender) and
+// 2i+1 (receiver).
+func UniformRandom(rng *rand.Rand, n int, side, minLen, maxLen float64) (*problem.Instance, error) {
+	if n <= 0 {
+		return nil, errors.New("instance: n must be positive")
+	}
+	if !(0 < minLen && minLen <= maxLen && maxLen <= side) {
+		return nil, fmt.Errorf("instance: need 0 < minLen ≤ maxLen ≤ side, got %g, %g, %g", minLen, maxLen, side)
+	}
+	pts := make([][]float64, 0, 2*n)
+	reqs := make([]problem.Request, 0, n)
+	for i := 0; i < n; i++ {
+		sx := rng.Float64() * side
+		sy := rng.Float64() * side
+		d := minLen + rng.Float64()*(maxLen-minLen)
+		theta := rng.Float64() * 2 * math.Pi
+		rx := sx + d*math.Cos(theta)
+		ry := sy + d*math.Sin(theta)
+		pts = append(pts, []float64{sx, sy}, []float64{rx, ry})
+		reqs = append(reqs, problem.Request{U: 2 * i, V: 2*i + 1})
+	}
+	space, err := geom.NewEuclidean(pts)
+	if err != nil {
+		return nil, err
+	}
+	return problem.New(space, reqs)
+}
+
+// Clustered places requests inside k clusters of the given radius whose
+// centers are uniform in [0, side]^2. Each request picks a cluster
+// uniformly; both endpoints are uniform in the cluster disk, re-sampled
+// until they are at least minLen apart (giving dense local contention, the
+// hard regime for scheduling).
+func Clustered(rng *rand.Rand, n, k int, radius, side, minLen float64) (*problem.Instance, error) {
+	if n <= 0 || k <= 0 {
+		return nil, errors.New("instance: n and k must be positive")
+	}
+	if !(0 < minLen && minLen < 2*radius && radius <= side) {
+		return nil, fmt.Errorf("instance: need 0 < minLen < 2·radius ≤ 2·side, got %g, %g, %g", minLen, radius, side)
+	}
+	centers := make([][2]float64, k)
+	for i := range centers {
+		centers[i] = [2]float64{rng.Float64() * side, rng.Float64() * side}
+	}
+	inDisk := func(c [2]float64) []float64 {
+		for {
+			x := (rng.Float64()*2 - 1) * radius
+			y := (rng.Float64()*2 - 1) * radius
+			if x*x+y*y <= radius*radius {
+				return []float64{c[0] + x, c[1] + y}
+			}
+		}
+	}
+	pts := make([][]float64, 0, 2*n)
+	reqs := make([]problem.Request, 0, n)
+	for i := 0; i < n; i++ {
+		c := centers[rng.Intn(k)]
+		var a, b []float64
+		for tries := 0; ; tries++ {
+			a, b = inDisk(c), inDisk(c)
+			dx, dy := a[0]-b[0], a[1]-b[1]
+			if math.Hypot(dx, dy) >= minLen {
+				break
+			}
+			if tries > 1000 {
+				return nil, errors.New("instance: could not place request with the requested separation")
+			}
+		}
+		pts = append(pts, a, b)
+		reqs = append(reqs, problem.Request{U: 2 * i, V: 2*i + 1})
+	}
+	space, err := geom.NewEuclidean(pts)
+	if err != nil {
+		return nil, err
+	}
+	return problem.New(space, reqs)
+}
+
+// NestedExponential builds the intuition instance from Section 1.2: n
+// bidirectional requests on the line with u_i = -base^i and v_i = +base^i
+// (base 2 in the paper). Under uniform or linear powers only O(1) of these
+// nested requests can be scheduled simultaneously, while the square root
+// assignment schedules a constant fraction.
+func NestedExponential(n int, base float64) (*problem.Instance, error) {
+	if n <= 0 {
+		return nil, errors.New("instance: n must be positive")
+	}
+	if !(base > 1) {
+		return nil, fmt.Errorf("instance: base must be > 1, got %g", base)
+	}
+	if float64(n)*math.Log(base) > 650 {
+		return nil, fmt.Errorf("instance: base^n overflows float64 (n=%d, base=%g)", n, base)
+	}
+	xs := make([]float64, 0, 2*n)
+	reqs := make([]problem.Request, 0, n)
+	for i := 1; i <= n; i++ {
+		r := math.Pow(base, float64(i))
+		xs = append(xs, -r, r)
+		reqs = append(reqs, problem.Request{U: 2 * (i - 1), V: 2*(i-1) + 1})
+	}
+	line, err := geom.NewLine(xs)
+	if err != nil {
+		return nil, err
+	}
+	return problem.New(line, reqs)
+}
+
+// LineChain builds n equal requests of length length placed along a line
+// with gap between consecutive pairs: u_i = i·(length+gap),
+// v_i = u_i + length.
+func LineChain(n int, length, gap float64) (*problem.Instance, error) {
+	if n <= 0 {
+		return nil, errors.New("instance: n must be positive")
+	}
+	if !(length > 0) || !(gap > 0) {
+		return nil, fmt.Errorf("instance: length and gap must be positive, got %g, %g", length, gap)
+	}
+	xs := make([]float64, 0, 2*n)
+	reqs := make([]problem.Request, 0, n)
+	for i := 0; i < n; i++ {
+		u := float64(i) * (length + gap)
+		xs = append(xs, u, u+length)
+		reqs = append(reqs, problem.Request{U: 2 * i, V: 2*i + 1})
+	}
+	line, err := geom.NewLine(xs)
+	if err != nil {
+		return nil, err
+	}
+	return problem.New(line, reqs)
+}
+
+// Adversarial is the outcome of the Theorem 1 lower-bound construction.
+type Adversarial struct {
+	// Instance is the constructed directed instance (pairs left to right).
+	Instance *problem.Instance
+	// Built is the number of pairs actually constructed; it can be smaller
+	// than requested when the recursion exhausts the float64 range (the
+	// construction grows doubly exponentially for sublinear power
+	// functions) or when no admissible x_i exists for a bounded f.
+	Built int
+	// X and Y are the pair lengths x_i and gaps y_i of the construction.
+	X, Y []float64
+}
+
+// AdversarialDirected runs the recursive construction from the proof of
+// Theorem 1 against the oblivious assignment f: pairs (u_i, v_i) on the
+// line with gaps y_i = 2(x_{i-1} + y_{i-1}) and lengths x_i ≥ y_i chosen so
+// that f(ℓ(x_i)) ≥ y_i^α · max_{j<i} f(ℓ(x_j))/x_j^α. Scheduling this
+// instance with powers f needs Ω(n) colors, while an optimal power
+// assignment needs only O(1).
+//
+// xmax caps the coordinate range (the search gives up beyond it). The
+// construction requires f to be asymptotically unbounded; for bounded f
+// (e.g. uniform) it stops at Built = 1 and the caller should use the
+// NestedExponential family instead, which is the standard Ω(n) family for
+// uniform powers.
+func AdversarialDirected(m sinr.Model, f power.Assignment, n int, xmax float64) (*Adversarial, error) {
+	if n <= 0 {
+		return nil, errors.New("instance: n must be positive")
+	}
+	if !(xmax > 1) {
+		return nil, fmt.Errorf("instance: xmax must be > 1, got %g", xmax)
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	// fDist evaluates the power of a pair of length x, guarding overflow.
+	fDist := func(x float64) float64 {
+		l := m.Loss(x)
+		if math.IsInf(l, 0) {
+			return math.Inf(1)
+		}
+		return f.Power(l)
+	}
+
+	xs := []float64{1}
+	ys := []float64{1}
+	// maxRatio = max_j f(x_j)/x_j^α over built pairs.
+	maxRatio := fDist(1) / m.Loss(1)
+	for i := 1; i < n; i++ {
+		y := 2 * (xs[i-1] + ys[i-1])
+		if y > xmax {
+			break
+		}
+		thr := math.Pow(y, m.Alpha) * maxRatio
+		if math.IsInf(thr, 0) {
+			break
+		}
+		// Doubling search for the smallest power-of-two multiple of y with
+		// f(ℓ(x)) ≥ thr.
+		x := y
+		found := false
+		for x <= xmax {
+			if p := fDist(x); p >= thr && !math.IsInf(p, 0) {
+				found = true
+				break
+			}
+			x *= 2
+		}
+		if !found {
+			break
+		}
+		xs = append(xs, x)
+		ys = append(ys, y)
+		if r := fDist(x) / m.Loss(x); r > maxRatio {
+			maxRatio = r
+		}
+	}
+
+	built := len(xs)
+	coords := make([]float64, 0, 2*built)
+	pos := 0.0
+	reqs := make([]problem.Request, 0, built)
+	for i := 0; i < built; i++ {
+		if i > 0 {
+			pos += ys[i]
+		}
+		coords = append(coords, pos, pos+xs[i])
+		pos += xs[i]
+		reqs = append(reqs, problem.Request{U: 2 * i, V: 2*i + 1})
+	}
+	line, err := geom.NewLine(coords)
+	if err != nil {
+		return nil, err
+	}
+	inst, err := problem.New(line, reqs)
+	if err != nil {
+		return nil, err
+	}
+	return &Adversarial{Instance: inst, Built: built, X: xs, Y: ys}, nil
+}
+
+// Perturb returns a copy of a Euclidean instance with every coordinate
+// jittered uniformly by at most eps (useful for robustness tests).
+func Perturb(rng *rand.Rand, in *problem.Instance, eps float64) (*problem.Instance, error) {
+	e, ok := in.Space.(*geom.Euclidean)
+	if !ok {
+		return nil, errors.New("instance: Perturb requires a Euclidean instance")
+	}
+	pts := make([][]float64, e.N())
+	for i := range pts {
+		p := e.Point(i)
+		for k := range p {
+			p[k] += (rng.Float64()*2 - 1) * eps
+		}
+		pts[i] = p
+	}
+	space, err := geom.NewEuclidean(pts)
+	if err != nil {
+		return nil, err
+	}
+	return problem.New(space, in.Reqs)
+}

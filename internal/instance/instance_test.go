@@ -1,0 +1,269 @@
+package instance
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/power"
+	"repro/internal/sinr"
+)
+
+func TestUniformRandomShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	in, err := UniformRandom(rng, 20, 100, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.N() != 20 {
+		t.Fatalf("N = %d, want 20", in.N())
+	}
+	for i := 0; i < in.N(); i++ {
+		l := in.Length(i)
+		if l < 1-1e-9 || l > 5+1e-9 {
+			t.Errorf("request %d length %g outside [1,5]", i, l)
+		}
+		if in.Reqs[i].U != 2*i || in.Reqs[i].V != 2*i+1 {
+			t.Errorf("request %d endpoints %v", i, in.Reqs[i])
+		}
+	}
+}
+
+func TestUniformRandomValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := UniformRandom(rng, 0, 100, 1, 5); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := UniformRandom(rng, 5, 100, 5, 1); err == nil {
+		t.Error("minLen > maxLen should fail")
+	}
+	if _, err := UniformRandom(rng, 5, 2, 1, 5); err == nil {
+		t.Error("maxLen > side should fail")
+	}
+}
+
+func TestClusteredShape(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in, err := Clustered(rng, 30, 3, 10, 1000, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.N() != 30 {
+		t.Fatalf("N = %d, want 30", in.N())
+	}
+	for i := 0; i < in.N(); i++ {
+		if l := in.Length(i); l < 0.5-1e-9 || l > 20+1e-9 {
+			t.Errorf("request %d length %g outside [0.5, 2·radius]", i, l)
+		}
+	}
+}
+
+func TestClusteredValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := Clustered(rng, 0, 3, 10, 100, 1); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := Clustered(rng, 5, 0, 10, 100, 1); err == nil {
+		t.Error("k=0 should fail")
+	}
+	if _, err := Clustered(rng, 5, 2, 1, 100, 5); err == nil {
+		t.Error("minLen ≥ 2·radius should fail")
+	}
+}
+
+func TestNestedExponential(t *testing.T) {
+	in, err := NestedExponential(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.N() != 5 {
+		t.Fatalf("N = %d, want 5", in.N())
+	}
+	line, ok := in.Space.(*geom.Line)
+	if !ok {
+		t.Fatal("nested instance should be on a line")
+	}
+	// Pair i (1-based) spans [-2^i, 2^i].
+	for i := 1; i <= 5; i++ {
+		r := math.Pow(2, float64(i))
+		u := line.Coord(in.Reqs[i-1].U)
+		v := line.Coord(in.Reqs[i-1].V)
+		if u != -r || v != r {
+			t.Errorf("pair %d spans [%g, %g], want [-%g, %g]", i, u, v, r, r)
+		}
+	}
+	if _, err := NestedExponential(0, 2); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := NestedExponential(5, 1); err == nil {
+		t.Error("base 1 should fail")
+	}
+	if _, err := NestedExponential(2000, 2); err == nil {
+		t.Error("overflowing base^n should fail")
+	}
+}
+
+func TestLineChain(t *testing.T) {
+	in, err := LineChain(3, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if got := in.Length(i); got != 2 {
+			t.Errorf("length %d = %g, want 2", i, got)
+		}
+	}
+	line := in.Space.(*geom.Line)
+	// Gap between v_0 (x=2) and u_1 (x=7) is 5.
+	if got := line.Coord(in.Reqs[1].U) - line.Coord(in.Reqs[0].V); got != 5 {
+		t.Errorf("gap = %g, want 5", got)
+	}
+	if _, err := LineChain(0, 1, 1); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := LineChain(3, 0, 1); err == nil {
+		t.Error("zero length should fail")
+	}
+}
+
+// TestAdversarialInvariants checks the recursion invariants from the proof
+// of Theorem 1: y_i = 2(x_{i-1}+y_{i-1}), x_i ≥ y_i, and
+// f(ℓ(x_i)) ≥ y_i^α · f(ℓ(x_j))/x_j^α for all j < i.
+func TestAdversarialInvariants(t *testing.T) {
+	m := sinr.Default()
+	for _, f := range []power.Assignment{power.Linear(), power.Sqrt(), power.Exponent(2)} {
+		t.Run(f.Name(), func(t *testing.T) {
+			adv, err := AdversarialDirected(m, f, 6, 1e60)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if adv.Built < 2 {
+				t.Fatalf("built only %d pairs", adv.Built)
+			}
+			for i := 1; i < adv.Built; i++ {
+				wantY := 2 * (adv.X[i-1] + adv.Y[i-1])
+				if math.Abs(adv.Y[i]-wantY) > 1e-9*wantY {
+					t.Errorf("y[%d] = %g, want %g", i, adv.Y[i], wantY)
+				}
+				if adv.X[i] < adv.Y[i] {
+					t.Errorf("x[%d] = %g below y[%d] = %g", i, adv.X[i], i, adv.Y[i])
+				}
+				fi := f.Power(m.Loss(adv.X[i]))
+				for j := 0; j < i; j++ {
+					thr := math.Pow(adv.Y[i], m.Alpha) * f.Power(m.Loss(adv.X[j])) / m.Loss(adv.X[j])
+					if fi < thr*(1-1e-9) {
+						t.Errorf("power condition violated at i=%d, j=%d: %g < %g", i, j, fi, thr)
+					}
+				}
+			}
+			// The instance geometry must reflect X and Y.
+			for i := 0; i < adv.Built; i++ {
+				if got := adv.Instance.Length(i); math.Abs(got-adv.X[i]) > 1e-9*adv.X[i] {
+					t.Errorf("instance length %d = %g, want %g", i, got, adv.X[i])
+				}
+			}
+		})
+	}
+}
+
+func TestAdversarialBoundedFStops(t *testing.T) {
+	m := sinr.Default()
+	adv, err := AdversarialDirected(m, power.Uniform(1), 10, 1e60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if adv.Built != 1 {
+		t.Errorf("bounded f built %d pairs, want 1 (construction impossible)", adv.Built)
+	}
+}
+
+func TestAdversarialValidation(t *testing.T) {
+	m := sinr.Default()
+	if _, err := AdversarialDirected(m, power.Linear(), 0, 1e10); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := AdversarialDirected(m, power.Linear(), 3, 0.5); err == nil {
+		t.Error("xmax ≤ 1 should fail")
+	}
+	if _, err := AdversarialDirected(sinr.Model{Alpha: 0, Beta: 1}, power.Linear(), 3, 1e10); err == nil {
+		t.Error("invalid model should fail")
+	}
+}
+
+func TestPerturb(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in, err := UniformRandom(rng, 10, 100, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := Perturb(rng, in, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < in.N(); i++ {
+		if d := math.Abs(out.Length(i) - in.Length(i)); d > 0.05 {
+			t.Errorf("request %d length moved by %g", i, d)
+		}
+	}
+	// Perturb requires Euclidean instances.
+	nested, _ := NestedExponential(3, 2)
+	if _, err := Perturb(rng, nested, 0.01); err == nil {
+		t.Error("line instance should be rejected")
+	}
+}
+
+// TestGeneratorsDeterministicProperty: the generators are deterministic
+// given the seed.
+func TestGeneratorsDeterministicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		a, err := UniformRandom(rand.New(rand.NewSource(seed)), 8, 50, 1, 4)
+		if err != nil {
+			return false
+		}
+		b, err := UniformRandom(rand.New(rand.NewSource(seed)), 8, 50, 1, 4)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < a.N(); i++ {
+			if a.Length(i) != b.Length(i) {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 20, Rand: rand.New(rand.NewSource(5))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestAdversarialKeyInequality verifies the central step of the Theorem 1
+// proof on the constructed instances: every pair i drowns every earlier
+// pair k, i.e. the interference pair i's sender causes at receiver v_k is
+// at least f(ℓ(x_k))/((4·x_k)^α) — a (4^α)-fraction of pair k's own signal.
+// This is what forces any single slot to O(4^α/β) pairs.
+func TestAdversarialKeyInequality(t *testing.T) {
+	m := sinr.Default()
+	for _, f := range []power.Assignment{power.Linear(), power.Sqrt(), power.Exponent(2)} {
+		t.Run(f.Name(), func(t *testing.T) {
+			adv, err := AdversarialDirected(m, f, 8, 1e60)
+			if err != nil {
+				t.Fatal(err)
+			}
+			in := adv.Instance
+			powers := power.Powers(m, in, f)
+			for k := 0; k < adv.Built; k++ {
+				signalK := powers[k] / m.RequestLoss(in, k)
+				for i := k + 1; i < adv.Built; i++ {
+					interf := powers[i] / m.Loss(in.Space.Dist(in.Reqs[i].U, in.Reqs[k].V))
+					if floor := signalK / math.Pow(4, m.Alpha); interf < floor*(1-1e-9) {
+						t.Errorf("pair %d does not drown pair %d: interference %g below %g",
+							i, k, interf, floor)
+					}
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,244 @@
+// Package multihop adds the routing layer on top of interference
+// scheduling, mirroring the cross-layer latency problem of Chafekar et al.
+// that the paper discusses in its related work (Section 1.3): given
+// end-to-end flows between node pairs, route each flow along a multi-hop
+// path, schedule every hop as a (bidirectional) communication request, and
+// measure the end-to-end latency of the flows under the periodic frame
+// induced by the coloring.
+package multihop
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/coloring"
+	"repro/internal/geom"
+	"repro/internal/power"
+	"repro/internal/problem"
+	"repro/internal/sinr"
+)
+
+// Network is a wireless multi-hop network: a metric over node positions
+// plus a communication graph of usable links (node pairs within range).
+type Network struct {
+	Space geom.Metric
+	// Range is the maximum usable link length.
+	Range float64
+	// adj[u] lists the neighbors of u.
+	adj [][]int
+}
+
+// NewNetwork builds the unit-disk-style communication graph with the given
+// range and verifies connectivity.
+func NewNetwork(space geom.Metric, linkRange float64) (*Network, error) {
+	if space == nil {
+		return nil, errors.New("multihop: nil space")
+	}
+	if !(linkRange > 0) {
+		return nil, fmt.Errorf("multihop: range must be positive, got %g", linkRange)
+	}
+	n := space.N()
+	adj := make([][]int, n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			d := space.Dist(u, v)
+			if d > 0 && d <= linkRange {
+				adj[u] = append(adj[u], v)
+				adj[v] = append(adj[v], u)
+			}
+		}
+	}
+	nw := &Network{Space: space, Range: linkRange, adj: adj}
+	if !nw.connected() {
+		return nil, errors.New("multihop: communication graph is disconnected at this range")
+	}
+	return nw, nil
+}
+
+func (nw *Network) connected() bool {
+	n := nw.Space.N()
+	if n == 0 {
+		return false
+	}
+	seen := make([]bool, n)
+	stack := []int{0}
+	seen[0] = true
+	count := 1
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, v := range nw.adj[u] {
+			if !seen[v] {
+				seen[v] = true
+				count++
+				stack = append(stack, v)
+			}
+		}
+	}
+	return count == n
+}
+
+// Degree returns the number of usable links at node u.
+func (nw *Network) Degree(u int) int { return len(nw.adj[u]) }
+
+// ShortestPath returns the minimum-total-distance path from src to dst in
+// the communication graph (Dijkstra over link lengths).
+func (nw *Network) ShortestPath(src, dst int) ([]int, error) {
+	n := nw.Space.N()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return nil, fmt.Errorf("multihop: endpoints (%d,%d) out of range", src, dst)
+	}
+	if src == dst {
+		return []int{src}, nil
+	}
+	dist := make([]float64, n)
+	prev := make([]int, n)
+	done := make([]bool, n)
+	for v := range dist {
+		dist[v] = math.Inf(1)
+		prev[v] = -1
+	}
+	dist[src] = 0
+	for {
+		u, best := -1, math.Inf(1)
+		for v := 0; v < n; v++ {
+			if !done[v] && dist[v] < best {
+				u, best = v, dist[v]
+			}
+		}
+		if u < 0 {
+			return nil, fmt.Errorf("multihop: no path from %d to %d", src, dst)
+		}
+		if u == dst {
+			break
+		}
+		done[u] = true
+		for _, v := range nw.adj[u] {
+			if nd := dist[u] + nw.Space.Dist(u, v); nd < dist[v] {
+				dist[v] = nd
+				prev[v] = u
+			}
+		}
+	}
+	var path []int
+	for v := dst; v >= 0; v = prev[v] {
+		path = append(path, v)
+	}
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	if path[0] != src {
+		return nil, fmt.Errorf("multihop: no path from %d to %d", src, dst)
+	}
+	return path, nil
+}
+
+// Flow is an end-to-end demand between two nodes.
+type Flow struct {
+	Src, Dst int
+}
+
+// RoutedFlow carries a flow's path and the indices of its hop requests in
+// the flattened instance.
+type RoutedFlow struct {
+	Flow Flow
+	// Path is the node sequence from Src to Dst.
+	Path []int
+	// HopRequests[i] is the request index of the path's i-th hop.
+	HopRequests []int
+}
+
+// Route routes every flow along its shortest path and returns the combined
+// hop instance plus the per-flow hop bookkeeping. Hops of different flows
+// over the same link become separate requests (each packet needs its own
+// transmission).
+func (nw *Network) Route(flows []Flow) (*problem.Instance, []RoutedFlow, error) {
+	if len(flows) == 0 {
+		return nil, nil, errors.New("multihop: no flows")
+	}
+	var reqs []problem.Request
+	routed := make([]RoutedFlow, 0, len(flows))
+	for _, f := range flows {
+		if f.Src == f.Dst {
+			return nil, nil, fmt.Errorf("multihop: flow with identical endpoints %d", f.Src)
+		}
+		path, err := nw.ShortestPath(f.Src, f.Dst)
+		if err != nil {
+			return nil, nil, err
+		}
+		rf := RoutedFlow{Flow: f, Path: path}
+		for h := 1; h < len(path); h++ {
+			rf.HopRequests = append(rf.HopRequests, len(reqs))
+			reqs = append(reqs, problem.Request{U: path[h-1], V: path[h]})
+		}
+		routed = append(routed, rf)
+	}
+	in, err := problem.New(nw.Space, reqs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return in, routed, nil
+}
+
+// Latency simulates the flows over the periodic frame induced by the
+// schedule: the frame has NumColors slots repeating forever; a packet
+// waiting at hop i departs at the earliest time that is congruent to the
+// hop's color and not before it arrived. It returns the end-to-end latency
+// (in slots) per flow.
+func Latency(s *problem.Schedule, flows []RoutedFlow) ([]int, error) {
+	frame := s.NumColors()
+	if frame == 0 {
+		return nil, errors.New("multihop: empty schedule")
+	}
+	out := make([]int, len(flows))
+	for fi, f := range flows {
+		t := 0 // packet ready at slot 0
+		for _, req := range f.HopRequests {
+			if req < 0 || req >= len(s.Colors) {
+				return nil, fmt.Errorf("multihop: hop request %d out of schedule range", req)
+			}
+			c := s.Colors[req]
+			wait := (c - t%frame + frame) % frame
+			t += wait + 1 // transmit during slot t+wait
+		}
+		out[fi] = t
+	}
+	return out, nil
+}
+
+// ScheduleFlows routes the flows, colors the hop requests greedily under
+// the given oblivious assignment (bidirectional constraints), and returns
+// the instance, schedule, and per-flow latencies.
+func (nw *Network) ScheduleFlows(m sinr.Model, flows []Flow, a power.Assignment, order []int) (*problem.Instance, *problem.Schedule, []int, error) {
+	in, routed, err := nw.Route(flows)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	powers := power.Powers(m, in, a)
+	s, err := coloring.GreedyFirstFit(m, in, sinr.Bidirectional, powers, order)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	lat, err := Latency(s, routed)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return in, s, lat, nil
+}
+
+// RandomFlows draws k flows with distinct random endpoints.
+func RandomFlows(rng *rand.Rand, n, k int) ([]Flow, error) {
+	if n < 2 || k < 1 {
+		return nil, fmt.Errorf("multihop: need n ≥ 2 and k ≥ 1, got %d, %d", n, k)
+	}
+	flows := make([]Flow, 0, k)
+	for len(flows) < k {
+		s, d := rng.Intn(n), rng.Intn(n)
+		if s != d {
+			flows = append(flows, Flow{Src: s, Dst: d})
+		}
+	}
+	return flows, nil
+}

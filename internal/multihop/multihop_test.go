@@ -1,0 +1,247 @@
+package multihop
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/power"
+	"repro/internal/problem"
+	"repro/internal/sinr"
+)
+
+// gridNetwork builds a k×k unit grid with range slightly above 1 (4-connectivity).
+func gridNetwork(t *testing.T, k int) *Network {
+	t.Helper()
+	pts := make([][]float64, 0, k*k)
+	for y := 0; y < k; y++ {
+		for x := 0; x < k; x++ {
+			pts = append(pts, []float64{float64(x), float64(y)})
+		}
+	}
+	e, err := geom.NewEuclidean(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := NewNetwork(e, 1.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestNewNetworkValidation(t *testing.T) {
+	if _, err := NewNetwork(nil, 1); err == nil {
+		t.Error("nil space should fail")
+	}
+	l, _ := geom.NewLine([]float64{0, 10})
+	if _, err := NewNetwork(l, 0); err == nil {
+		t.Error("zero range should fail")
+	}
+	if _, err := NewNetwork(l, 1); err == nil {
+		t.Error("disconnected graph should fail")
+	}
+	if _, err := NewNetwork(l, 20); err != nil {
+		t.Errorf("connected graph rejected: %v", err)
+	}
+}
+
+func TestDegreeOnGrid(t *testing.T) {
+	nw := gridNetwork(t, 3)
+	// Center of a 3x3 grid (index 4) has 4 neighbors; corner (0) has 2.
+	if got := nw.Degree(4); got != 4 {
+		t.Errorf("center degree = %d, want 4", got)
+	}
+	if got := nw.Degree(0); got != 2 {
+		t.Errorf("corner degree = %d, want 2", got)
+	}
+}
+
+func TestShortestPathOnGrid(t *testing.T) {
+	nw := gridNetwork(t, 4)
+	// From corner 0 (0,0) to corner 15 (3,3): 6 hops.
+	path, err := nw.ShortestPath(0, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(path) != 7 {
+		t.Errorf("path length = %d nodes, want 7", len(path))
+	}
+	if path[0] != 0 || path[len(path)-1] != 15 {
+		t.Errorf("path endpoints = %d..%d", path[0], path[len(path)-1])
+	}
+	// Trivial path.
+	self, err := nw.ShortestPath(3, 3)
+	if err != nil || len(self) != 1 {
+		t.Errorf("self path = %v, %v", self, err)
+	}
+	if _, err := nw.ShortestPath(-1, 2); err == nil {
+		t.Error("out-of-range endpoints should fail")
+	}
+}
+
+func TestRouteBookkeeping(t *testing.T) {
+	nw := gridNetwork(t, 4)
+	flows := []Flow{{Src: 0, Dst: 15}, {Src: 3, Dst: 12}}
+	in, routed, err := nw.Route(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(routed) != 2 {
+		t.Fatalf("routed flows = %d", len(routed))
+	}
+	total := 0
+	for _, rf := range routed {
+		if len(rf.HopRequests) != len(rf.Path)-1 {
+			t.Errorf("hops %d != path edges %d", len(rf.HopRequests), len(rf.Path)-1)
+		}
+		for h, req := range rf.HopRequests {
+			r := in.Reqs[req]
+			if r.U != rf.Path[h] || r.V != rf.Path[h+1] {
+				t.Errorf("hop %d request (%d,%d) does not match path (%d,%d)",
+					h, r.U, r.V, rf.Path[h], rf.Path[h+1])
+			}
+		}
+		total += len(rf.HopRequests)
+	}
+	if in.N() != total {
+		t.Errorf("instance has %d requests, want %d", in.N(), total)
+	}
+	if _, _, err := nw.Route(nil); err == nil {
+		t.Error("no flows should fail")
+	}
+	if _, _, err := nw.Route([]Flow{{Src: 1, Dst: 1}}); err == nil {
+		t.Error("self flow should fail")
+	}
+}
+
+func TestLatencyHandComputed(t *testing.T) {
+	// 3 hops with colors 0, 1, 0 in a frame of 2:
+	// hop0 departs slot 0 (t=1), hop1 at slot 1 (t=2), hop2 waits for the
+	// next color-0 slot (slot 2, t=3).
+	s := &problem.Schedule{Colors: []int{0, 1, 0}, Powers: []float64{1, 1, 1}}
+	flows := []RoutedFlow{{HopRequests: []int{0, 1, 2}}}
+	lat, err := Latency(s, flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat[0] != 3 {
+		t.Errorf("latency = %d, want 3", lat[0])
+	}
+	// Worst case alignment: colors 1, 0 in frame 2: hop0 at slot 1 (t=2),
+	// hop1 at slot 2 (t=3).
+	s2 := &problem.Schedule{Colors: []int{1, 0}, Powers: []float64{1, 1}}
+	lat2, err := Latency(s2, []RoutedFlow{{HopRequests: []int{0, 1}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat2[0] != 3 {
+		t.Errorf("latency = %d, want 3", lat2[0])
+	}
+}
+
+func TestLatencyValidation(t *testing.T) {
+	s := problem.NewSchedule(1)
+	if _, err := Latency(s, nil); err == nil {
+		t.Error("empty schedule should fail")
+	}
+	s.Colors[0] = 0
+	s.Powers[0] = 1
+	if _, err := Latency(s, []RoutedFlow{{HopRequests: []int{5}}}); err == nil {
+		t.Error("out-of-range hop should fail")
+	}
+}
+
+func TestScheduleFlowsEndToEnd(t *testing.T) {
+	m := sinr.Default()
+	nw := gridNetwork(t, 5)
+	rng := rand.New(rand.NewSource(1))
+	flows, err := RandomFlows(rng, 25, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, s, lat, err := nw.ScheduleFlows(m, flows, power.Sqrt(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckSchedule(in, sinr.Bidirectional, s); err != nil {
+		t.Fatalf("invalid hop schedule: %v", err)
+	}
+	if len(lat) != len(flows) {
+		t.Fatalf("latencies = %d, want %d", len(lat), len(flows))
+	}
+	for fi, l := range lat {
+		if l < 1 {
+			t.Errorf("flow %d latency %d < 1", fi, l)
+		}
+	}
+}
+
+func TestRandomFlowsValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomFlows(rng, 1, 3); err == nil {
+		t.Error("n=1 should fail")
+	}
+	if _, err := RandomFlows(rng, 5, 0); err == nil {
+		t.Error("k=0 should fail")
+	}
+	flows, err := RandomFlows(rng, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range flows {
+		if f.Src == f.Dst {
+			t.Error("self flow generated")
+		}
+	}
+}
+
+// TestLatencyLowerBoundProperty: the end-to-end latency is at least the hop
+// count and at most hops times the frame length.
+func TestLatencyLowerBoundProperty(t *testing.T) {
+	m := sinr.Default()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		k := 4 + r.Intn(3)
+		pts := make([][]float64, 0, k*k)
+		for y := 0; y < k; y++ {
+			for x := 0; x < k; x++ {
+				pts = append(pts, []float64{float64(x), float64(y)})
+			}
+		}
+		e, err := geom.NewEuclidean(pts)
+		if err != nil {
+			return false
+		}
+		nw, err := NewNetwork(e, 1.01)
+		if err != nil {
+			return false
+		}
+		flows, err := RandomFlows(r, k*k, 3+r.Intn(4))
+		if err != nil {
+			return false
+		}
+		in, routed, err := nw.Route(flows)
+		if err != nil {
+			return false
+		}
+		_ = in
+		_, s, lat, err := nw.ScheduleFlows(m, flows, power.Sqrt(), nil)
+		if err != nil {
+			return false
+		}
+		frame := s.NumColors()
+		for fi, rf := range routed {
+			hops := len(rf.HopRequests)
+			if lat[fi] < hops || lat[fi] > hops*frame+frame {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 15, Rand: rand.New(rand.NewSource(99))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,200 @@
+// Package nodeloss implements the node-loss scheduling problem of
+// Section 3.2: a set of nodes in a metric space, each carrying a loss
+// parameter ℓ_i, where a set U is β-feasible for powers p if for every
+// i ∈ U:
+//
+//	p_i/ℓ_i > β · Σ_{j∈U, j≠i} p_j/ℓ(i,j)
+//
+// The paper uses this simplified problem to analyse the bidirectional
+// interference scheduling problem: splitting each request pair into its two
+// endpoint nodes (with the pair's loss as both nodes' loss parameter)
+// relates the two problems with a constant-factor gain translation.
+package nodeloss
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/problem"
+	"repro/internal/sinr"
+)
+
+// Instance is a node-loss scheduling instance: active nodes of a metric
+// space, each with a loss parameter.
+type Instance struct {
+	// Space is the underlying metric over node ids.
+	Space geom.Metric
+	// Nodes are the active node ids (indices into Space).
+	Nodes []int
+	// Loss[i] is the loss parameter ℓ of active node i (parallel to Nodes).
+	Loss []float64
+}
+
+// New validates and builds an instance.
+func New(space geom.Metric, nodes []int, loss []float64) (*Instance, error) {
+	if space == nil {
+		return nil, errors.New("nodeloss: nil space")
+	}
+	if len(nodes) == 0 || len(nodes) != len(loss) {
+		return nil, fmt.Errorf("nodeloss: %d nodes, %d losses", len(nodes), len(loss))
+	}
+	for k, v := range nodes {
+		if v < 0 || v >= space.N() {
+			return nil, fmt.Errorf("nodeloss: node %d out of range", v)
+		}
+		if !(loss[k] > 0) || math.IsInf(loss[k], 0) || math.IsNaN(loss[k]) {
+			return nil, fmt.Errorf("nodeloss: invalid loss %g at node %d", loss[k], k)
+		}
+	}
+	return &Instance{
+		Space: space,
+		Nodes: append([]int(nil), nodes...),
+		Loss:  append([]float64(nil), loss...),
+	}, nil
+}
+
+// N returns the number of active nodes.
+func (nl *Instance) N() int { return len(nl.Nodes) }
+
+// Dist returns the metric distance between active nodes i and j.
+func (nl *Instance) Dist(i, j int) float64 { return nl.Space.Dist(nl.Nodes[i], nl.Nodes[j]) }
+
+// SqrtPowers returns the square root power assignment p̄_i = √ℓ_i.
+func (nl *Instance) SqrtPowers() []float64 {
+	out := make([]float64, nl.N())
+	for i, l := range nl.Loss {
+		out[i] = math.Sqrt(l)
+	}
+	return out
+}
+
+// PairMapping relates a pair instance and its node-loss split.
+type PairMapping struct {
+	// NodeOfEndpoint[2i] and [2i+1] are the active-node indices of request
+	// i's endpoints U and V.
+	NodeOfEndpoint []int
+	// PairOfNode[k] is the request index whose endpoint active node k is.
+	PairOfNode []int
+}
+
+// FromPairs splits a bidirectional pair instance into the corresponding
+// node-loss instance (Section 3.2): every request endpoint becomes an
+// active node whose loss parameter is the loss of its own request. Requests
+// must not share endpoint nodes (coincident nodes would make the node-loss
+// interference infinite).
+func FromPairs(m sinr.Model, in *problem.Instance) (*Instance, *PairMapping, error) {
+	seen := make(map[int]bool, 2*in.N())
+	nodes := make([]int, 0, 2*in.N())
+	loss := make([]float64, 0, 2*in.N())
+	mapping := &PairMapping{
+		NodeOfEndpoint: make([]int, 2*in.N()),
+		PairOfNode:     make([]int, 0, 2*in.N()),
+	}
+	for i, r := range in.Reqs {
+		l := m.RequestLoss(in, i)
+		for e, w := range [2]int{r.U, r.V} {
+			if seen[w] {
+				return nil, nil, fmt.Errorf("nodeloss: node %d used by more than one request", w)
+			}
+			seen[w] = true
+			mapping.NodeOfEndpoint[2*i+e] = len(nodes)
+			mapping.PairOfNode = append(mapping.PairOfNode, i)
+			nodes = append(nodes, w)
+			loss = append(loss, l)
+		}
+	}
+	nl, err := New(in.Space, nodes, loss)
+	if err != nil {
+		return nil, nil, err
+	}
+	return nl, mapping, nil
+}
+
+// PairGainToNodeGain converts a gain for the bidirectional pair problem to
+// the gain guaranteed for the node-loss split: a set of pairs feasible with
+// gain β yields a node set that is β/(2+β)-feasible (Section 3.2).
+func PairGainToNodeGain(beta float64) float64 { return beta / (2 + beta) }
+
+// Interference returns Σ_{j∈set, j≠i} p_j/ℓ(i,j) at active node i.
+func (nl *Instance) Interference(m sinr.Model, powers []float64, set []int, i int) float64 {
+	var sum float64
+	for _, j := range set {
+		if j == i {
+			continue
+		}
+		d := nl.Dist(i, j)
+		sum += powers[j] / m.Loss(d)
+	}
+	return sum
+}
+
+// Margin returns the normalized slack of node i's constraint within set at
+// gain beta: (signal - beta·interference)/signal.
+func (nl *Instance) Margin(m sinr.Model, beta float64, powers []float64, set []int, i int) float64 {
+	signal := powers[i] / nl.Loss[i]
+	if signal == 0 {
+		return math.Inf(-1)
+	}
+	return (signal - beta*(nl.Interference(m, powers, set, i)+m.Noise)) / signal
+}
+
+const tol = 1e-9
+
+// Feasible reports whether set is beta-feasible for the given powers.
+func (nl *Instance) Feasible(m sinr.Model, beta float64, powers []float64, set []int) bool {
+	for _, i := range set {
+		if nl.Margin(m, beta, powers, set, i) < -tol {
+			return false
+		}
+	}
+	return true
+}
+
+// PairsWithBothEndpoints returns the request indices of the pair instance
+// whose two endpoint nodes both appear in the node subset (given as
+// active-node indices).
+func PairsWithBothEndpoints(mapping *PairMapping, nodes []int) []int {
+	in := make(map[int]bool, len(nodes))
+	for _, k := range nodes {
+		in[k] = true
+	}
+	n := len(mapping.NodeOfEndpoint) / 2
+	var out []int
+	for i := 0; i < n; i++ {
+		if in[mapping.NodeOfEndpoint[2*i]] && in[mapping.NodeOfEndpoint[2*i+1]] {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// ThinToGain greedily removes nodes until set is beta-feasible under the
+// given powers, dropping in each round the node that exerts the largest
+// total normalized interference on the others. It mirrors
+// coloring.ThinToGain for the node-loss problem.
+func (nl *Instance) ThinToGain(m sinr.Model, beta float64, powers []float64, set []int) []int {
+	cur := append([]int(nil), set...)
+	for len(cur) > 0 {
+		if nl.Feasible(m, beta, powers, cur) {
+			return cur
+		}
+		worst, worstScore := 0, math.Inf(-1)
+		for a, j := range cur {
+			var score float64
+			for _, i := range cur {
+				if i == j {
+					continue
+				}
+				score += powers[j] / m.Loss(nl.Dist(i, j)) * nl.Loss[i] / powers[i]
+			}
+			if score > worstScore {
+				worstScore = score
+				worst = a
+			}
+		}
+		cur = append(cur[:worst], cur[worst+1:]...)
+	}
+	return cur
+}

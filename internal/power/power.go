@@ -1,0 +1,106 @@
+// Package power implements oblivious power assignments.
+//
+// A power assignment is oblivious (Section 1.1 of the paper) if there is a
+// function f: R>0 → R>0 such that the power of every request i is
+// p_i = f(ℓ(u_i, v_i)), i.e. it depends only on the loss between the
+// request's own endpoints. The paper's central assignment is the square
+// root assignment p̄_i = √ℓ(u_i, v_i).
+package power
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/problem"
+	"repro/internal/sinr"
+)
+
+// Assignment is an oblivious power assignment: a function of the loss
+// between a request's endpoints.
+type Assignment interface {
+	// Name identifies the assignment in experiment output.
+	Name() string
+	// Power returns the power for a request whose endpoint loss is loss.
+	Power(loss float64) float64
+}
+
+// funcAssignment adapts an arbitrary function to the Assignment interface.
+type funcAssignment struct {
+	name string
+	f    func(loss float64) float64
+}
+
+func (a funcAssignment) Name() string               { return a.name }
+func (a funcAssignment) Power(loss float64) float64 { return a.f(loss) }
+
+// Func wraps an arbitrary oblivious power function.
+func Func(name string, f func(loss float64) float64) Assignment {
+	return funcAssignment{name: name, f: f}
+}
+
+// Uniform returns the uniform power assignment: every request transmits with
+// the same constant power p.
+func Uniform(p float64) Assignment {
+	return funcAssignment{name: "uniform", f: func(float64) float64 { return p }}
+}
+
+// Linear returns the linear power assignment p_i = ℓ_i: the power is
+// proportional to the loss, so the received signal strength at the
+// request's own receiver is constant. It is the energy-minimal assignment
+// (up to the noise floor) discussed in Section 6.
+func Linear() Assignment {
+	return funcAssignment{name: "linear", f: func(loss float64) float64 { return loss }}
+}
+
+// Sqrt returns the square root power assignment p̄_i = √ℓ_i, the paper's
+// universally good assignment for the bidirectional problem (Theorem 2).
+func Sqrt() Assignment {
+	return funcAssignment{name: "sqrt", f: math.Sqrt}
+}
+
+// Exponent returns the assignment p_i = ℓ_i^τ. Exponent(0) behaves like
+// Uniform(1), Exponent(0.5) like Sqrt, and Exponent(1) like Linear; the
+// exponent-sweep experiment (E8) uses intermediate values.
+func Exponent(tau float64) Assignment {
+	return funcAssignment{
+		name: fmt.Sprintf("loss^%.3g", tau),
+		f:    func(loss float64) float64 { return math.Pow(loss, tau) },
+	}
+}
+
+// Powers evaluates the assignment on every request of the instance.
+func Powers(m sinr.Model, in *problem.Instance, a Assignment) []float64 {
+	out := make([]float64, in.N())
+	for i := range out {
+		out[i] = a.Power(m.RequestLoss(in, i))
+	}
+	return out
+}
+
+// Scale multiplies all powers by c and returns a new slice. Scaling all
+// powers by the same positive factor preserves feasibility when the noise
+// is zero (Section 1.1) and is used to lift zero-noise schedules to
+// positive noise.
+func Scale(powers []float64, c float64) []float64 {
+	out := make([]float64, len(powers))
+	for i, p := range powers {
+		out[i] = p * c
+	}
+	return out
+}
+
+// TotalEnergy returns the sum of the powers of the requests in set, or of
+// all requests if set is nil.
+func TotalEnergy(powers []float64, set []int) float64 {
+	var sum float64
+	if set == nil {
+		for _, p := range powers {
+			sum += p
+		}
+		return sum
+	}
+	for _, i := range set {
+		sum += powers[i]
+	}
+	return sum
+}

@@ -1,0 +1,121 @@
+package power
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/problem"
+	"repro/internal/sinr"
+)
+
+func TestAssignmentValues(t *testing.T) {
+	tests := []struct {
+		a    Assignment
+		loss float64
+		want float64
+		name string
+	}{
+		{a: Uniform(2), loss: 100, want: 2, name: "uniform"},
+		{a: Linear(), loss: 100, want: 100, name: "linear"},
+		{a: Sqrt(), loss: 100, want: 10, name: "sqrt"},
+		{a: Exponent(0), loss: 100, want: 1, name: "loss^0"},
+		{a: Exponent(0.5), loss: 100, want: 10, name: "loss^0.5"},
+		{a: Exponent(2), loss: 10, want: 100, name: "loss^2"},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := tc.a.Power(tc.loss); math.Abs(got-tc.want) > 1e-12 {
+				t.Errorf("%s.Power(%g) = %g, want %g", tc.a.Name(), tc.loss, got, tc.want)
+			}
+			if tc.a.Name() != tc.name {
+				t.Errorf("Name = %q, want %q", tc.a.Name(), tc.name)
+			}
+		})
+	}
+}
+
+func TestFunc(t *testing.T) {
+	a := Func("cube", func(l float64) float64 { return l * l * l })
+	if a.Name() != "cube" {
+		t.Errorf("Name = %q", a.Name())
+	}
+	if got := a.Power(2); got != 8 {
+		t.Errorf("Power(2) = %g, want 8", got)
+	}
+}
+
+func TestPowers(t *testing.T) {
+	line, err := geom.NewLine([]float64{0, 2, 10, 14})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := problem.New(line, []problem.Request{{U: 0, V: 1}, {U: 2, V: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sinr.Model{Alpha: 2, Beta: 1}
+	got := Powers(m, in, Sqrt())
+	// Lengths 2 and 4, losses 4 and 16, sqrt powers 2 and 4.
+	if got[0] != 2 || got[1] != 4 {
+		t.Errorf("sqrt powers = %v, want [2 4]", got)
+	}
+}
+
+func TestScale(t *testing.T) {
+	in := []float64{1, 2, 3}
+	got := Scale(in, 10)
+	if got[0] != 10 || got[2] != 30 {
+		t.Errorf("Scale = %v", got)
+	}
+	if in[0] != 1 {
+		t.Error("Scale mutated its input")
+	}
+}
+
+func TestTotalEnergy(t *testing.T) {
+	p := []float64{1, 2, 4}
+	if got := TotalEnergy(p, nil); got != 7 {
+		t.Errorf("TotalEnergy(nil) = %g, want 7", got)
+	}
+	if got := TotalEnergy(p, []int{0, 2}); got != 5 {
+		t.Errorf("TotalEnergy([0 2]) = %g, want 5", got)
+	}
+}
+
+// TestSqrtIsGeometricMean: the square root assignment is the geometric mean
+// of uniform (exponent 0) and linear (exponent 1) on every loss.
+func TestSqrtIsGeometricMean(t *testing.T) {
+	f := func(x float64) bool {
+		l := math.Abs(x) + 0.001
+		s := Sqrt().Power(l)
+		u := Exponent(0).Power(l)
+		lin := Linear().Power(l)
+		return math.Abs(s-math.Sqrt(u*lin)) < 1e-9*s
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(3))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestExponentMonotone: ℓ^τ is monotone in ℓ for τ > 0 and monotone in τ
+// for ℓ > 1.
+func TestExponentMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		l1 := 1 + math.Abs(a)
+		l2 := l1 + math.Abs(b) + 0.001
+		for _, tau := range []float64{0.25, 0.5, 1, 1.5} {
+			if Exponent(tau).Power(l1) > Exponent(tau).Power(l2) {
+				return false
+			}
+		}
+		return Exponent(0.3).Power(l2) <= Exponent(0.7).Power(l2)
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(4))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

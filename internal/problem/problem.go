@@ -1,0 +1,172 @@
+// Package problem defines the interference scheduling problem instances and
+// schedules shared by all algorithms in this repository.
+//
+// An Instance is a metric space together with a list of communication
+// requests, each a pair of node indices. A Schedule assigns every request a
+// power level and a color; the requests of a color class are meant to
+// communicate simultaneously under the SINR model (package sinr).
+package problem
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Request is a communication request between two nodes of the metric space.
+// In the directed variant U is the sender and V the receiver; in the
+// bidirectional variant the two endpoints exchange signals in both
+// directions.
+type Request struct {
+	U int `json:"u"`
+	V int `json:"v"`
+}
+
+// Instance is a set of communication requests over a metric space.
+type Instance struct {
+	Space geom.Metric
+	Reqs  []Request
+}
+
+// New builds an instance, validating that all request endpoints are distinct
+// nodes of the space.
+func New(space geom.Metric, reqs []Request) (*Instance, error) {
+	if space == nil {
+		return nil, errors.New("problem: nil metric space")
+	}
+	if len(reqs) == 0 {
+		return nil, errors.New("problem: no requests")
+	}
+	n := space.N()
+	for i, r := range reqs {
+		if r.U < 0 || r.U >= n || r.V < 0 || r.V >= n {
+			return nil, fmt.Errorf("problem: request %d endpoints (%d,%d) out of range [0,%d)", i, r.U, r.V, n)
+		}
+		if r.U == r.V {
+			return nil, fmt.Errorf("problem: request %d has identical endpoints %d", i, r.U)
+		}
+		if space.Dist(r.U, r.V) == 0 {
+			return nil, fmt.Errorf("problem: request %d endpoints coincide in the metric", i)
+		}
+	}
+	return &Instance{Space: space, Reqs: append([]Request(nil), reqs...)}, nil
+}
+
+// N returns the number of requests.
+func (in *Instance) N() int { return len(in.Reqs) }
+
+// Length returns the distance between the endpoints of request i.
+func (in *Instance) Length(i int) float64 {
+	r := in.Reqs[i]
+	return in.Space.Dist(r.U, r.V)
+}
+
+// Lengths returns the distances of all requests.
+func (in *Instance) Lengths() []float64 {
+	out := make([]float64, in.N())
+	for i := range in.Reqs {
+		out[i] = in.Length(i)
+	}
+	return out
+}
+
+// Restrict returns a new instance containing only the requests with the
+// given indices (over the same metric space), plus the mapping from new
+// request index to original index.
+func (in *Instance) Restrict(idx []int) (*Instance, []int, error) {
+	if len(idx) == 0 {
+		return nil, nil, errors.New("problem: empty restriction")
+	}
+	reqs := make([]Request, 0, len(idx))
+	mapping := make([]int, 0, len(idx))
+	for _, i := range idx {
+		if i < 0 || i >= in.N() {
+			return nil, nil, fmt.Errorf("problem: request index %d out of range", i)
+		}
+		reqs = append(reqs, in.Reqs[i])
+		mapping = append(mapping, i)
+	}
+	sub, err := New(in.Space, reqs)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sub, mapping, nil
+}
+
+// Schedule assigns a power level and a color to every request of an
+// instance. Colors are 0-based and contiguous in well-formed schedules.
+type Schedule struct {
+	// Colors[i] is the color (time slot) of request i.
+	Colors []int
+	// Powers[i] is the transmission power of request i.
+	Powers []float64
+}
+
+// NewSchedule allocates an empty schedule for n requests with all colors
+// set to -1 (unassigned).
+func NewSchedule(n int) *Schedule {
+	s := &Schedule{
+		Colors: make([]int, n),
+		Powers: make([]float64, n),
+	}
+	for i := range s.Colors {
+		s.Colors[i] = -1
+	}
+	return s
+}
+
+// NumColors returns the number of distinct colors used, assuming colors are
+// 0-based; unassigned requests (color -1) are ignored.
+func (s *Schedule) NumColors() int {
+	max := -1
+	for _, c := range s.Colors {
+		if c > max {
+			max = c
+		}
+	}
+	return max + 1
+}
+
+// Class returns the request indices assigned color c.
+func (s *Schedule) Class(c int) []int {
+	var out []int
+	for i, ci := range s.Colors {
+		if ci == c {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Classes returns all color classes indexed by color.
+func (s *Schedule) Classes() [][]int {
+	k := s.NumColors()
+	out := make([][]int, k)
+	for i, c := range s.Colors {
+		if c >= 0 {
+			out[c] = append(out[c], i)
+		}
+	}
+	return out
+}
+
+// Complete reports whether every request has been assigned a color.
+func (s *Schedule) Complete() bool {
+	for _, c := range s.Colors {
+		if c < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TotalEnergy returns the sum of the powers of all requests. It is the
+// energy measure used by the performance/energy tradeoff experiment (E10).
+func (s *Schedule) TotalEnergy() float64 {
+	var sum float64
+	for _, p := range s.Powers {
+		sum += p
+	}
+	return sum
+}

@@ -1,0 +1,126 @@
+package problem
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func line(t *testing.T, xs ...float64) geom.Metric {
+	t.Helper()
+	l, err := geom.NewLine(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestNewValidation(t *testing.T) {
+	space := line(t, 0, 1, 2, 2)
+	tests := []struct {
+		name    string
+		reqs    []Request
+		wantErr bool
+	}{
+		{name: "no requests", reqs: nil, wantErr: true},
+		{name: "out of range", reqs: []Request{{U: 0, V: 9}}, wantErr: true},
+		{name: "negative", reqs: []Request{{U: -1, V: 1}}, wantErr: true},
+		{name: "identical endpoints", reqs: []Request{{U: 1, V: 1}}, wantErr: true},
+		{name: "coincident in metric", reqs: []Request{{U: 2, V: 3}}, wantErr: true},
+		{name: "valid", reqs: []Request{{U: 0, V: 1}, {U: 1, V: 2}}, wantErr: false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := New(space, tc.reqs)
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("New error = %v, wantErr %v", err, tc.wantErr)
+			}
+		})
+	}
+	if _, err := New(nil, []Request{{U: 0, V: 1}}); err == nil {
+		t.Error("nil space should be rejected")
+	}
+}
+
+func TestLengths(t *testing.T) {
+	in, err := New(line(t, 0, 2, 10, 13), []Request{{U: 0, V: 1}, {U: 2, V: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Length(1); got != 3 {
+		t.Errorf("Length(1) = %g, want 3", got)
+	}
+	ls := in.Lengths()
+	if len(ls) != 2 || ls[0] != 2 || ls[1] != 3 {
+		t.Errorf("Lengths = %v, want [2 3]", ls)
+	}
+	if in.N() != 2 {
+		t.Errorf("N = %d, want 2", in.N())
+	}
+}
+
+func TestRequestsAreCopied(t *testing.T) {
+	reqs := []Request{{U: 0, V: 1}}
+	in, err := New(line(t, 0, 1), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs[0].V = 0
+	if in.Reqs[0].V != 1 {
+		t.Error("instance shares the caller's request slice")
+	}
+}
+
+func TestRestrict(t *testing.T) {
+	in, err := New(line(t, 0, 1, 5, 7, 20, 24), []Request{{U: 0, V: 1}, {U: 2, V: 3}, {U: 4, V: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, mapping, err := in.Restrict([]int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 2 {
+		t.Fatalf("sub.N = %d, want 2", sub.N())
+	}
+	if sub.Length(0) != 4 || sub.Length(1) != 1 {
+		t.Errorf("restricted lengths = %g, %g; want 4, 1", sub.Length(0), sub.Length(1))
+	}
+	if mapping[0] != 2 || mapping[1] != 0 {
+		t.Errorf("mapping = %v, want [2 0]", mapping)
+	}
+	if _, _, err := in.Restrict(nil); err == nil {
+		t.Error("empty restriction should fail")
+	}
+	if _, _, err := in.Restrict([]int{9}); err == nil {
+		t.Error("out-of-range restriction should fail")
+	}
+}
+
+func TestScheduleHelpers(t *testing.T) {
+	s := NewSchedule(4)
+	if s.Complete() {
+		t.Error("fresh schedule should be incomplete")
+	}
+	if s.NumColors() != 0 {
+		t.Errorf("NumColors of fresh schedule = %d, want 0", s.NumColors())
+	}
+	s.Colors = []int{0, 1, 0, 2}
+	s.Powers = []float64{1, 2, 3, 4}
+	if !s.Complete() {
+		t.Error("schedule should be complete")
+	}
+	if got := s.NumColors(); got != 3 {
+		t.Errorf("NumColors = %d, want 3", got)
+	}
+	if got := s.Class(0); len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Errorf("Class(0) = %v, want [0 2]", got)
+	}
+	classes := s.Classes()
+	if len(classes) != 3 || len(classes[1]) != 1 || classes[1][0] != 1 {
+		t.Errorf("Classes = %v", classes)
+	}
+	if got := s.TotalEnergy(); got != 10 {
+		t.Errorf("TotalEnergy = %g, want 10", got)
+	}
+}

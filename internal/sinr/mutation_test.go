@@ -1,0 +1,93 @@
+package sinr
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/problem"
+)
+
+// buildContendedValid builds a clustered instance and a hand-rolled valid
+// schedule (one request per color), then checks that specific corruptions
+// are detected by CheckSchedule. These mutation tests pin down that the
+// validator cannot be fooled by the failure modes the algorithms could
+// plausibly produce.
+func buildContendedValid(t *testing.T) (*problem.Instance, *problem.Schedule, Model) {
+	t.Helper()
+	// Two overlapping unit pairs very close together plus one far pair.
+	l, err := geom.NewLine([]float64{0, 1, 0.4, 1.4, 200, 201})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := problem.New(l, []problem.Request{{U: 0, V: 1}, {U: 2, V: 3}, {U: 4, V: 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Model{Alpha: 3, Beta: 1}
+	s := problem.NewSchedule(3)
+	s.Colors = []int{0, 1, 0} // the near pairs are separated; far pair joins 0
+	s.Powers = []float64{1, 1, 1}
+	if err := m.CheckSchedule(in, Bidirectional, s); err != nil {
+		t.Fatalf("fixture schedule should be valid: %v", err)
+	}
+	return in, s, m
+}
+
+func TestMutationMergeContendedColors(t *testing.T) {
+	in, s, m := buildContendedValid(t)
+	s.Colors[1] = 0 // force the two overlapping pairs into one slot
+	if err := m.CheckSchedule(in, Bidirectional, s); err == nil {
+		t.Error("merging contended colors must be detected")
+	}
+}
+
+func TestMutationWeakenPower(t *testing.T) {
+	in, s, m := buildContendedValid(t)
+	// Pair 2 shares color 0 with pair 0; starving pair 2's power by 10^9
+	// sinks its SINR against pair 0's interference.
+	s.Powers[2] = 1e-9
+	if err := m.CheckSchedule(in, Bidirectional, s); err == nil {
+		t.Error("starved power must be detected")
+	}
+}
+
+func TestMutationNegativePower(t *testing.T) {
+	in, s, m := buildContendedValid(t)
+	s.Powers[0] = -1
+	if err := m.CheckSchedule(in, Bidirectional, s); err == nil {
+		t.Error("negative power must be detected")
+	}
+}
+
+func TestMutationUncolor(t *testing.T) {
+	in, s, m := buildContendedValid(t)
+	s.Colors[0] = -1
+	if err := m.CheckSchedule(in, Bidirectional, s); err == nil {
+		t.Error("unassigned request must be detected")
+	}
+}
+
+func TestMutationEmptyColorClass(t *testing.T) {
+	in, s, m := buildContendedValid(t)
+	s.Colors = []int{0, 2, 0} // color 1 is empty
+	if err := m.CheckSchedule(in, Bidirectional, s); err == nil {
+		t.Error("empty color class must be detected")
+	}
+}
+
+// TestMutationRandomizedBoostIsFine: corruptions that only increase a
+// request's own power while it sits alone in its color must stay valid —
+// guarding against an over-strict validator.
+func TestMutationRandomizedBoostIsFine(t *testing.T) {
+	in, s, m := buildContendedValid(t)
+	rng := rand.New(rand.NewSource(1))
+	s.Colors = []int{0, 1, 2} // everyone alone
+	for trial := 0; trial < 20; trial++ {
+		i := rng.Intn(3)
+		s.Powers[i] *= 1 + rng.Float64()*10
+		if err := m.CheckSchedule(in, Bidirectional, s); err != nil {
+			t.Fatalf("solo power boost flagged as invalid: %v", err)
+		}
+	}
+}

@@ -1,0 +1,83 @@
+package sinr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/problem"
+)
+
+// ErrNoSlack is returned by LiftSchedule when some SINR constraint of the
+// zero-noise schedule is tight, so no finite power scaling can absorb a
+// positive noise term.
+var ErrNoSlack = errors.New("sinr: schedule has no slack to absorb noise")
+
+// LiftSchedule implements the observation of Section 1.1 constructively:
+// a schedule that is feasible for ν = 0 (with strict inequalities) remains
+// feasible for any noise ν > 0 after multiplying all power levels by a
+// sufficiently large factor. The method computes the smallest safe factor
+// from the schedule's absolute slacks, returns the scaled schedule, and
+// verifies it against the noisy model.
+//
+// The receiver's Noise field is ignored (the slack analysis is for ν = 0);
+// nu is the target noise level.
+func (m Model) LiftSchedule(in *problem.Instance, v Variant, s *problem.Schedule, nu float64) (*problem.Schedule, error) {
+	if !(nu > 0) || math.IsInf(nu, 0) || math.IsNaN(nu) {
+		return nil, fmt.Errorf("sinr: target noise must be positive and finite, got %g", nu)
+	}
+	zero := m
+	zero.Noise = 0
+	if err := zero.CheckSchedule(in, v, s); err != nil {
+		return nil, fmt.Errorf("sinr: schedule infeasible already at zero noise: %w", err)
+	}
+
+	// Minimum absolute slack signal_i − β·I_i over all requests. The scale
+	// factor c must satisfy c·slack_i ≥ β·ν for all i.
+	minSlack := math.Inf(1)
+	for _, class := range s.Classes() {
+		for _, i := range class {
+			signal := s.Powers[i] / zero.RequestLoss(in, i)
+			var demand float64
+			switch v {
+			case Directed:
+				demand = zero.Beta * zero.DirectedInterference(in, s.Powers, class, i)
+			case Bidirectional:
+				r := in.Reqs[i]
+				du := zero.BidirectionalInterference(in, s.Powers, class, r.U, i)
+				dv := zero.BidirectionalInterference(in, s.Powers, class, r.V, i)
+				demand = zero.Beta * math.Max(du, dv)
+			default:
+				return nil, fmt.Errorf("sinr: unknown variant %d", int(v))
+			}
+			if slack := signal - demand; slack < minSlack {
+				minSlack = slack
+			}
+		}
+	}
+	if !(minSlack > 0) {
+		return nil, ErrNoSlack
+	}
+
+	// Safety headroom of 1% over the exact threshold.
+	c := 1.01 * m.Beta * nu / minSlack
+	if c < 1 {
+		c = 1
+	}
+	lifted := &problem.Schedule{
+		Colors: append([]int(nil), s.Colors...),
+		Powers: make([]float64, len(s.Powers)),
+	}
+	for i, p := range s.Powers {
+		lifted.Powers[i] = p * c
+		if math.IsInf(lifted.Powers[i], 0) {
+			return nil, fmt.Errorf("sinr: lifted power overflows for request %d (factor %g)", i, c)
+		}
+	}
+	noisy := m
+	noisy.Noise = nu
+	if err := noisy.CheckSchedule(in, v, lifted); err != nil {
+		return nil, fmt.Errorf("sinr: lifted schedule failed verification: %w", err)
+	}
+	return lifted, nil
+}

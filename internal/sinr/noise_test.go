@@ -1,0 +1,130 @@
+package sinr
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/problem"
+)
+
+func liftFixture(t *testing.T) (*problem.Instance, *problem.Schedule) {
+	t.Helper()
+	in := twoPairLine(t, 50)
+	s := problem.NewSchedule(2)
+	s.Colors = []int{0, 0}
+	s.Powers = []float64{1, 1}
+	return in, s
+}
+
+func TestLiftScheduleBasic(t *testing.T) {
+	m := Model{Alpha: 3, Beta: 1}
+	in, s := liftFixture(t)
+	lifted, err := m.LiftSchedule(in, Directed, s, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := Model{Alpha: 3, Beta: 1, Noise: 5}
+	if err := noisy.CheckSchedule(in, Directed, lifted); err != nil {
+		t.Errorf("lifted schedule invalid: %v", err)
+	}
+	// The original powers must be untouched.
+	if s.Powers[0] != 1 {
+		t.Error("LiftSchedule mutated its input")
+	}
+	// Powers must have grown to beat the noise.
+	if lifted.Powers[0] <= s.Powers[0] {
+		t.Error("lifted powers did not increase")
+	}
+}
+
+func TestLiftScheduleBidirectional(t *testing.T) {
+	m := Model{Alpha: 3, Beta: 1}
+	in, s := liftFixture(t)
+	lifted, err := m.LiftSchedule(in, Bidirectional, s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := Model{Alpha: 3, Beta: 1, Noise: 2}
+	if err := noisy.CheckSchedule(in, Bidirectional, lifted); err != nil {
+		t.Errorf("lifted schedule invalid: %v", err)
+	}
+}
+
+func TestLiftScheduleValidation(t *testing.T) {
+	m := Model{Alpha: 3, Beta: 1}
+	in, s := liftFixture(t)
+	if _, err := m.LiftSchedule(in, Directed, s, 0); err == nil {
+		t.Error("zero noise target should fail")
+	}
+	if _, err := m.LiftSchedule(in, Directed, s, -1); err == nil {
+		t.Error("negative noise target should fail")
+	}
+	// An infeasible base schedule is rejected.
+	bad := problem.NewSchedule(2)
+	bad.Colors = []int{0, 0}
+	bad.Powers = []float64{1, 1}
+	near := twoPairLine(t, 0.1)
+	if _, err := m.LiftSchedule(near, Directed, bad, 1); err == nil {
+		t.Error("infeasible base schedule should fail")
+	}
+}
+
+func TestLiftScheduleNoSlack(t *testing.T) {
+	// α=2, β=1, gap 1: the margin of request 0 is exactly zero (signal 1,
+	// interference 1), so no scaling absorbs noise.
+	m := Model{Alpha: 2, Beta: 1}
+	in := twoPairLine(t, 1)
+	s := problem.NewSchedule(2)
+	s.Colors = []int{0, 0}
+	s.Powers = []float64{1, 1}
+	_, err := m.LiftSchedule(in, Directed, s, 1)
+	if !errors.Is(err, ErrNoSlack) {
+		t.Errorf("error = %v, want ErrNoSlack", err)
+	}
+}
+
+// TestLiftScheduleProperty: lifting any greedy-style feasible schedule of
+// well-separated pairs validates at the target noise level.
+func TestLiftScheduleProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(6)
+		coords := make([]float64, 0, 2*n)
+		x := 0.0
+		reqs := make([]problem.Request, 0, n)
+		for i := 0; i < n; i++ {
+			coords = append(coords, x, x+1)
+			reqs = append(reqs, problem.Request{U: 2 * i, V: 2*i + 1})
+			x += 30 + r.Float64()*50
+		}
+		l, err := geom.NewLine(coords)
+		if err != nil {
+			return false
+		}
+		in, err := problem.New(l, reqs)
+		if err != nil {
+			return false
+		}
+		m := Model{Alpha: 3, Beta: 1}
+		s := problem.NewSchedule(n)
+		for i := range s.Colors {
+			s.Colors[i] = 0
+			s.Powers[i] = 1
+		}
+		nu := 0.1 + r.Float64()*100
+		lifted, err := m.LiftSchedule(in, Bidirectional, s, nu)
+		if err != nil {
+			return false
+		}
+		noisy := m
+		noisy.Noise = nu
+		return noisy.CheckSchedule(in, Bidirectional, lifted) == nil
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(97))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

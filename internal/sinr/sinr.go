@@ -1,0 +1,266 @@
+// Package sinr implements the physical interference model used throughout
+// the paper: path loss, the Signal to Interference plus Noise Ratio, and
+// feasibility checks for the directed and bidirectional variants of the
+// interference scheduling problem.
+//
+// Following Section 1.1 of the paper, the loss between nodes u and v is
+// ℓ(u,v) = d(u,v)^α and a set of simultaneously transmitting requests is
+// feasible if every request's SINR is at least the gain β. The paper's
+// analysis sets the noise ν to zero and requires strict inequality; the
+// checks here accept any ν ≥ 0 and use a relative tolerance so that
+// schedules produced by floating-point algorithms validate robustly.
+package sinr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/problem"
+)
+
+// Variant selects between the two SINR constraint systems of the paper.
+type Variant int
+
+const (
+	// Directed: each request has a dedicated sender U and receiver V; only
+	// the receiver's SINR constraint must hold (Section 1.1).
+	Directed Variant = iota + 1
+	// Bidirectional: both endpoints must be able to receive, and the
+	// interference from another pair at a point w is determined by the
+	// closer of that pair's endpoints: min{ℓ(u_j,w), ℓ(v_j,w)}.
+	Bidirectional
+)
+
+// String returns the variant name.
+func (v Variant) String() string {
+	switch v {
+	case Directed:
+		return "directed"
+	case Bidirectional:
+		return "bidirectional"
+	default:
+		return fmt.Sprintf("Variant(%d)", int(v))
+	}
+}
+
+// Model carries the parameters of the physical model.
+type Model struct {
+	// Alpha is the path-loss exponent α ≥ 1 (typically 2..5).
+	Alpha float64
+	// Beta is the gain β > 0: the minimum required SINR.
+	Beta float64
+	// Noise is the ambient noise ν ≥ 0. The paper's analysis uses ν = 0.
+	Noise float64
+}
+
+// Default returns the model parameters used by the experiments:
+// α = 3, β = 1, ν = 0.
+func Default() Model { return Model{Alpha: 3, Beta: 1, Noise: 0} }
+
+// Validate reports whether the model parameters are in their legal ranges.
+func (m Model) Validate() error {
+	if !(m.Alpha >= 1) || math.IsInf(m.Alpha, 0) {
+		return fmt.Errorf("sinr: alpha must be ≥ 1, got %g", m.Alpha)
+	}
+	if !(m.Beta > 0) || math.IsInf(m.Beta, 0) {
+		return fmt.Errorf("sinr: beta must be > 0, got %g", m.Beta)
+	}
+	if m.Noise < 0 || math.IsNaN(m.Noise) {
+		return fmt.Errorf("sinr: noise must be ≥ 0, got %g", m.Noise)
+	}
+	return nil
+}
+
+// WithBeta returns a copy of the model with the gain replaced by beta.
+func (m Model) WithBeta(beta float64) Model {
+	m.Beta = beta
+	return m
+}
+
+// Loss returns the path loss ℓ = d^α for a distance d.
+func (m Model) Loss(d float64) float64 { return math.Pow(d, m.Alpha) }
+
+// RequestLoss returns the loss between the endpoints of request i.
+func (m Model) RequestLoss(in *problem.Instance, i int) float64 {
+	return m.Loss(in.Length(i))
+}
+
+// RequestLosses returns the losses of all requests of the instance.
+func (m Model) RequestLosses(in *problem.Instance) []float64 {
+	out := make([]float64, in.N())
+	for i := range out {
+		out[i] = m.RequestLoss(in, i)
+	}
+	return out
+}
+
+// tol is the relative tolerance used by feasibility comparisons to absorb
+// floating-point error: a constraint signal ≥ β·interference is accepted if
+// signal ≥ β·interference·(1-tol).
+const tol = 1e-9
+
+// MinLossToNode returns min{ℓ(u_j, w), ℓ(v_j, w)}: the loss from the closer
+// endpoint of request j to node w (used by the bidirectional constraints).
+func (m Model) MinLossToNode(in *problem.Instance, j, w int) float64 {
+	r := in.Reqs[j]
+	du := in.Space.Dist(r.U, w)
+	dv := in.Space.Dist(r.V, w)
+	if dv < du {
+		du = dv
+	}
+	return m.Loss(du)
+}
+
+// DirectedInterference returns the interference received at the receiver of
+// request i from the senders of the other requests in set, under the given
+// powers: Σ_{j∈set, j≠i} p_j / ℓ(u_j, v_i).
+func (m Model) DirectedInterference(in *problem.Instance, powers []float64, set []int, i int) float64 {
+	vi := in.Reqs[i].V
+	var sum float64
+	for _, j := range set {
+		if j == i {
+			continue
+		}
+		sum += powers[j] / m.Loss(in.Space.Dist(in.Reqs[j].U, vi))
+	}
+	return sum
+}
+
+// BidirectionalInterference returns the interference received at node w from
+// the requests in set (excluding request excl, or none if excl < 0):
+// Σ_j p_j / min{ℓ(u_j,w), ℓ(v_j,w)}.
+func (m Model) BidirectionalInterference(in *problem.Instance, powers []float64, set []int, w, excl int) float64 {
+	var sum float64
+	for _, j := range set {
+		if j == excl {
+			continue
+		}
+		sum += powers[j] / m.MinLossToNode(in, j, w)
+	}
+	return sum
+}
+
+// DirectedMargin returns signal - β·(interference + noise) for request i
+// within set, normalized by the signal strength. A non-negative margin (up
+// to tolerance) means the constraint holds. Margins are useful for
+// diagnosing near-violations and for greedy thinning.
+func (m Model) DirectedMargin(in *problem.Instance, powers []float64, set []int, i int) float64 {
+	signal := powers[i] / m.RequestLoss(in, i)
+	demand := m.Beta * (m.DirectedInterference(in, powers, set, i) + m.Noise)
+	if signal == 0 {
+		return math.Inf(-1)
+	}
+	return (signal - demand) / signal
+}
+
+// BidirectionalMargin returns the worse of the two endpoint margins of
+// request i within set, normalized by the signal strength.
+func (m Model) BidirectionalMargin(in *problem.Instance, powers []float64, set []int, i int) float64 {
+	signal := powers[i] / m.RequestLoss(in, i)
+	if signal == 0 {
+		return math.Inf(-1)
+	}
+	r := in.Reqs[i]
+	worst := math.Inf(1)
+	for _, w := range [2]int{r.U, r.V} {
+		demand := m.Beta * (m.BidirectionalInterference(in, powers, set, w, i) + m.Noise)
+		if mg := (signal - demand) / signal; mg < worst {
+			worst = mg
+		}
+	}
+	return worst
+}
+
+// Margin dispatches to DirectedMargin or BidirectionalMargin.
+func (m Model) Margin(in *problem.Instance, v Variant, powers []float64, set []int, i int) float64 {
+	switch v {
+	case Directed:
+		return m.DirectedMargin(in, powers, set, i)
+	case Bidirectional:
+		return m.BidirectionalMargin(in, powers, set, i)
+	default:
+		panic(fmt.Sprintf("sinr: unknown variant %d", int(v)))
+	}
+}
+
+// RequestFeasible reports whether the SINR constraint of request i holds
+// when all requests of set transmit simultaneously with the given powers.
+func (m Model) RequestFeasible(in *problem.Instance, v Variant, powers []float64, set []int, i int) bool {
+	return m.Margin(in, v, powers, set, i) >= -tol
+}
+
+// SetFeasible reports whether all requests in set can transmit
+// simultaneously with the given powers.
+func (m Model) SetFeasible(in *problem.Instance, v Variant, powers []float64, set []int) bool {
+	for _, i := range set {
+		if !m.RequestFeasible(in, v, powers, set, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// ViolationError describes the first violated SINR constraint of a schedule.
+type ViolationError struct {
+	Variant Variant
+	Request int
+	Color   int
+	Margin  float64
+}
+
+// Error formats the violation.
+func (e *ViolationError) Error() string {
+	return fmt.Sprintf("sinr: %s SINR constraint violated for request %d in color %d (margin %.3g)",
+		e.Variant, e.Request, e.Color, e.Margin)
+}
+
+// CheckSchedule validates a complete schedule: every request must be
+// colored, powers must be positive, and every color class must be feasible.
+// It returns nil if the schedule is valid and a *ViolationError for the
+// first violated SINR constraint.
+func (m Model) CheckSchedule(in *problem.Instance, v Variant, s *problem.Schedule) error {
+	if len(s.Colors) != in.N() || len(s.Powers) != in.N() {
+		return fmt.Errorf("sinr: schedule size mismatch: %d colors, %d powers, %d requests",
+			len(s.Colors), len(s.Powers), in.N())
+	}
+	for i, c := range s.Colors {
+		if c < 0 {
+			return fmt.Errorf("sinr: request %d unassigned", i)
+		}
+		if !(s.Powers[i] > 0) {
+			return fmt.Errorf("sinr: request %d has non-positive power %g", i, s.Powers[i])
+		}
+	}
+	for c, class := range s.Classes() {
+		if len(class) == 0 {
+			return fmt.Errorf("sinr: empty color class %d", c)
+		}
+		for _, i := range class {
+			if mg := m.Margin(in, v, s.Powers, class, i); mg < -tol {
+				return &ViolationError{Variant: v, Request: i, Color: c, Margin: mg}
+			}
+		}
+	}
+	return nil
+}
+
+// ErrEmptySet is returned by helpers that require a non-empty request set.
+var ErrEmptySet = errors.New("sinr: empty request set")
+
+// WorstMargin returns the minimum margin over the set and the request index
+// attaining it.
+func (m Model) WorstMargin(in *problem.Instance, v Variant, powers []float64, set []int) (float64, int, error) {
+	if len(set) == 0 {
+		return 0, -1, ErrEmptySet
+	}
+	worst := math.Inf(1)
+	arg := set[0]
+	for _, i := range set {
+		if mg := m.Margin(in, v, powers, set, i); mg < worst {
+			worst = mg
+			arg = i
+		}
+	}
+	return worst, arg, nil
+}

@@ -1,0 +1,265 @@
+package sinr
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/problem"
+)
+
+// twoPairLine builds two unit-length requests on a line separated by gap:
+// u0=0, v0=1, u1=1+gap, v1=2+gap.
+func twoPairLine(t *testing.T, gap float64) *problem.Instance {
+	t.Helper()
+	line, err := geom.NewLine([]float64{0, 1, 1 + gap, 2 + gap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := problem.New(line, []problem.Request{{U: 0, V: 1}, {U: 2, V: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestModelValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		m       Model
+		wantErr bool
+	}{
+		{name: "default", m: Default(), wantErr: false},
+		{name: "alpha below one", m: Model{Alpha: 0.5, Beta: 1}, wantErr: true},
+		{name: "zero beta", m: Model{Alpha: 2, Beta: 0}, wantErr: true},
+		{name: "negative noise", m: Model{Alpha: 2, Beta: 1, Noise: -1}, wantErr: true},
+		{name: "positive noise ok", m: Model{Alpha: 2, Beta: 1, Noise: 0.5}, wantErr: false},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			if err := tc.m.Validate(); (err != nil) != tc.wantErr {
+				t.Fatalf("Validate() = %v, wantErr %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestLoss(t *testing.T) {
+	m := Model{Alpha: 3, Beta: 1}
+	if got := m.Loss(2); got != 8 {
+		t.Errorf("Loss(2) = %g, want 8", got)
+	}
+	if got := m.Loss(1); got != 1 {
+		t.Errorf("Loss(1) = %g, want 1", got)
+	}
+}
+
+func TestDirectedInterferenceHandComputed(t *testing.T) {
+	// Two unit pairs with gap 1: sender u1 at x=2, receiver v0 at x=1.
+	// With unit powers and α=2: interference at v0 from u1 is 1/(2-1)^2 = 1.
+	m := Model{Alpha: 2, Beta: 1}
+	in := twoPairLine(t, 1)
+	powers := []float64{1, 1}
+	got := m.DirectedInterference(in, powers, []int{0, 1}, 0)
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("interference at request 0 = %g, want 1", got)
+	}
+	// At request 1's receiver (x=3): sender u0 at x=0, distance 3 → 1/9.
+	got = m.DirectedInterference(in, powers, []int{0, 1}, 1)
+	if math.Abs(got-1.0/9) > 1e-12 {
+		t.Errorf("interference at request 1 = %g, want 1/9", got)
+	}
+}
+
+func TestBidirectionalUsesCloserEndpoint(t *testing.T) {
+	// Interference from request 1 at node v0 (x=1): closer endpoint of
+	// request 1 is u1 (x=2), distance 1, not v1 (x=3).
+	m := Model{Alpha: 2, Beta: 1}
+	in := twoPairLine(t, 1)
+	if got := m.MinLossToNode(in, 1, 1); got != 1 {
+		t.Errorf("MinLossToNode = %g, want 1 (closer endpoint u1)", got)
+	}
+	powers := []float64{1, 1}
+	got := m.BidirectionalInterference(in, powers, []int{1}, 1, -1)
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("bidirectional interference = %g, want 1", got)
+	}
+}
+
+func TestMarginSign(t *testing.T) {
+	m := Model{Alpha: 2, Beta: 1}
+	// Far apart: feasible together.
+	far := twoPairLine(t, 100)
+	powers := []float64{1, 1}
+	if mg := m.DirectedMargin(far, powers, []int{0, 1}, 0); mg <= 0 {
+		t.Errorf("far-apart margin = %g, want positive", mg)
+	}
+	// Touching pairs: infeasible with equal powers at β=1, α=2 (interferer
+	// at distance 1 equals the signal distance).
+	near := twoPairLine(t, 0.5)
+	if mg := m.DirectedMargin(near, powers, []int{0, 1}, 0); mg >= 0 {
+		t.Errorf("near margin = %g, want negative", mg)
+	}
+}
+
+func TestSetFeasibleVariants(t *testing.T) {
+	m := Model{Alpha: 3, Beta: 1}
+	in := twoPairLine(t, 50)
+	powers := []float64{1, 1}
+	for _, v := range []Variant{Directed, Bidirectional} {
+		if !m.SetFeasible(in, v, powers, []int{0, 1}) {
+			t.Errorf("%v: far-apart pairs should be feasible", v)
+		}
+	}
+	singleton := []int{0}
+	for _, v := range []Variant{Directed, Bidirectional} {
+		if !m.SetFeasible(in, v, powers, singleton) {
+			t.Errorf("%v: singleton should be feasible with zero noise", v)
+		}
+	}
+}
+
+func TestNoiseBreaksWeakSignals(t *testing.T) {
+	m := Model{Alpha: 2, Beta: 1, Noise: 10}
+	in := twoPairLine(t, 100)
+	weak := []float64{0.1, 0.1} // signal 0.1 < β·ν = 10
+	if m.SetFeasible(in, Directed, weak, []int{0}) {
+		t.Error("weak signal should fail against noise")
+	}
+	strong := []float64{100, 100}
+	if !m.SetFeasible(in, Directed, strong, []int{0}) {
+		t.Error("strong signal should pass against noise")
+	}
+}
+
+func TestCheckSchedule(t *testing.T) {
+	m := Model{Alpha: 3, Beta: 1}
+	in := twoPairLine(t, 50)
+	s := problem.NewSchedule(2)
+	s.Powers = []float64{1, 1}
+	s.Colors = []int{0, 0}
+	if err := m.CheckSchedule(in, Directed, s); err != nil {
+		t.Errorf("feasible schedule rejected: %v", err)
+	}
+
+	// Unassigned request.
+	s2 := problem.NewSchedule(2)
+	s2.Powers = []float64{1, 1}
+	if err := m.CheckSchedule(in, Directed, s2); err == nil {
+		t.Error("unassigned request should be rejected")
+	}
+
+	// Non-positive power.
+	s3 := problem.NewSchedule(2)
+	s3.Colors = []int{0, 1}
+	s3.Powers = []float64{0, 1}
+	if err := m.CheckSchedule(in, Directed, s3); err == nil {
+		t.Error("zero power should be rejected")
+	}
+
+	// Infeasible class yields a ViolationError.
+	near := twoPairLine(t, 0.25)
+	s4 := problem.NewSchedule(2)
+	s4.Colors = []int{0, 0}
+	s4.Powers = []float64{1, 1}
+	err := m.CheckSchedule(near, Directed, s4)
+	var ve *ViolationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("want ViolationError, got %v", err)
+	}
+	if ve.Color != 0 {
+		t.Errorf("violation color = %d, want 0", ve.Color)
+	}
+
+	// Size mismatch.
+	s5 := problem.NewSchedule(1)
+	if err := m.CheckSchedule(in, Directed, s5); err == nil {
+		t.Error("size mismatch should be rejected")
+	}
+}
+
+func TestWorstMargin(t *testing.T) {
+	m := Model{Alpha: 2, Beta: 1}
+	in := twoPairLine(t, 0.5)
+	powers := []float64{1, 1}
+	mg, arg, err := m.WorstMargin(in, Directed, powers, []int{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Request 0's receiver is next to request 1's sender: it must be the
+	// bottleneck.
+	if arg != 0 {
+		t.Errorf("worst request = %d, want 0", arg)
+	}
+	if mg >= 0 {
+		t.Errorf("worst margin = %g, want negative", mg)
+	}
+	if _, _, err := m.WorstMargin(in, Directed, powers, nil); !errors.Is(err, ErrEmptySet) {
+		t.Errorf("empty set error = %v, want ErrEmptySet", err)
+	}
+}
+
+// TestPowerScalingInvariance: with zero noise, scaling all powers by a
+// positive factor preserves every margin (Section 1.1 observation).
+func TestPowerScalingInvariance(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		m := Model{Alpha: 1 + 3*r.Float64(), Beta: 0.5 + r.Float64()}
+		n := 2 + r.Intn(6)
+		pts := make([][]float64, 2*n)
+		reqs := make([]problem.Request, n)
+		for i := 0; i < n; i++ {
+			x, y := r.Float64()*100, r.Float64()*100
+			pts[2*i] = []float64{x, y}
+			pts[2*i+1] = []float64{x + 1 + r.Float64()*5, y}
+			reqs[i] = problem.Request{U: 2 * i, V: 2*i + 1}
+		}
+		space, err := geom.NewEuclidean(pts)
+		if err != nil {
+			return false
+		}
+		in, err := problem.New(space, reqs)
+		if err != nil {
+			return false
+		}
+		powers := make([]float64, n)
+		for i := range powers {
+			powers[i] = 0.5 + r.Float64()*10
+		}
+		set := make([]int, n)
+		for i := range set {
+			set[i] = i
+		}
+		c := 0.001 + r.Float64()*1000
+		scaled := make([]float64, n)
+		for i := range scaled {
+			scaled[i] = powers[i] * c
+		}
+		for i := 0; i < n; i++ {
+			for _, v := range []Variant{Directed, Bidirectional} {
+				a := m.Margin(in, v, powers, set, i)
+				b := m.Margin(in, v, scaled, set, i)
+				if math.Abs(a-b) > 1e-6*(1+math.Abs(a)) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(7))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if Directed.String() != "directed" || Bidirectional.String() != "bidirectional" {
+		t.Error("variant names wrong")
+	}
+	if Variant(99).String() == "" {
+		t.Error("unknown variant should still format")
+	}
+}

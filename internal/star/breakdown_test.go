@@ -1,0 +1,96 @@
+package star
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sinr"
+)
+
+func TestBreakdownAdditivity(t *testing.T) {
+	m := sinr.Default()
+	rng := rand.New(rand.NewSource(5))
+	st, err := Random(rng, m, 32, 100, 0.1, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := make([]int, st.N())
+	for i := range set {
+		set[i] = i
+	}
+	powers := st.SqrtPowers()
+	betaPrime := 1.0
+	for i := 0; i < st.N(); i++ {
+		b := st.InterferenceBreakdown(m, betaPrime, set, i)
+		total := st.Interference(m, powers, set, i)
+		if math.Abs(b.Total()-total) > 1e-9*(1+total) {
+			t.Fatalf("node %d: breakdown %g != total %g", i, b.Total(), total)
+		}
+		if b.FromLarge < 0 || b.FromSmall < 0 {
+			t.Fatalf("node %d: negative component %+v", i, b)
+		}
+	}
+}
+
+func TestBreakdownAllLarge(t *testing.T) {
+	m := sinr.Default()
+	betaPrime := 1.0
+	thr := math.Pow(2, m.Alpha+1) / betaPrime
+	radii := []float64{1, 2, 4}
+	loss := make([]float64, 3)
+	for i, r := range radii {
+		loss[i] = m.Loss(r) * thr * 2
+	}
+	st, err := New(radii, loss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := []int{0, 1, 2}
+	for i := range set {
+		if !st.IsLargeLoss(m, betaPrime, i) {
+			t.Fatalf("node %d should be large-loss", i)
+		}
+		b := st.InterferenceBreakdown(m, betaPrime, set, i)
+		if b.FromSmall != 0 {
+			t.Errorf("node %d: FromSmall = %g, want 0", i, b.FromSmall)
+		}
+		if !b.LargeSelf {
+			t.Errorf("node %d: LargeSelf false", i)
+		}
+	}
+}
+
+// TestCrossInterferenceBoundedAfterSelect verifies the combined effect of
+// Lemmas 13/14 on mixed stars: after Select, at every kept node both the
+// large→ and small→ interference components stay within the node's full
+// β-budget (each component is at most the total, which Select certifies).
+func TestCrossInterferenceBoundedAfterSelect(t *testing.T) {
+	m := sinr.Default()
+	rng := rand.New(rand.NewSource(6))
+	st, err := Random(rng, m, 96, 500, 0.05, 500) // wide a-range: mixed regimes
+	if err != nil {
+		t.Fatal(err)
+	}
+	betaPrime := st.OptimalGain(m) * 0.9
+	if !(betaPrime > 0) || math.IsInf(betaPrime, 1) {
+		t.Skip("degenerate star")
+	}
+	beta := betaPrime / 64
+	kept, _, err := Select(m, st, betaPrime, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var largeCount int
+	for _, i := range kept {
+		b := st.InterferenceBreakdown(m, betaPrime, kept, i)
+		budget := 1 / (beta * math.Sqrt(st.Loss[i]))
+		if b.FromLarge > budget*(1+1e-9) || b.FromSmall > budget*(1+1e-9) {
+			t.Errorf("node %d: components (%g, %g) exceed budget %g", i, b.FromLarge, b.FromSmall, budget)
+		}
+		if b.LargeSelf {
+			largeCount++
+		}
+	}
+	t.Logf("kept %d nodes (%d large-loss)", len(kept), largeCount)
+}

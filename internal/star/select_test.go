@@ -1,0 +1,135 @@
+package star
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sinr"
+)
+
+// TestSelectAllLargeLoss exercises the Lemma 10 regime: every node has
+// a_i = ℓ_i/d_i above the 2^{α+1}/β' threshold, and the loss parameters
+// spread geometrically, so the whole star should survive at a modest
+// target gain.
+func TestSelectAllLargeLoss(t *testing.T) {
+	m := sinr.Default()
+	n := 12
+	betaPrime := 1.0
+	thresholdA := math.Pow(2, m.Alpha+1) / betaPrime // = 16 at α=3
+	radii := make([]float64, n)
+	loss := make([]float64, n)
+	for i := 0; i < n; i++ {
+		radii[i] = math.Pow(2, float64(i)) // decays 8^i
+		// Large-loss: a_i = 4·threshold, spreading ℓ_i geometrically.
+		loss[i] = m.Loss(radii[i]) * thresholdA * 4
+	}
+	st, err := New(radii, loss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lemma 10 promises feasibility at β ≈ β'/2^{α+2} when the star is
+	// β'-feasible; verify the implementation achieves a comparable target.
+	betaPrime = st.OptimalGain(m) * 0.9
+	if !(betaPrime > 0) || math.IsInf(betaPrime, 1) {
+		t.Skip("degenerate star")
+	}
+	beta := betaPrime / math.Pow(2, m.Alpha+3)
+	kept, stats, err := Select(m, st, betaPrime, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Feasible(m, beta, st.SqrtPowers(), kept) {
+		t.Error("kept set infeasible")
+	}
+	if len(kept) < n*3/4 {
+		t.Errorf("large-loss star kept only %d of %d (stats %+v)", len(kept), n, *stats)
+	}
+}
+
+// TestSelectAllSmallLoss exercises the Lemma 11 regime: loss parameters
+// well below the decay threshold.
+func TestSelectAllSmallLoss(t *testing.T) {
+	m := sinr.Default()
+	rng := rand.New(rand.NewSource(2))
+	n := 64
+	radii := make([]float64, n)
+	loss := make([]float64, n)
+	for i := 0; i < n; i++ {
+		radii[i] = 1 + rng.Float64()*100
+		// Small loss: a_i far below 2^{α+1}/β'.
+		loss[i] = m.Loss(radii[i]) * 0.01
+	}
+	st, err := New(radii, loss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	betaPrime := st.OptimalGain(m) * 0.9
+	if !(betaPrime > 0) || math.IsInf(betaPrime, 1) {
+		t.Skip("degenerate star")
+	}
+	beta := betaPrime / 256
+	kept, _, err := Select(m, st, betaPrime, beta)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.Feasible(m, beta, st.SqrtPowers(), kept) {
+		t.Error("kept set infeasible")
+	}
+	if len(kept) < n/2 {
+		t.Errorf("small-loss star kept only %d of %d", len(kept), n)
+	}
+}
+
+func TestSelectLightPostcondition(t *testing.T) {
+	m := sinr.Default()
+	rng := rand.New(rand.NewSource(3))
+	st, err := Random(rng, m, 48, 200, 0.5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, gain := range []float64{0.01, 0.1, 1} {
+		kept, err := SelectLight(m, st, gain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !st.Feasible(m, gain, st.SqrtPowers(), kept) {
+			t.Errorf("gain %g: kept set infeasible", gain)
+		}
+	}
+	if _, err := SelectLight(m, st, 0); err == nil {
+		t.Error("zero gain should fail")
+	}
+	if _, err := SelectLight(sinr.Model{Alpha: 0, Beta: 1}, st, 1); err == nil {
+		t.Error("invalid model should fail")
+	}
+}
+
+// TestSelectLightMonotoneInGain: a weaker target gain keeps at least as
+// many nodes.
+func TestSelectLightMonotoneInGain(t *testing.T) {
+	m := sinr.Default()
+	rng := rand.New(rand.NewSource(4))
+	st, err := Random(rng, m, 64, 500, 0.5, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	weak, err := SelectLight(m, st, 0.001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strong, err := SelectLight(m, st, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(weak) < len(strong) {
+		t.Errorf("weak gain kept %d < strong gain %d", len(weak), len(strong))
+	}
+}
+
+func TestSelectStatsDroppedTotal(t *testing.T) {
+	s := &SelectStats{DroppedMarkov: 1, DroppedInterference: 2, DroppedCrowding: 3, DroppedRepair: 4}
+	if got := s.Dropped(); got != 10 {
+		t.Errorf("Dropped = %d, want 10", got)
+	}
+}

@@ -1,0 +1,234 @@
+package star
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sinr"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Error("empty star should fail")
+	}
+	if _, err := New([]float64{1}, []float64{1, 2}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+	if _, err := New([]float64{0}, []float64{1}); err == nil {
+		t.Error("zero radius should fail")
+	}
+	if _, err := New([]float64{1}, []float64{-1}); err == nil {
+		t.Error("negative loss should fail")
+	}
+}
+
+func TestDecayAndPowers(t *testing.T) {
+	m := sinr.Model{Alpha: 3, Beta: 1}
+	st, err := New([]float64{2}, []float64{16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Decay(m, 0); got != 8 {
+		t.Errorf("decay = %g, want 8", got)
+	}
+	if got := st.SqrtPowers()[0]; got != 4 {
+		t.Errorf("sqrt power = %g, want 4", got)
+	}
+}
+
+func TestInterferenceHandComputed(t *testing.T) {
+	m := sinr.Model{Alpha: 2, Beta: 1}
+	st, err := New([]float64{1, 1, 2}, []float64{1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := []float64{1, 1, 1}
+	// At node 0: node 1 at distance 2 → 1/4; node 2 at distance 3 → 1/9.
+	want := 0.25 + 1.0/9
+	if got := st.Interference(m, p, []int{0, 1, 2}, 0); math.Abs(got-want) > 1e-12 {
+		t.Errorf("interference = %g, want %g", got, want)
+	}
+}
+
+func TestFeasibleSymmetricStar(t *testing.T) {
+	// n equal nodes: radii 1, losses 1, unit powers, α=2. Interference at
+	// each node is (n-1)/4; feasible iff 1 ≥ β(n-1)/4.
+	m := sinr.Model{Alpha: 2, Beta: 1}
+	radii := []float64{1, 1, 1}
+	loss := []float64{1, 1, 1}
+	st, err := New(radii, loss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := []float64{1, 1, 1}
+	if !st.Feasible(m, 1, p, []int{0, 1, 2}) {
+		t.Error("3 nodes at interference 1/2 should be feasible at gain 1")
+	}
+	big := make([]float64, 10)
+	one := make([]float64, 10)
+	all := make([]int, 10)
+	for i := range big {
+		big[i], one[i], all[i] = 1, 1, i
+	}
+	stBig, err := New(big, one)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stBig.Feasible(m, 1, one, all) {
+		t.Error("10 nodes at interference 9/4 should be infeasible at gain 1")
+	}
+}
+
+func TestOptimalGainSymmetric(t *testing.T) {
+	// Symmetric star: M_ij = ℓ/(2^α) for i≠j, spectral radius
+	// (n-1)·ℓ/2^α, so β* = 2^α/((n-1)·ℓ).
+	m := sinr.Model{Alpha: 3, Beta: 1}
+	n := 5
+	radii := make([]float64, n)
+	loss := make([]float64, n)
+	all := make([]int, n)
+	for i := range radii {
+		radii[i], loss[i], all[i] = 1, 2, i
+	}
+	st, err := New(radii, loss)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 8.0 / (4 * 2)
+	if got := st.OptimalGain(m); math.Abs(got-want) > 1e-6*want {
+		t.Errorf("OptimalGain = %g, want %g", got, want)
+	}
+	// Single node: infinite.
+	st1, _ := New([]float64{1}, []float64{1})
+	if got := st1.OptimalGain(m); !math.IsInf(got, 1) {
+		t.Errorf("single-node OptimalGain = %g, want +Inf", got)
+	}
+}
+
+func TestSelectValidation(t *testing.T) {
+	m := sinr.Default()
+	st, _ := New([]float64{1, 2}, []float64{1, 8})
+	if _, _, err := Select(m, st, 1, 2); err == nil {
+		t.Error("beta > betaPrime should fail")
+	}
+	if _, _, err := Select(m, st, -1, -1); err == nil {
+		t.Error("negative gains should fail")
+	}
+	if _, _, err := Select(sinr.Model{Alpha: 0, Beta: 1}, st, 1, 1); err == nil {
+		t.Error("invalid model should fail")
+	}
+}
+
+func TestSelectSingleton(t *testing.T) {
+	m := sinr.Default()
+	st, _ := New([]float64{1}, []float64{1})
+	kept, stats, err := Select(m, st, 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) != 1 || stats.Dropped() != 0 {
+		t.Errorf("kept = %v, dropped = %d", kept, stats.Dropped())
+	}
+}
+
+// TestSelectPostcondition: on feasible random stars, Select returns a
+// subset that is beta-feasible under the square root assignment.
+func TestSelectPostcondition(t *testing.T) {
+	m := sinr.Default()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		st, err := Random(r, m, 8+r.Intn(40), 100, 0.1, 100)
+		if err != nil {
+			return false
+		}
+		betaPrime := st.OptimalGain(m) * 0.9
+		if math.IsInf(betaPrime, 1) || betaPrime <= 0 {
+			return true
+		}
+		beta := betaPrime / 16
+		kept, _, err := Select(m, st, betaPrime, beta)
+		if err != nil {
+			return false
+		}
+		return st.Feasible(m, beta, st.SqrtPowers(), kept)
+	}
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(61))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSelectRetainsLargeFraction: Lemma 5's shape — with betaPrime ≫ beta,
+// the selection keeps most nodes of a feasible star.
+func TestSelectRetainsLargeFraction(t *testing.T) {
+	m := sinr.Default()
+	rng := rand.New(rand.NewSource(7))
+	var keptTotal, total int
+	for trial := 0; trial < 10; trial++ {
+		st, err := Random(rng, m, 64, 1000, 0.5, 50)
+		if err != nil {
+			t.Fatal(err)
+		}
+		betaPrime := st.OptimalGain(m) * 0.9
+		if betaPrime <= 0 || math.IsInf(betaPrime, 1) {
+			continue
+		}
+		beta := betaPrime / 1000
+		kept, _, err := Select(m, st, betaPrime, beta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keptTotal += len(kept)
+		total += st.N()
+	}
+	if total == 0 {
+		t.Skip("no feasible stars generated")
+	}
+	if frac := float64(keptTotal) / float64(total); frac < 0.5 {
+		t.Errorf("kept fraction %g, want ≥ 0.5 at βʹ/β = 1000", frac)
+	}
+}
+
+// TestSelectFractionMonotoneInGainRatio: shrinking beta (relative to
+// betaPrime) should not shrink the kept fraction much — the dropped
+// fraction scales like (beta/betaPrime)^{2/3} (Lemma 5).
+func TestSelectFractionMonotoneInGainRatio(t *testing.T) {
+	m := sinr.Default()
+	rng := rand.New(rand.NewSource(9))
+	st, err := Random(rng, m, 96, 500, 0.5, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	betaPrime := st.OptimalGain(m) * 0.9
+	if betaPrime <= 0 || math.IsInf(betaPrime, 1) {
+		t.Skip("degenerate star")
+	}
+	keptLoose, _, err := Select(m, st, betaPrime, betaPrime/2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keptTight, _, err := Select(m, st, betaPrime, betaPrime/16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keptLoose) < len(keptTight)/2 {
+		t.Errorf("loose target kept %d, tight target kept %d: expected loose ≳ tight",
+			len(keptLoose), len(keptTight))
+	}
+}
+
+func TestRandomValidation(t *testing.T) {
+	m := sinr.Default()
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Random(rng, m, 0, 10, 1, 2); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := Random(rng, m, 5, 0.5, 1, 2); err == nil {
+		t.Error("spread < 1 should fail")
+	}
+	if _, err := Random(rng, m, 5, 10, 2, 1); err == nil {
+		t.Error("aMin > aMax should fail")
+	}
+}

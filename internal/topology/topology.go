@@ -1,0 +1,152 @@
+// Package topology builds spanning structures over node sets and turns
+// them into interference scheduling instances. It reproduces the workload
+// of Moscibroda and Wattenhofer's strong-connectivity question (the paper's
+// Section 1.3): given n arbitrarily placed points, schedule a set of links
+// that strongly connects them — here the edges of a minimum spanning tree,
+// which is the canonical such link set.
+package topology
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+	"repro/internal/problem"
+)
+
+// MST computes a minimum spanning tree of the metric by Prim's algorithm
+// (dense O(n²), which is optimal for an implicit complete graph) and
+// returns its edges as communication requests.
+func MST(space geom.Metric) ([]problem.Request, error) {
+	n := space.N()
+	if n < 2 {
+		return nil, errors.New("topology: need at least two nodes")
+	}
+	inTree := make([]bool, n)
+	bestDist := make([]float64, n)
+	bestFrom := make([]int, n)
+	for v := range bestDist {
+		bestDist[v] = math.Inf(1)
+		bestFrom[v] = -1
+	}
+	inTree[0] = true
+	for v := 1; v < n; v++ {
+		bestDist[v] = space.Dist(0, v)
+		bestFrom[v] = 0
+	}
+	edges := make([]problem.Request, 0, n-1)
+	for len(edges) < n-1 {
+		pick, pickDist := -1, math.Inf(1)
+		for v := 0; v < n; v++ {
+			if !inTree[v] && bestDist[v] < pickDist {
+				pick, pickDist = v, bestDist[v]
+			}
+		}
+		if pick < 0 {
+			return nil, errors.New("topology: disconnected metric (infinite distances)")
+		}
+		if pickDist == 0 {
+			return nil, fmt.Errorf("topology: coincident nodes %d and %d", bestFrom[pick], pick)
+		}
+		edges = append(edges, problem.Request{U: bestFrom[pick], V: pick})
+		inTree[pick] = true
+		for v := 0; v < n; v++ {
+			if !inTree[v] {
+				if d := space.Dist(pick, v); d < bestDist[v] {
+					bestDist[v] = d
+					bestFrom[v] = pick
+				}
+			}
+		}
+	}
+	return edges, nil
+}
+
+// TotalWeight returns the sum of the metric lengths of the given requests.
+func TotalWeight(space geom.Metric, reqs []problem.Request) float64 {
+	var sum float64
+	for _, r := range reqs {
+		sum += space.Dist(r.U, r.V)
+	}
+	return sum
+}
+
+// ConnectivityInstance places n points uniformly in [0, side]² and returns
+// the instance whose requests are the MST edges: scheduling it with few
+// colors is exactly the strong-connectivity scheduling problem of [12]
+// restricted to the canonical spanning structure. Adjacent tree edges share
+// a node and therefore can never share a color (their mutual min-loss
+// distance is zero), so the chromatic number is at least the maximum
+// degree of the tree.
+func ConnectivityInstance(rng *rand.Rand, n int, side float64) (*problem.Instance, error) {
+	if n < 2 {
+		return nil, errors.New("topology: need at least two points")
+	}
+	if !(side > 0) {
+		return nil, fmt.Errorf("topology: side must be positive, got %g", side)
+	}
+	pts := make([][]float64, n)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64() * side, rng.Float64() * side}
+	}
+	space, err := geom.NewEuclidean(pts)
+	if err != nil {
+		return nil, err
+	}
+	edges, err := MST(space)
+	if err != nil {
+		return nil, err
+	}
+	return problem.New(space, edges)
+}
+
+// MaxDegree returns the maximum node degree of the request set viewed as a
+// graph — a lower bound on the number of colors of any schedule, because
+// requests sharing a node cannot be simultaneous in the physical model.
+func MaxDegree(space geom.Metric, reqs []problem.Request) int {
+	deg := make(map[int]int)
+	best := 0
+	for _, r := range reqs {
+		deg[r.U]++
+		deg[r.V]++
+		if deg[r.U] > best {
+			best = deg[r.U]
+		}
+		if deg[r.V] > best {
+			best = deg[r.V]
+		}
+	}
+	return best
+}
+
+// ExponentialChain builds the geometric line workload used by the
+// aspect-ratio experiment (E12): n pairs along a line whose lengths grow by
+// the given ratio (x_i = ratio^i) with gaps equal to the local length, so
+// the aspect ratio of the instance is ≈ ratio^n.
+func ExponentialChain(n int, ratio float64) (*problem.Instance, error) {
+	if n < 1 {
+		return nil, errors.New("topology: need at least one pair")
+	}
+	if !(ratio > 1) {
+		return nil, fmt.Errorf("topology: ratio must exceed 1, got %g", ratio)
+	}
+	if float64(n)*math.Log(ratio) > 600 {
+		return nil, fmt.Errorf("topology: ratio^n overflows float64")
+	}
+	coords := make([]float64, 0, 2*n)
+	reqs := make([]problem.Request, 0, n)
+	pos := 0.0
+	for i := 0; i < n; i++ {
+		length := math.Pow(ratio, float64(i))
+		coords = append(coords, pos, pos+length)
+		reqs = append(reqs, problem.Request{U: 2 * i, V: 2*i + 1})
+		pos += 2 * length // gap equal to the local length
+	}
+	line, err := geom.NewLine(coords)
+	if err != nil {
+		return nil, err
+	}
+	return problem.New(line, reqs)
+}

@@ -1,0 +1,217 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/coloring"
+	"repro/internal/geom"
+	"repro/internal/power"
+	"repro/internal/problem"
+	"repro/internal/sinr"
+)
+
+func TestMSTPath(t *testing.T) {
+	// Points on a line: the MST is the path of consecutive neighbors.
+	l, err := geom.NewLine([]float64{0, 1, 3, 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, err := MST(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != 3 {
+		t.Fatalf("edges = %d, want 3", len(edges))
+	}
+	if got := TotalWeight(l, edges); got != 6 {
+		t.Errorf("MST weight = %g, want 6 (1+2+3)", got)
+	}
+}
+
+func TestMSTIsSpanningAndMinimal(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts := make([][]float64, 12)
+	for i := range pts {
+		pts[i] = []float64{rng.Float64() * 100, rng.Float64() * 100}
+	}
+	e, err := geom.NewEuclidean(pts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edges, err := MST(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(edges) != len(pts)-1 {
+		t.Fatalf("edges = %d, want %d", len(edges), len(pts)-1)
+	}
+	// Spanning: union-find over the edges connects everything.
+	parent := make([]int, len(pts))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	for _, r := range edges {
+		parent[find(r.U)] = find(r.V)
+	}
+	root := find(0)
+	for v := range pts {
+		if find(v) != root {
+			t.Fatalf("node %d not connected", v)
+		}
+	}
+	// Cut property spot check: no edge can be replaced by a strictly
+	// shorter edge crossing the cut it defines. Cheap proxy: total weight
+	// must not exceed the weight of the greedy nearest-neighbor path.
+	var nnPath float64
+	for i := 1; i < len(pts); i++ {
+		nnPath += e.Dist(i-1, i)
+	}
+	if TotalWeight(e, edges) > nnPath+1e-9 {
+		t.Error("MST heavier than a Hamiltonian path")
+	}
+}
+
+func TestMSTErrors(t *testing.T) {
+	l, _ := geom.NewLine([]float64{0})
+	if _, err := MST(l); err == nil {
+		t.Error("single node should fail")
+	}
+	dup, _ := geom.NewLine([]float64{0, 0})
+	if _, err := MST(dup); err == nil {
+		t.Error("coincident nodes should fail")
+	}
+}
+
+func TestConnectivityInstance(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in, err := ConnectivityInstance(rng, 30, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.N() != 29 {
+		t.Fatalf("requests = %d, want 29", in.N())
+	}
+	if deg := MaxDegree(in.Space, in.Reqs); deg < 1 || deg > 6 {
+		t.Errorf("planar MST max degree = %d, want 1..6", deg)
+	}
+	if _, err := ConnectivityInstance(rng, 1, 100); err == nil {
+		t.Error("n=1 should fail")
+	}
+	if _, err := ConnectivityInstance(rng, 5, 0); err == nil {
+		t.Error("zero side should fail")
+	}
+}
+
+// TestConnectivitySchedulable: MST instances schedule validly under sqrt
+// powers with greedy first-fit, and colors respect the degree lower bound.
+func TestConnectivitySchedulable(t *testing.T) {
+	m := sinr.Default()
+	rng := rand.New(rand.NewSource(3))
+	in, err := ConnectivityInstance(rng, 40, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	powers := power.Powers(m, in, power.Sqrt())
+	s, err := coloring.GreedyFirstFit(m, in, sinr.Bidirectional, powers, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckSchedule(in, sinr.Bidirectional, s); err != nil {
+		t.Fatalf("invalid schedule: %v", err)
+	}
+	if s.NumColors() < MaxDegree(in.Space, in.Reqs) {
+		t.Errorf("colors %d below the degree lower bound %d", s.NumColors(), MaxDegree(in.Space, in.Reqs))
+	}
+}
+
+// TestLPHandlesSharedEndpoints: the LP coloring must survive instances with
+// node-sharing requests (the conflict pre-filter).
+func TestLPHandlesSharedEndpoints(t *testing.T) {
+	m := sinr.Default()
+	rng := rand.New(rand.NewSource(4))
+	in, err := ConnectivityInstance(rng, 24, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, _, err := coloring.SqrtLPColoring(m, in, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.CheckSchedule(in, sinr.Bidirectional, s); err != nil {
+		t.Fatalf("invalid LP schedule on MST instance: %v", err)
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	l, _ := geom.NewLine([]float64{0, 1, 2, 3})
+	if got := MaxDegree(l, nil); got != 0 {
+		t.Errorf("MaxDegree(nil) = %d", got)
+	}
+	reqs := []problem.Request{{U: 0, V: 1}, {U: 0, V: 2}, {U: 0, V: 3}}
+	if got := MaxDegree(l, reqs); got != 3 {
+		t.Errorf("MaxDegree(star) = %d, want 3", got)
+	}
+}
+
+func TestExponentialChain(t *testing.T) {
+	in, err := ExponentialChain(5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		want := math.Pow(2, float64(i))
+		if got := in.Length(i); math.Abs(got-want) > 1e-9 {
+			t.Errorf("length %d = %g, want %g", i, got, want)
+		}
+	}
+	if _, err := ExponentialChain(0, 2); err == nil {
+		t.Error("n=0 should fail")
+	}
+	if _, err := ExponentialChain(5, 1); err == nil {
+		t.Error("ratio 1 should fail")
+	}
+	if _, err := ExponentialChain(5000, 2); err == nil {
+		t.Error("overflow should fail")
+	}
+}
+
+// TestMSTWeightBelowStarProperty: the MST of any random point set is no
+// heavier than the spanning star rooted at node 0 (any spanning subgraph
+// upper-bounds the MST weight).
+func TestMSTWeightBelowStarProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(15)
+		pts := make([][]float64, n)
+		for i := range pts {
+			pts[i] = []float64{r.Float64() * 50, r.Float64() * 50}
+		}
+		e, err := geom.NewEuclidean(pts)
+		if err != nil {
+			return false
+		}
+		edges, err := MST(e)
+		if err != nil {
+			return true // coincident points: rejection is correct
+		}
+		var starWeight float64
+		for v := 1; v < n; v++ {
+			starWeight += e.Dist(0, v)
+		}
+		return TotalWeight(e, edges) <= starWeight+1e-9
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(95))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,374 @@
+// Package treestar implements the reduction from tree metrics to star
+// metrics (Lemma 9 of the paper) by centroid decomposition, and composes it
+// with the tree embeddings of package hst and the star analysis of package
+// star into the full constructive pipeline behind Theorem 2: from a general
+// metric, extract a large set of requests that is feasible in one color
+// under the square root power assignment.
+package treestar
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+	"repro/internal/sinr"
+	"repro/internal/star"
+)
+
+// TreeOptions tunes SelectOnTree.
+type TreeOptions struct {
+	// Faithful uses the worst-case parameterized star selection of Lemma 5
+	// (star.Select) at every recursion level, as in the paper's proof.
+	// The default (false) uses star.SelectLight — greedy thinning at the
+	// target gain — which retains far more nodes on benign inputs while
+	// guaranteeing the same feasibility postcondition.
+	Faithful bool
+}
+
+// TreeStats reports diagnostics from SelectOnTree.
+type TreeStats struct {
+	// Levels is the depth of the centroid recursion.
+	Levels int
+	// StarCalls is the number of star selections performed.
+	StarCalls int
+	// DroppedByStars is the number of terminals dropped by star selections.
+	DroppedByStars int
+	// DroppedRepair is the number of terminals dropped by the final
+	// verification pass on the tree metric.
+	DroppedRepair int
+}
+
+// SelectOnTree realizes Lemma 9 constructively. Given an edge-weighted tree
+// (which may contain Steiner nodes), a set of terminal nodes with loss
+// parameters, and the witness gain betaPrime (the gain for which the
+// terminal set is feasible under some power assignment), it returns a
+// subset of the terminals that is beta-feasible under the square root
+// assignment with respect to the tree shortest-path metric.
+//
+// The recursion splits the tree at a centroid c, runs the star selection of
+// Lemma 5 on the star metric induced by the tree distances to c, and
+// recurses into the subtrees; a terminal survives if it survives at every
+// recursion level. Every pair of terminals has its exact tree distance in
+// the star of the level at which it is separated, so the per-level star
+// budgets sum to a global interference bound.
+func SelectOnTree(m sinr.Model, t *geom.Tree, terminals []int, loss map[int]float64, betaPrime, beta float64, opts TreeOptions) ([]int, *TreeStats, error) {
+	if err := m.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if len(terminals) == 0 {
+		return nil, nil, errors.New("treestar: no terminals")
+	}
+	for _, v := range terminals {
+		if _, ok := loss[v]; !ok {
+			return nil, nil, fmt.Errorf("treestar: terminal %d has no loss parameter", v)
+		}
+	}
+	stats := &TreeStats{}
+	alive := make(map[int]bool, len(terminals))
+	for _, v := range terminals {
+		alive[v] = true
+	}
+
+	// Per-level star gain: the recursion depth is at most log2 of the tree
+	// size, and each level contributes at most 1/(starGain·√ℓ_u)
+	// interference, so starGain = levels·beta keeps the total within the
+	// beta budget.
+	maxLevels := int(math.Ceil(math.Log2(float64(t.N())))) + 1
+	starGain := float64(maxLevels) * beta
+	if starGain > betaPrime {
+		starGain = betaPrime
+	}
+
+	// Iterative recursion over components (stack of node sets).
+	all := make([]int, t.N())
+	for i := range all {
+		all[i] = i
+	}
+	type frame struct {
+		nodes []int
+		depth int
+	}
+	stack := []frame{{nodes: all, depth: 1}}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if f.depth > stats.Levels {
+			stats.Levels = f.depth
+		}
+		termsHere := make([]int, 0, len(f.nodes))
+		inComp := make(map[int]bool, len(f.nodes))
+		for _, v := range f.nodes {
+			inComp[v] = true
+		}
+		for _, v := range f.nodes {
+			if alive[v] {
+				termsHere = append(termsHere, v)
+			}
+		}
+		if len(termsHere) <= 1 || len(f.nodes) <= 1 {
+			continue
+		}
+		c := centroid(t, f.nodes, inComp)
+
+		// Star selection at this level.
+		kept, err := selectStarAt(m, t, c, termsHere, loss, betaPrime, starGain, beta, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		stats.StarCalls++
+		keptSet := make(map[int]bool, len(kept))
+		for _, v := range kept {
+			keptSet[v] = true
+		}
+		for _, v := range termsHere {
+			if !keptSet[v] {
+				alive[v] = false
+				stats.DroppedByStars++
+			}
+		}
+
+		// Split at the centroid: the components of f.nodes \ {c}, with c
+		// attached to its largest component (the paper keeps one incident
+		// edge).
+		comps := componentsWithout(t, f.nodes, inComp, c)
+		if len(comps) == 0 {
+			continue
+		}
+		largest := 0
+		for i := 1; i < len(comps); i++ {
+			if len(comps[i]) > len(comps[largest]) {
+				largest = i
+			}
+		}
+		comps[largest] = append(comps[largest], c)
+		for _, comp := range comps {
+			if len(comp) > 1 {
+				stack = append(stack, frame{nodes: comp, depth: f.depth + 1})
+			}
+		}
+	}
+
+	// Final verification on the tree metric at gain beta with greedy repair.
+	kept := make([]int, 0, len(terminals))
+	for _, v := range terminals {
+		if alive[v] {
+			kept = append(kept, v)
+		}
+	}
+	kept, repaired := repairOnTree(m, t, kept, loss, beta)
+	stats.DroppedRepair = repaired
+	if len(kept) == 0 {
+		return nil, stats, errors.New("treestar: selection removed every terminal")
+	}
+	return kept, stats, nil
+}
+
+// selectStarAt builds the star induced by tree distances to center c over
+// the given terminals and runs the Lemma 5 selection. A terminal located
+// exactly at c receives a tiny positive radius, which only overestimates
+// its received interference (the star distance ε+δ_v ≈ δ_v is the exact
+// tree distance).
+func selectStarAt(m sinr.Model, t *geom.Tree, c int, terms []int, loss map[int]float64, betaPrime, starGain, beta float64, opts TreeOptions) ([]int, error) {
+	radii := make([]float64, len(terms))
+	losses := make([]float64, len(terms))
+	minPos := math.Inf(1)
+	for i, v := range terms {
+		radii[i] = t.Dist(v, c)
+		losses[i] = loss[v]
+		if radii[i] > 0 && radii[i] < minPos {
+			minPos = radii[i]
+		}
+	}
+	if math.IsInf(minPos, 1) {
+		minPos = 1
+	}
+	for i := range radii {
+		if radii[i] == 0 {
+			radii[i] = minPos / 1e6
+		}
+	}
+	st, err := star.New(radii, losses)
+	if err != nil {
+		return nil, err
+	}
+	var keptIdx []int
+	if opts.Faithful {
+		keptIdx, _, err = star.Select(m, st, betaPrime, starGain)
+	} else {
+		keptIdx, err = star.SelectLight(m, st, beta)
+	}
+	if err != nil {
+		// An empty star selection is not fatal for the pipeline: treat it
+		// as dropping all terminals of this component.
+		return nil, nil
+	}
+	kept := make([]int, len(keptIdx))
+	for i, k := range keptIdx {
+		kept[i] = terms[k]
+	}
+	return kept, nil
+}
+
+// centroid returns a node of the component whose removal leaves connected
+// pieces of at most half the component's size.
+func centroid(t *geom.Tree, nodes []int, inComp map[int]bool) int {
+	if len(nodes) == 1 {
+		return nodes[0]
+	}
+	root := nodes[0]
+	// Iterative post-order to compute subtree sizes within the component.
+	size := make(map[int]int, len(nodes))
+	parent := make(map[int]int, len(nodes))
+	order := make([]int, 0, len(nodes))
+	stack := []int{root}
+	parent[root] = -1
+	seen := map[int]bool{root: true}
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		order = append(order, u)
+		nbrs, _ := t.Neighbors(u)
+		for _, v := range nbrs {
+			if inComp[v] && !seen[v] {
+				seen[v] = true
+				parent[v] = u
+				stack = append(stack, v)
+			}
+		}
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		size[u]++
+		if p := parent[u]; p >= 0 {
+			size[p] += size[u]
+		}
+	}
+	total := len(order)
+	best, bestMax := root, total
+	for _, u := range order {
+		// Maximum component size if u is removed.
+		worst := total - size[u]
+		nbrs, _ := t.Neighbors(u)
+		for _, v := range nbrs {
+			if inComp[v] && parent[v] == u && size[v] > worst {
+				worst = size[v]
+			}
+		}
+		if worst < bestMax {
+			bestMax = worst
+			best = u
+		}
+	}
+	return best
+}
+
+// componentsWithout returns the connected components of the component after
+// removing node c.
+func componentsWithout(t *geom.Tree, nodes []int, inComp map[int]bool, c int) [][]int {
+	visited := map[int]bool{c: true}
+	var comps [][]int
+	for _, s := range nodes {
+		if visited[s] {
+			continue
+		}
+		var comp []int
+		stack := []int{s}
+		visited[s] = true
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			comp = append(comp, u)
+			nbrs, _ := t.Neighbors(u)
+			for _, v := range nbrs {
+				if inComp[v] && !visited[v] {
+					visited[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		comps = append(comps, comp)
+	}
+	return comps
+}
+
+// repairOnTree greedily removes terminals until the set is beta-feasible
+// under the square root assignment in the tree metric. It returns the
+// surviving set and the number of removals.
+func repairOnTree(m sinr.Model, t *geom.Tree, kept []int, loss map[int]float64, beta float64) ([]int, int) {
+	var removed int
+	signal := func(v int) float64 { return 1 / math.Sqrt(loss[v]) }
+	interf := func(set []int, u int) float64 {
+		var sum float64
+		for _, v := range set {
+			if v == u {
+				continue
+			}
+			sum += math.Sqrt(loss[v]) / m.Loss(t.Dist(u, v))
+		}
+		return sum
+	}
+	for len(kept) > 0 {
+		feasible := true
+		for _, u := range kept {
+			if signal(u) < beta*interf(kept, u)*(1-1e-9) {
+				feasible = false
+				break
+			}
+		}
+		if feasible {
+			return kept, removed
+		}
+		worst, worstScore := 0, math.Inf(-1)
+		for a, u := range kept {
+			var score float64
+			for _, v := range kept {
+				if v == u {
+					continue
+				}
+				score += math.Sqrt(loss[u]) / m.Loss(t.Dist(u, v)) / signal(v)
+			}
+			if score > worstScore {
+				worstScore = score
+				worst = a
+			}
+		}
+		kept = append(kept[:worst], kept[worst+1:]...)
+		removed++
+	}
+	return kept, removed
+}
+
+// PipelineStats aggregates diagnostics of one run of the Theorem 2 pipeline.
+type PipelineStats struct {
+	// ActiveNodes is the number of request endpoints (2·requests).
+	ActiveNodes int
+	// CoreNodes is the size of the best tree core (Proposition 7).
+	CoreNodes int
+	// TreeKept is the number of nodes surviving the tree selection
+	// (Lemma 9).
+	TreeKept int
+	// PairsKept is the number of requests with both endpoints kept.
+	PairsKept int
+	// FinalPairs is the number of requests after the final thinning in the
+	// original metric.
+	FinalPairs int
+	Tree       TreeStats
+}
+
+// Pipeline extracts one color class of requests that is feasible in the
+// ORIGINAL metric under the square root power assignment with gain m.Beta,
+// following the proof of Theorem 2 end to end: split pairs into node-loss
+// form (Section 3.2), embed into O(log n) random trees and keep the best
+// core (Lemma 6 / Proposition 7), select on the tree via stars (Lemmas 5
+// and 9), return to pairs, and thin to the full gain in the original metric
+// (Lemma 8 / Proposition 3). The returned indices refer to in.Reqs.
+type Pipeline struct {
+	// Trees is the number of HST samples r (default: ⌈log2 n⌉ + 2).
+	Trees int
+	// StretchBound overrides the core stretch threshold (default O(log n)).
+	StretchBound float64
+	// Faithful selects the worst-case parameterized star selection inside
+	// the tree stage (see TreeOptions.Faithful).
+	Faithful bool
+}

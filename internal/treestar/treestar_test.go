@@ -1,0 +1,314 @@
+package treestar
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/geom"
+	"repro/internal/instance"
+	"repro/internal/power"
+	"repro/internal/sinr"
+)
+
+// pathTree builds a path 0-1-...-(n-1) with unit edges.
+func pathTree(t *testing.T, n int) *geom.Tree {
+	t.Helper()
+	tr, err := geom.NewTree(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < n; i++ {
+		if err := tr.AddEdge(i-1, i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestCentroidOfPath(t *testing.T) {
+	tr := pathTree(t, 7)
+	nodes := []int{0, 1, 2, 3, 4, 5, 6}
+	inComp := make(map[int]bool)
+	for _, v := range nodes {
+		inComp[v] = true
+	}
+	c := centroid(tr, nodes, inComp)
+	if c != 3 {
+		t.Errorf("centroid of a 7-path = %d, want 3", c)
+	}
+}
+
+func TestCentroidOfStar(t *testing.T) {
+	tr, err := geom.NewTree(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for leaf := 1; leaf < 6; leaf++ {
+		if err := tr.AddEdge(0, leaf, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	nodes := []int{0, 1, 2, 3, 4, 5}
+	inComp := map[int]bool{0: true, 1: true, 2: true, 3: true, 4: true, 5: true}
+	if c := centroid(tr, nodes, inComp); c != 0 {
+		t.Errorf("centroid of a star = %d, want the hub 0", c)
+	}
+}
+
+// TestCentroidBalancedProperty: the centroid splits any random tree into
+// components of at most half the size.
+func TestCentroidBalancedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 3 + r.Intn(30)
+		tr, err := geom.NewTree(n)
+		if err != nil {
+			return false
+		}
+		for v := 1; v < n; v++ {
+			if err := tr.AddEdge(r.Intn(v), v, 1+r.Float64()); err != nil {
+				return false
+			}
+		}
+		if err := tr.Finalize(); err != nil {
+			return false
+		}
+		nodes := make([]int, n)
+		inComp := make(map[int]bool, n)
+		for i := range nodes {
+			nodes[i] = i
+			inComp[i] = true
+		}
+		c := centroid(tr, nodes, inComp)
+		for _, comp := range componentsWithout(tr, nodes, inComp, c) {
+			if len(comp) > n/2 {
+				return false
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 40, Rand: rand.New(rand.NewSource(71))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestComponentsWithout(t *testing.T) {
+	tr := pathTree(t, 5)
+	nodes := []int{0, 1, 2, 3, 4}
+	inComp := map[int]bool{0: true, 1: true, 2: true, 3: true, 4: true}
+	comps := componentsWithout(tr, nodes, inComp, 2)
+	if len(comps) != 2 {
+		t.Fatalf("components = %d, want 2", len(comps))
+	}
+	sizes := map[int]bool{len(comps[0]): true, len(comps[1]): true}
+	if !sizes[2] {
+		t.Errorf("component sizes = %d, %d; want 2 and 2", len(comps[0]), len(comps[1]))
+	}
+}
+
+func TestSelectOnTreePostcondition(t *testing.T) {
+	m := sinr.Default()
+	tr := pathTree(t, 32)
+	terminals := make([]int, 0, 16)
+	loss := make(map[int]float64)
+	rng := rand.New(rand.NewSource(5))
+	for v := 0; v < 32; v += 2 {
+		terminals = append(terminals, v)
+		loss[v] = 0.5 + rng.Float64()*8
+	}
+	betaPrime := 1.0
+	beta := 0.05
+	kept, stats, err := SelectOnTree(m, tr, terminals, loss, betaPrime, beta, TreeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(kept) == 0 {
+		t.Fatal("empty selection")
+	}
+	if stats.Levels < 2 {
+		t.Errorf("levels = %d, want ≥ 2 on a 32-path", stats.Levels)
+	}
+	// Verify beta-feasibility under √ℓ in the tree metric.
+	for _, u := range kept {
+		var interf float64
+		for _, v := range kept {
+			if v != u {
+				interf += math.Sqrt(loss[v]) / m.Loss(tr.Dist(u, v))
+			}
+		}
+		signal := 1 / math.Sqrt(loss[u])
+		if signal < beta*interf*(1-1e-9) {
+			t.Errorf("terminal %d violates the gain: signal %g, β·I %g", u, signal, beta*interf)
+		}
+	}
+}
+
+func TestSelectOnTreeValidation(t *testing.T) {
+	m := sinr.Default()
+	tr := pathTree(t, 4)
+	if _, _, err := SelectOnTree(m, tr, nil, nil, 1, 1, TreeOptions{}); err == nil {
+		t.Error("no terminals should fail")
+	}
+	if _, _, err := SelectOnTree(m, tr, []int{0}, map[int]float64{}, 1, 1, TreeOptions{}); err == nil {
+		t.Error("missing loss should fail")
+	}
+}
+
+func TestPipelineRunFeasibleClass(t *testing.T) {
+	m := sinr.Default()
+	rng := rand.New(rand.NewSource(8))
+	in, err := instance.UniformRandom(rng, 24, 200, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	class, stats, err := (Pipeline{}).Run(m, in, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(class) == 0 {
+		t.Fatal("empty class")
+	}
+	powers := power.Powers(m, in, power.Sqrt())
+	if !m.SetFeasible(in, sinr.Bidirectional, powers, class) {
+		t.Error("pipeline class infeasible at full gain")
+	}
+	if stats.ActiveNodes != 48 {
+		t.Errorf("active nodes = %d, want 48", stats.ActiveNodes)
+	}
+	if stats.FinalPairs != len(class) {
+		t.Errorf("stats.FinalPairs = %d, class = %d", stats.FinalPairs, len(class))
+	}
+}
+
+func TestPipelineSingleRequest(t *testing.T) {
+	m := sinr.Default()
+	rng := rand.New(rand.NewSource(9))
+	in, err := instance.UniformRandom(rng, 1, 50, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	class, _, err := (Pipeline{}).Run(m, in, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(class) != 1 || class[0] != 0 {
+		t.Errorf("class = %v, want [0]", class)
+	}
+}
+
+func TestPipelineColoringValid(t *testing.T) {
+	m := sinr.Default()
+	rng := rand.New(rand.NewSource(10))
+	in, err := instance.UniformRandom(rng, 20, 150, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := (Pipeline{}).Coloring(m, in, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Complete() {
+		t.Fatal("incomplete schedule")
+	}
+	if err := m.CheckSchedule(in, sinr.Bidirectional, s); err != nil {
+		t.Errorf("invalid pipeline schedule: %v", err)
+	}
+}
+
+func TestPipelineNilRNG(t *testing.T) {
+	m := sinr.Default()
+	in, err := instance.NestedExponential(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := (Pipeline{}).Run(m, in, nil); err == nil {
+		t.Error("nil rng should fail")
+	}
+}
+
+// TestPipelineValidityProperty: pipeline classes are always feasible at the
+// full gain, across random workloads.
+func TestPipelineValidityProperty(t *testing.T) {
+	m := sinr.Default()
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in, err := instance.UniformRandom(r, 4+r.Intn(16), 120, 1, 5)
+		if err != nil {
+			return false
+		}
+		class, _, err := (Pipeline{}).Run(m, in, r)
+		if err != nil || len(class) == 0 {
+			return false
+		}
+		powers := power.Powers(m, in, power.Sqrt())
+		return m.SetFeasible(in, sinr.Bidirectional, powers, class)
+	}
+	cfg := &quick.Config{MaxCount: 10, Rand: rand.New(rand.NewSource(81))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPipelineFaithfulMode exercises the worst-case parameterized star
+// selection end to end: classes stay feasible, just smaller than the
+// default light mode (documented in E14).
+func TestPipelineFaithfulMode(t *testing.T) {
+	m := sinr.Default()
+	rng := rand.New(rand.NewSource(11))
+	in, err := instance.UniformRandom(rng, 16, 150, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	class, stats, err := (Pipeline{Faithful: true}).Run(m, in, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(class) == 0 {
+		t.Fatal("empty class")
+	}
+	powers := power.Powers(m, in, power.Sqrt())
+	if !m.SetFeasible(in, sinr.Bidirectional, powers, class) {
+		t.Error("faithful pipeline class infeasible")
+	}
+	if stats.Tree.StarCalls == 0 {
+		t.Error("faithful mode made no star calls")
+	}
+}
+
+// TestSelectOnTreeFaithfulPostcondition: the faithful option keeps the
+// feasibility postcondition on the tree metric.
+func TestSelectOnTreeFaithfulPostcondition(t *testing.T) {
+	m := sinr.Default()
+	tr := pathTree(t, 16)
+	terminals := make([]int, 0, 8)
+	loss := make(map[int]float64)
+	rng := rand.New(rand.NewSource(12))
+	for v := 0; v < 16; v += 2 {
+		terminals = append(terminals, v)
+		loss[v] = 0.5 + rng.Float64()*4
+	}
+	kept, _, err := SelectOnTree(m, tr, terminals, loss, 1.0, 0.02, TreeOptions{Faithful: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, u := range kept {
+		var interf float64
+		for _, v := range kept {
+			if v != u {
+				interf += math.Sqrt(loss[v]) / m.Loss(tr.Dist(u, v))
+			}
+		}
+		if 1/math.Sqrt(loss[u]) < 0.02*interf*(1-1e-9) {
+			t.Errorf("terminal %d violates the target gain", u)
+		}
+	}
+}

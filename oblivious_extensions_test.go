@@ -1,0 +1,71 @@
+package oblivious
+
+import "testing"
+
+func TestLiftToNoiseEndToEnd(t *testing.T) {
+	in := fourLinks(t)
+	m := DefaultModel()
+	s, err := ScheduleGreedy(m, in, Bidirectional, Sqrt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lifted, err := LiftToNoise(m, in, Bidirectional, s, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := m
+	noisy.Noise = 3
+	if err := Validate(noisy, in, Bidirectional, lifted); err != nil {
+		t.Errorf("lifted schedule invalid at noise 3: %v", err)
+	}
+	// Colors unchanged, powers scaled.
+	for i := range s.Colors {
+		if lifted.Colors[i] != s.Colors[i] {
+			t.Fatal("lifting changed the coloring")
+		}
+	}
+}
+
+func TestScheduleDistributedEndToEnd(t *testing.T) {
+	in := fourLinks(t)
+	m := DefaultModel()
+	s, slots, err := ScheduleDistributed(m, in, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(m, in, Bidirectional, s); err != nil {
+		t.Errorf("distributed schedule invalid: %v", err)
+	}
+	if slots < s.NumColors() {
+		t.Errorf("slots %d below colors %d", slots, s.NumColors())
+	}
+	// Determinism for a fixed seed.
+	s2, slots2, err := ScheduleDistributed(m, in, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slots != slots2 {
+		t.Error("distributed protocol not deterministic for a fixed seed")
+	}
+	for i := range s.Colors {
+		if s.Colors[i] != s2.Colors[i] {
+			t.Fatal("distributed coloring not deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestMaxSimultaneousLPEndToEnd(t *testing.T) {
+	in := fourLinks(t)
+	m := DefaultModel()
+	set, err := MaxSimultaneousLP(m, in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(set) == 0 {
+		t.Fatal("empty set")
+	}
+	powers := PowersFor(m, in, Sqrt())
+	if !m.SetFeasible(in, Bidirectional, powers, set) {
+		t.Error("LP single-slot set infeasible")
+	}
+}

@@ -1,0 +1,49 @@
+package oblivious
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/instance"
+)
+
+// TestScale512 exercises the schedulers at the largest size the evaluation
+// uses (512 requests / 1024 nodes) and validates every schedule. Skipped
+// under -short.
+func TestScale512(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in short mode")
+	}
+	m := DefaultModel()
+	in, err := instance.UniformRandom(rand.New(rand.NewSource(512)), 512, 600, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := ScheduleGreedy(m, in, Bidirectional, Sqrt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(m, in, Bidirectional, g); err != nil {
+		t.Errorf("greedy@512 invalid: %v", err)
+	}
+
+	lp, _, err := ScheduleLP(m, in, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(m, in, Bidirectional, lp); err != nil {
+		t.Errorf("LP@512 invalid: %v", err)
+	}
+	if lp.NumColors() > 3*g.NumColors()+2 {
+		t.Errorf("LP colors %d far above greedy %d at scale", lp.NumColors(), g.NumColors())
+	}
+
+	d, err := ScheduleGreedy(m, in, Directed, Sqrt())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(m, in, Directed, d); err != nil {
+		t.Errorf("directed greedy@512 invalid: %v", err)
+	}
+}
