@@ -1,14 +1,18 @@
-package oblivious
-
+// Package oblivious_test: the benchmarks live in the external test package
+// because internal/experiment now consumes the public solver API, and an
+// in-package test importing it would form an import cycle.
+//
 // One benchmark per experiment table (E1–E15, see DESIGN.md and
 // EXPERIMENTS.md): each bench regenerates its table in quick mode, so
 // `go test -bench=.` exercises the full evaluation pipeline. Micro
 // benchmarks for the core algorithmic building blocks follow.
+package oblivious_test
 
 import (
 	"math/rand"
 	"testing"
 
+	oblivious "repro"
 	"repro/internal/coloring"
 	"repro/internal/experiment"
 	"repro/internal/hst"
@@ -109,7 +113,7 @@ func BenchmarkE19SymmetricAsymmetric(b *testing.B) {
 
 // --- micro benchmarks of the core building blocks ---
 
-func benchInstance(b *testing.B, n int) *Instance {
+func benchInstance(b *testing.B, n int) *oblivious.Instance {
 	b.Helper()
 	in, err := instance.UniformRandom(rand.New(rand.NewSource(1)), n, 300, 1, 8)
 	if err != nil {

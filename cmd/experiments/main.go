@@ -8,6 +8,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -64,7 +66,11 @@ func run(w io.Writer, quick bool, seed int64, md bool, only string, parallel int
 	}
 
 	// Run with a bounded worker pool; print strictly in registry order so
-	// the output is deterministic regardless of completion order.
+	// the output is deterministic regardless of completion order. The
+	// first failure cancels the experiments that have not started yet,
+	// mirroring the batch semantics of oblivious.SolveAll.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
 	results := make([]result, len(selected))
 	sem := make(chan struct{}, parallel)
 	var wg sync.WaitGroup
@@ -74,20 +80,43 @@ func run(w io.Writer, quick bool, seed int64, md bool, only string, parallel int
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if ctx.Err() != nil {
+				results[i] = result{err: fmt.Errorf("%s: %w", id, ctx.Err())}
+				return
+			}
 			start := time.Now()
 			t, err := runExp(cfg)
 			results[i] = result{table: t, err: err, elapsed: time.Since(start)}
 			if err != nil {
 				results[i].err = fmt.Errorf("%s: %w", id, err)
+				cancel()
 			}
 		}(i, e.ID, e.Run)
 	}
 	wg.Wait()
 
-	for i, r := range results {
-		if r.err != nil {
-			return r.err
+	// Report the experiment that actually failed, not a "context
+	// canceled" of one that was skipped because of it.
+	var firstErr error
+	for _, r := range results {
+		if r.err != nil && !errors.Is(r.err, context.Canceled) {
+			firstErr = r.err
+			break
 		}
+	}
+	if firstErr == nil {
+		for _, r := range results {
+			if r.err != nil {
+				firstErr = r.err
+				break
+			}
+		}
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+
+	for i, r := range results {
 		if md {
 			if err := r.table.Markdown(w); err != nil {
 				return err

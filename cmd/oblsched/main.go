@@ -1,18 +1,25 @@
 // Command oblsched schedules an interference instance read from a JSON
 // file (see cmd/gen for the format) and prints the resulting coloring.
+// The -algo flag resolves through the solver registry of the root
+// package, so every registered solver is available by name.
 //
 // Usage:
 //
 //	oblsched -in instance.json [-variant bidirectional] [-power sqrt]
-//	         [-algo greedy|lp|pipeline] [-alpha 3] [-beta 1] [-seed 1]
+//	         [-algo greedy|lp|pipeline|distributed] [-alpha 3] [-beta 1]
+//	         [-seed 1]
+//
+// Note: -power is enforced for every algorithm. Earlier versions
+// silently ignored it for lp and pipeline; those algorithms require the
+// sqrt assignment and now reject a conflicting -power instead.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
 	"strings"
 
 	oblivious "repro"
@@ -22,8 +29,8 @@ func main() {
 	var (
 		inPath  = flag.String("in", "", "path to the instance JSON (required)")
 		variant = flag.String("variant", "bidirectional", "directed or bidirectional")
-		powerFn = flag.String("power", "sqrt", "uniform, linear, sqrt, or exp:<tau>")
-		algo    = flag.String("algo", "greedy", "greedy, lp, or pipeline (lp/pipeline imply sqrt powers)")
+		powerFn = flag.String("power", "sqrt", "uniform, linear, sqrt, or exp:<tau> (lp/pipeline require sqrt)")
+		algo    = flag.String("algo", "greedy", "solver name: "+strings.Join(oblivious.Solvers(), ", "))
 		alpha   = flag.Float64("alpha", 3, "path-loss exponent α")
 		beta    = flag.Float64("beta", 1, "SINR gain β")
 		noise   = flag.Float64("noise", 0, "ambient noise ν")
@@ -36,25 +43,6 @@ func main() {
 	if err := run(os.Stdout, *inPath, *variant, *powerFn, *algo, *alpha, *beta, *noise, *seed, *verbose, *outPath, *check); err != nil {
 		fmt.Fprintln(os.Stderr, "oblsched:", err)
 		os.Exit(1)
-	}
-}
-
-func parseAssignment(s string) (oblivious.Assignment, error) {
-	switch {
-	case s == "uniform":
-		return oblivious.Uniform(1), nil
-	case s == "linear":
-		return oblivious.Linear(), nil
-	case s == "sqrt":
-		return oblivious.Sqrt(), nil
-	case strings.HasPrefix(s, "exp:"):
-		tau, err := strconv.ParseFloat(strings.TrimPrefix(s, "exp:"), 64)
-		if err != nil {
-			return nil, fmt.Errorf("bad exponent in %q: %w", s, err)
-		}
-		return oblivious.Exponent(tau), nil
-	default:
-		return nil, fmt.Errorf("unknown power assignment %q", s)
 	}
 }
 
@@ -97,44 +85,24 @@ func run(w io.Writer, inPath, variant, powerFn, algo string, alpha, beta, noise 
 		return nil
 	}
 
-	var s *oblivious.Schedule
-	switch algo {
-	case "greedy":
-		a, err := parseAssignment(powerFn)
-		if err != nil {
-			return err
-		}
-		s, err = oblivious.ScheduleGreedy(m, in, v, a)
-		if err != nil {
-			return err
-		}
-	case "lp":
-		if v != oblivious.Bidirectional {
-			return fmt.Errorf("the LP algorithm targets the bidirectional variant")
-		}
-		var err error
-		s, _, err = oblivious.ScheduleLP(m, in, seed)
-		if err != nil {
-			return err
-		}
-	case "pipeline":
-		if v != oblivious.Bidirectional {
-			return fmt.Errorf("the pipeline targets the bidirectional variant")
-		}
-		var err error
-		s, err = oblivious.SchedulePipeline(m, in, seed)
-		if err != nil {
-			return err
-		}
-	default:
-		return fmt.Errorf("unknown algorithm %q", algo)
+	a, err := oblivious.ParseAssignment(powerFn)
+	if err != nil {
+		return err
 	}
-
-	if err := oblivious.Validate(m, in, v, s); err != nil {
-		return fmt.Errorf("produced schedule failed validation: %w", err)
+	res, err := oblivious.Lookup(algo).Solve(context.Background(), m, in,
+		oblivious.WithVariant(v),
+		oblivious.WithAssignment(a),
+		oblivious.WithSeed(seed),
+		oblivious.WithValidation(true))
+	if err != nil {
+		return err
 	}
+	s := res.Schedule
 	fmt.Fprintf(w, "requests: %d\ncolors:   %d\nenergy:   %.4g\nvalid:    yes\n",
 		in.N(), s.NumColors(), s.TotalEnergy())
+	if res.Stats.Slots > 0 {
+		fmt.Fprintf(w, "slots:    %d contention slots\n", res.Stats.Slots)
+	}
 	if outPath != "" {
 		data, err := oblivious.MarshalSchedule(s)
 		if err != nil {

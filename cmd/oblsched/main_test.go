@@ -31,7 +31,8 @@ func writeInstance(t *testing.T) string {
 
 func TestRunGreedy(t *testing.T) {
 	path := writeInstance(t)
-	for _, algo := range []string{"greedy", "lp", "pipeline"} {
+	// Every registered solver is reachable through -algo.
+	for _, algo := range oblivious.Solvers() {
 		if err := run(io.Discard, path, "bidirectional", "sqrt", algo, 3, 1, 0, 1, false, "", ""); err != nil {
 			t.Errorf("algo %s: %v", algo, err)
 		}
@@ -77,20 +78,11 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
-func TestParseAssignment(t *testing.T) {
-	for _, s := range []string{"uniform", "linear", "sqrt", "exp:0.75"} {
-		if _, err := parseAssignment(s); err != nil {
-			t.Errorf("%s: %v", s, err)
-		}
-	}
-	if _, err := parseAssignment("exp:abc"); err == nil {
-		t.Error("bad exponent should fail")
-	}
-	a, err := parseAssignment("exp:2")
-	if err != nil {
-		t.Fatal(err)
-	}
-	if got := a.Power(3); got != 9 {
-		t.Errorf("exp:2 power = %g, want 9", got)
+// The assignment syntax itself is covered by the root package's
+// ParseAssignment tests; here we only check the CLI surfaces its errors.
+func TestRunBadPowerForLP(t *testing.T) {
+	path := writeInstance(t)
+	if err := run(io.Discard, path, "bidirectional", "uniform", "lp", 3, 1, 0, 1, false, "", ""); err == nil {
+		t.Error("lp with a non-sqrt -power should fail")
 	}
 }

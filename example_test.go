@@ -1,10 +1,63 @@
 package oblivious_test
 
 import (
+	"context"
 	"fmt"
 
 	oblivious "repro"
 )
+
+// Solvers are looked up by name and configured with functional options;
+// the Result carries the schedule and unified statistics.
+func ExampleLookup() {
+	points := [][]float64{
+		{0, 0}, {3, 0},
+		{1, 1}, {1, 5},
+		{40, 40}, {42, 40},
+		{41, 45}, {41, 41},
+	}
+	reqs := []oblivious.Request{{U: 0, V: 1}, {U: 2, V: 3}, {U: 4, V: 5}, {U: 6, V: 7}}
+	in, err := oblivious.NewEuclideanInstance(points, reqs)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := oblivious.Lookup("greedy").Solve(context.Background(), oblivious.DefaultModel(), in,
+		oblivious.WithAssignment(oblivious.Sqrt()),
+		oblivious.WithValidation(true))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("solver:", res.Solver, "colors:", res.Stats.Colors)
+	// Output:
+	// solver: greedy colors: 2
+}
+
+// SolveAll fans a batch of instances out across a worker pool.
+func ExampleSolveAll() {
+	var instances []*oblivious.Instance
+	for i := 0; i < 4; i++ {
+		in, err := oblivious.NewLineInstance(
+			[]float64{0, 1, 50, 51, 200, 202},
+			[]oblivious.Request{{U: 0, V: 1}, {U: 2, V: 3}, {U: 4, V: 5}},
+		)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		instances = append(instances, in)
+	}
+	results, err := oblivious.SolveAll(context.Background(), oblivious.DefaultModel(),
+		instances, oblivious.Lookup("greedy"), oblivious.WithParallelism(2))
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("solved:", len(results), "colors:", results[0].Stats.Colors)
+	// Output:
+	// solved: 4 colors: 1
+}
 
 // Four full-duplex links: two contended pairs near the origin and two far
 // away. The square root assignment schedules them in two slots.

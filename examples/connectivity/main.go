@@ -6,7 +6,8 @@
 // the minimum spanning tree as the connecting link set, and schedules its
 // edges as full-duplex (bidirectional) channels under the oblivious power
 // assignments of the paper, plus a distributed contention protocol that
-// needs no coordinator at all.
+// needs no coordinator at all — every algorithm resolved by name from the
+// solver registry.
 //
 // Run with:
 //
@@ -14,13 +15,12 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
 
 	oblivious "repro"
-	"repro/internal/distributed"
-	"repro/internal/sinr"
 	"repro/internal/topology"
 )
 
@@ -37,34 +37,34 @@ func main() {
 	}
 	m := oblivious.DefaultModel()
 	degree := topology.MaxDegree(in.Space, in.Reqs)
+	ctx := context.Background()
 
 	fmt.Printf("sensor field: %d nodes, MST with %d edges, max degree %d\n\n", nodes, in.N(), degree)
 	fmt.Println("slots to schedule the spanning tree (degree is a hard lower bound):")
-	for _, a := range []oblivious.Assignment{
-		oblivious.Uniform(1),
-		oblivious.Linear(),
-		oblivious.Sqrt(),
-	} {
-		s, err := oblivious.ScheduleGreedy(m, in, oblivious.Bidirectional, a)
+	greedy := oblivious.Lookup("greedy")
+	for _, name := range []string{"uniform", "linear", "sqrt"} {
+		a, err := oblivious.ParseAssignment(name)
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := oblivious.Validate(m, in, oblivious.Bidirectional, s); err != nil {
-			log.Fatalf("%s: %v", a.Name(), err)
+		res, err := greedy.Solve(ctx, m, in,
+			oblivious.WithAssignment(a),
+			oblivious.WithValidation(true))
+		if err != nil {
+			log.Fatalf("%s: %v", name, err)
 		}
-		fmt.Printf("  %-8s %2d slots\n", a.Name(), s.NumColors())
+		fmt.Printf("  %-8s %2d slots\n", a.Name(), res.Stats.Colors)
 	}
 
 	// Fully distributed: no coordinator, just local powers and backoff.
-	res, err := distributed.Default().Run(m, in, rng)
+	res, err := oblivious.Lookup("distributed").Solve(ctx, m, in,
+		oblivious.WithSeed(seed),
+		oblivious.WithValidation(true))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := m.CheckSchedule(in, sinr.Bidirectional, res.Schedule); err != nil {
-		log.Fatalf("distributed: %v", err)
-	}
 	fmt.Printf("  %-8s %2d contention slots (%d attempts, %d failures)\n\n",
-		"decay", res.Slots, res.Attempts, res.Failures)
+		"decay", res.Stats.Slots, res.Stats.Attempts, res.Stats.Failures)
 
 	fmt.Println("every schedule above satisfies the exact SINR constraints;")
 	fmt.Println("the square root assignment tracks the degree bound without any")

@@ -4,8 +4,9 @@
 // The example regenerates the paper's adversarial family against the
 // linear and square root assignments (and the nested exponential family
 // against uniform powers), schedules each instance with its target
-// assignment, and contrasts the result with the optimal power-control
-// baseline — which packs everything into O(1) slots.
+// assignment through the public solver API, and contrasts the result with
+// the optimal power-control baseline — which packs everything into O(1)
+// slots.
 //
 // Run with:
 //
@@ -13,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -64,8 +66,9 @@ func main() {
 }
 
 func report(m sinr.Model, a power.Assignment, family string, in *problem.Instance) {
-	powers := power.Powers(m, in, a)
-	s, err := coloring.GreedyFirstFit(m, in, sinr.Directed, powers, nil)
+	res, err := oblivious.Lookup("greedy").Solve(context.Background(), m, in,
+		oblivious.WithVariant(oblivious.Directed),
+		oblivious.WithAssignment(a))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -76,7 +79,7 @@ func report(m sinr.Model, a power.Assignment, family string, in *problem.Instanc
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("%-10s %-12s %4d  %10d  %10d\n", a.Name(), family, in.N(), s.NumColors(), opt)
+	fmt.Printf("%-10s %-12s %4d  %10d  %10d\n", a.Name(), family, in.N(), res.Stats.Colors, opt)
 }
 
 // toPublic re-wraps an internal instance for the public facade (both share

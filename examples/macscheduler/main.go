@@ -9,7 +9,8 @@
 //
 // The example compares the oblivious power assignments studied in the
 // paper (uniform, linear, square root) and the LP-based coloring of
-// Theorem 15, and prints the resulting frame lengths.
+// Theorem 15 — both obtained through the solver registry — and prints the
+// resulting frame lengths.
 //
 // Run with:
 //
@@ -17,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -41,39 +43,41 @@ func main() {
 		log.Fatal(err)
 	}
 	m := oblivious.DefaultModel()
+	ctx := context.Background()
 
 	fmt.Printf("deployment: %d full-duplex channels in %d rooms\n\n", in.N(), rooms)
 	fmt.Println("frame length (time slots) by power assignment:")
+	greedy := oblivious.Lookup("greedy")
 	for _, a := range []oblivious.Assignment{
 		oblivious.Uniform(1),
 		oblivious.Linear(),
 		oblivious.Sqrt(),
 	} {
-		s, err := oblivious.ScheduleGreedy(m, in, oblivious.Bidirectional, a)
+		res, err := greedy.Solve(ctx, m, in,
+			oblivious.WithAssignment(a),
+			oblivious.WithValidation(true))
 		if err != nil {
-			log.Fatal(err)
-		}
-		if err := oblivious.Validate(m, in, oblivious.Bidirectional, s); err != nil {
-			log.Fatalf("%s: invalid schedule: %v", a.Name(), err)
+			log.Fatalf("%s: %v", a.Name(), err)
 		}
 		fmt.Printf("  %-8s greedy: %2d slots (total energy %.3g)\n",
-			a.Name(), s.NumColors(), s.TotalEnergy())
+			a.Name(), res.Stats.Colors, res.Stats.Energy)
 	}
 
-	lpS, stats, err := oblivious.ScheduleLP(m, in, seed)
+	lpRes, err := oblivious.Lookup("lp").Solve(ctx, m, in,
+		oblivious.WithSeed(seed),
+		oblivious.WithValidation(true))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := oblivious.Validate(m, in, oblivious.Bidirectional, lpS); err != nil {
-		log.Fatalf("LP: invalid schedule: %v", err)
-	}
-	fmt.Printf("  %-8s LP:     %2d slots (%d LP solves)\n\n", "sqrt", lpS.NumColors(), stats.LPSolves)
+	fmt.Printf("  %-8s LP:     %2d slots (%d LP solves)\n\n",
+		"sqrt", lpRes.Stats.Colors, lpRes.Stats.LP.LPSolves)
 
 	// Show the first slots of the square-root frame.
-	s, err := oblivious.ScheduleGreedy(m, in, oblivious.Bidirectional, oblivious.Sqrt())
+	res, err := greedy.Solve(ctx, m, in, oblivious.WithAssignment(oblivious.Sqrt()))
 	if err != nil {
 		log.Fatal(err)
 	}
+	s := res.Schedule
 	fmt.Println("square-root frame layout (first 4 slots):")
 	for c, class := range s.Classes() {
 		if c >= 4 {

@@ -20,7 +20,6 @@ import (
 	oblivious "repro"
 	"repro/internal/geom"
 	"repro/internal/multihop"
-	"repro/internal/sinr"
 )
 
 func main() {
@@ -59,7 +58,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := m.CheckSchedule(in, sinr.Bidirectional, s); err != nil {
+	if err := oblivious.Validate(m, in, oblivious.Bidirectional, s); err != nil {
 		log.Fatalf("invalid hop schedule: %v", err)
 	}
 

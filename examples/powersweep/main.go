@@ -4,7 +4,8 @@
 // through square root (τ=0.5) to super-linear (τ=1.25) on three workloads
 // and prints the schedule lengths, reproducing the paper's intuition that
 // τ = 0.5 balances the interference between nested requests "in the right
-// way" (Section 1.2).
+// way" (Section 1.2). Each sweep column is one SolveAll batch: the three
+// workloads are solved concurrently by the registry's greedy solver.
 //
 // Run with:
 //
@@ -12,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -40,6 +42,32 @@ func main() {
 			return instance.Clustered(rng, n, 4, 15, 300, 1)
 		}},
 	}
+	instances := make([]*oblivious.Instance, len(workloads))
+	for i, w := range workloads {
+		in, err := w.build()
+		if err != nil {
+			log.Fatal(err)
+		}
+		instances[i] = in
+	}
+
+	// colors[w][t] = schedule length of workload w under exponent τ_t.
+	greedy := oblivious.Lookup("greedy")
+	ctx := context.Background()
+	colors := make([][]int, len(workloads))
+	for i := range colors {
+		colors[i] = make([]int, len(taus))
+	}
+	for t, tau := range taus {
+		results, err := oblivious.SolveAll(ctx, m, instances, greedy,
+			oblivious.WithAssignment(oblivious.Exponent(tau)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		for w, res := range results {
+			colors[w][t] = res.Stats.Colors
+		}
+	}
 
 	fmt.Printf("bidirectional schedule length for p = loss^tau (n = %d)\n\n", n)
 	fmt.Printf("%-34s", "workload")
@@ -47,27 +75,17 @@ func main() {
 		fmt.Printf("  t=%-5.2f", tau)
 	}
 	fmt.Println()
-	for _, w := range workloads {
-		in, err := w.build()
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("%-34s", w.name)
-		best := -1
-		colors := make([]int, len(taus))
-		for i, tau := range taus {
-			s, err := oblivious.ScheduleGreedy(m, in, oblivious.Bidirectional, oblivious.Exponent(tau))
-			if err != nil {
-				log.Fatal(err)
-			}
-			colors[i] = s.NumColors()
-			if best < 0 || colors[i] < colors[best] {
-				best = i
+	for w, wl := range workloads {
+		fmt.Printf("%-34s", wl.name)
+		best := 0
+		for t := range taus {
+			if colors[w][t] < colors[w][best] {
+				best = t
 			}
 		}
-		for i, c := range colors {
+		for t, c := range colors[w] {
 			marker := " "
-			if i == best {
+			if t == best {
 				marker = "*"
 			}
 			fmt.Printf("  %4d%s  ", c, marker)

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,15 +39,18 @@ func main() {
 
 	// Schedule the full-duplex (bidirectional) links under the square root
 	// power assignment — the paper's universally good oblivious assignment.
-	s, err := oblivious.ScheduleGreedy(m, in, oblivious.Bidirectional, oblivious.Sqrt())
+	// The greedy algorithm comes from the solver registry; WithValidation
+	// re-checks the schedule against the exact SINR constraints.
+	res, err := oblivious.Lookup("greedy").Solve(context.Background(), m, in,
+		oblivious.WithAssignment(oblivious.Sqrt()),
+		oblivious.WithValidation(true))
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := oblivious.Validate(m, in, oblivious.Bidirectional, s); err != nil {
-		log.Fatal(err)
-	}
+	s := res.Schedule
 
-	fmt.Printf("scheduled %d links in %d time slot(s)\n", in.N(), s.NumColors())
+	fmt.Printf("scheduled %d links in %d time slot(s) (%.2gms)\n",
+		in.N(), res.Stats.Colors, float64(res.Stats.Elapsed.Microseconds())/1000)
 	for c, class := range s.Classes() {
 		fmt.Printf("  slot %d:", c)
 		for _, i := range class {

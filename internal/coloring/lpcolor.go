@@ -1,6 +1,7 @@
 package coloring
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -48,6 +49,13 @@ func SqrtLPColoring(m sinr.Model, in *problem.Instance, rng *rand.Rand) (*proble
 
 // SqrtLPColoringOpts is SqrtLPColoring with explicit tuning options.
 func SqrtLPColoringOpts(m sinr.Model, in *problem.Instance, rng *rand.Rand, opts LPOptions) (*problem.Schedule, *LPStats, error) {
+	return SqrtLPColoringCtx(context.Background(), m, in, rng, opts)
+}
+
+// SqrtLPColoringCtx is SqrtLPColoringOpts with cooperative cancellation:
+// the context is checked before every outer color round, so a canceled
+// ctx aborts a long coloring between LP solves.
+func SqrtLPColoringCtx(ctx context.Context, m sinr.Model, in *problem.Instance, rng *rand.Rand, opts LPOptions) (*problem.Schedule, *LPStats, error) {
 	if err := m.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -64,6 +72,9 @@ func SqrtLPColoringOpts(m sinr.Model, in *problem.Instance, rng *rand.Rand, opts
 	}
 	stats := &LPStats{}
 	for color := 0; len(remaining) > 0; color++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		class, err := algorithmA(m, in, powers, remaining, rng, stats, opts)
 		if err != nil {
 			return nil, nil, err

@@ -15,6 +15,7 @@
 package distributed
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -73,6 +74,12 @@ var ErrSlotsExhausted = errors.New("distributed: slot budget exhausted")
 
 // Run simulates the protocol on a bidirectional instance.
 func (p Protocol) Run(m sinr.Model, in *problem.Instance, rng *rand.Rand) (*Result, error) {
+	return p.RunContext(context.Background(), m, in, rng)
+}
+
+// RunContext is Run with cooperative cancellation: the context is checked
+// every contention slot, so a canceled ctx aborts a long simulation.
+func (p Protocol) RunContext(ctx context.Context, m sinr.Model, in *problem.Instance, rng *rand.Rand) (*Result, error) {
 	if err := m.Validate(); err != nil {
 		return nil, err
 	}
@@ -113,6 +120,9 @@ func (p Protocol) Run(m sinr.Model, in *problem.Instance, rng *rand.Rand) (*Resu
 
 	slot := 0
 	for ; len(pending) > 0 && slot < maxSlots; slot++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		// Each pending request independently decides to transmit.
 		var active []int
 		for _, i := range pending {

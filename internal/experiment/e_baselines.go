@@ -1,8 +1,10 @@
 package experiment
 
 import (
+	"context"
 	"math/rand"
 
+	oblivious "repro"
 	"repro/internal/coloring"
 	"repro/internal/gridsched"
 	"repro/internal/power"
@@ -35,11 +37,12 @@ func E17GridBaseline(cfg Config) (*Table, error) {
 			}
 			powers := power.Powers(m, in, power.Sqrt())
 			lb := coloring.CliqueLowerBound(m, in, sinr.Bidirectional, powers)
-			g, err := coloring.GreedyFirstFit(m, in, sinr.Bidirectional, powers, nil)
+			ctx := context.Background()
+			g, err := oblivious.Lookup("greedy").Solve(ctx, m, in)
 			if err != nil {
 				return nil, err
 			}
-			lpS, _, err := coloring.SqrtLPColoring(m, in, rng)
+			lpRes, err := oblivious.Lookup("lp").Solve(ctx, m, in, oblivious.WithSeed(rng.Int63()))
 			if err != nil {
 				return nil, err
 			}
@@ -47,9 +50,9 @@ func E17GridBaseline(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			t.AddRow(kind, Itoa(n), Itoa(lb), Itoa(g.NumColors()), Itoa(lpS.NumColors()),
+			t.AddRow(kind, Itoa(n), Itoa(lb), Itoa(g.Stats.Colors), Itoa(lpRes.Stats.Colors),
 				Itoa(grid.NumColors()),
-				Ftoa(float64(grid.NumColors())/float64(g.NumColors()), 1))
+				Ftoa(float64(grid.NumColors())/float64(g.Stats.Colors), 1))
 		}
 	}
 	return t, nil

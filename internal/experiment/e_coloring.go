@@ -1,13 +1,14 @@
 package experiment
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
+	oblivious "repro"
 	"repro/internal/coloring"
 	"repro/internal/power"
 	"repro/internal/sinr"
-	"repro/internal/treestar"
 )
 
 // E3SqrtPolylog reproduces the shape of Theorem 2: the number of colors the
@@ -32,16 +33,19 @@ func E3SqrtPolylog(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			powers := power.Powers(m, in, power.Sqrt())
-			g, err := coloring.GreedyFirstFit(m, in, sinr.Bidirectional, powers, nil)
+			// All three sqrt-assignment algorithms come from the public
+			// solver registry; greedy is deterministic, lp and pipeline
+			// draw their seeds from the shared experiment stream.
+			ctx := context.Background()
+			g, err := oblivious.Lookup("greedy").Solve(ctx, m, in)
 			if err != nil {
 				return nil, err
 			}
-			lpS, _, err := coloring.SqrtLPColoring(m, in, rng)
+			lpRes, err := oblivious.Lookup("lp").Solve(ctx, m, in, oblivious.WithSeed(rng.Int63()))
 			if err != nil {
 				return nil, err
 			}
-			pipeS, err := (treestar.Pipeline{}).Coloring(m, in, rng)
+			pipeRes, err := oblivious.Lookup("pipeline").Solve(ctx, m, in, oblivious.WithSeed(rng.Int63()))
 			if err != nil {
 				return nil, err
 			}
@@ -49,10 +53,10 @@ func E3SqrtPolylog(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			ratio := float64(g.NumColors()) / float64(opt)
+			ratio := float64(g.Stats.Colors) / float64(opt)
 			lg := math.Log2(float64(n))
-			t.AddRow(kind, Itoa(n), Itoa(g.NumColors()), Itoa(lpS.NumColors()),
-				Itoa(pipeS.NumColors()), Itoa(opt), Ftoa(ratio, 2), Ftoa(lg*lg, 1))
+			t.AddRow(kind, Itoa(n), Itoa(g.Stats.Colors), Itoa(lpRes.Stats.Colors),
+				Itoa(pipeRes.Stats.Colors), Itoa(opt), Ftoa(ratio, 2), Ftoa(lg*lg, 1))
 		}
 	}
 	return t, nil
@@ -80,21 +84,21 @@ func E4LPColoring(cfg Config) (*Table, error) {
 			if err != nil {
 				return nil, err
 			}
-			powers := power.Powers(m, in, power.Sqrt())
-			g, err := coloring.GreedyFirstFit(m, in, sinr.Bidirectional, powers, nil)
+			ctx := context.Background()
+			g, err := oblivious.Lookup("greedy").Solve(ctx, m, in)
 			if err != nil {
 				return nil, err
 			}
-			s, stats, err := coloring.SqrtLPColoring(m, in, rng)
+			res, err := oblivious.Lookup("lp").Solve(ctx, m, in, oblivious.WithSeed(rng.Int63()))
 			if err != nil {
 				return nil, err
 			}
 			valid := "yes"
-			if err := m.CheckSchedule(in, sinr.Bidirectional, s); err != nil {
+			if err := m.CheckSchedule(in, sinr.Bidirectional, res.Schedule); err != nil {
 				valid = "NO"
 			}
-			t.AddRow(kind, Itoa(n), Itoa(g.NumColors()), Itoa(s.NumColors()),
-				Itoa(stats.LPSolves), Itoa(stats.Forced), valid)
+			t.AddRow(kind, Itoa(n), Itoa(g.Stats.Colors), Itoa(res.Stats.Colors),
+				Itoa(res.Stats.LP.LPSolves), Itoa(res.Stats.LP.Forced), valid)
 		}
 	}
 	return t, nil

@@ -1,11 +1,12 @@
 package experiment
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
+	oblivious "repro"
 	"repro/internal/coloring"
-	"repro/internal/distributed"
 	"repro/internal/geom"
 	"repro/internal/hst"
 	"repro/internal/power"
@@ -42,21 +43,21 @@ func E11Distributed(cfg Config) (*Table, error) {
 				if err != nil {
 					return nil, err
 				}
-				powers := power.Powers(m, in, power.Sqrt())
-				g, err := coloring.GreedyFirstFit(m, in, sinr.Bidirectional, powers, nil)
+				ctx := context.Background()
+				g, err := oblivious.Lookup("greedy").Solve(ctx, m, in)
 				if err != nil {
 					return nil, err
 				}
-				res, err := distributed.Default().Run(m, in, rng)
+				res, err := oblivious.Lookup("distributed").Solve(ctx, m, in, oblivious.WithSeed(rng.Int63()))
 				if err != nil {
 					return nil, err
 				}
 				if err := m.CheckSchedule(in, sinr.Bidirectional, res.Schedule); err != nil {
 					valid = "NO"
 				}
-				colorSum += float64(g.NumColors())
-				slotSum += float64(res.Slots)
-				attempts += float64(res.Attempts) / float64(n)
+				colorSum += float64(g.Stats.Colors)
+				slotSum += float64(res.Stats.Slots)
+				attempts += float64(res.Stats.Attempts) / float64(n)
 			}
 			k := float64(trials)
 			t.AddRow(kind, Itoa(n), Ftoa(colorSum/k, 1), Ftoa(slotSum/k, 1),

@@ -58,10 +58,20 @@ func Sqrt() Assignment {
 	return funcAssignment{name: "sqrt", f: math.Sqrt}
 }
 
-// Exponent returns the assignment p_i = ℓ_i^τ. Exponent(0) behaves like
-// Uniform(1), Exponent(0.5) like Sqrt, and Exponent(1) like Linear; the
-// exponent-sweep experiment (E8) uses intermediate values.
+// Exponent returns the assignment p_i = ℓ_i^τ. The named special cases
+// are canonicalized — Exponent(0) IS Uniform(1), Exponent(0.5) IS Sqrt,
+// Exponent(1) IS Linear, name included — so algorithms gated on the sqrt
+// assignment accept Exponent(0.5). The exponent-sweep experiment (E8)
+// uses intermediate values.
 func Exponent(tau float64) Assignment {
+	switch tau {
+	case 0:
+		return Uniform(1)
+	case 0.5:
+		return Sqrt()
+	case 1:
+		return Linear()
+	}
 	return funcAssignment{
 		name: fmt.Sprintf("loss^%.3g", tau),
 		f:    func(loss float64) float64 { return math.Pow(loss, tau) },

@@ -21,8 +21,8 @@ func TestAssignmentValues(t *testing.T) {
 		{a: Uniform(2), loss: 100, want: 2, name: "uniform"},
 		{a: Linear(), loss: 100, want: 100, name: "linear"},
 		{a: Sqrt(), loss: 100, want: 10, name: "sqrt"},
-		{a: Exponent(0), loss: 100, want: 1, name: "loss^0"},
-		{a: Exponent(0.5), loss: 100, want: 10, name: "loss^0.5"},
+		{a: Exponent(0), loss: 100, want: 1, name: "uniform"},
+		{a: Exponent(0.5), loss: 100, want: 10, name: "sqrt"},
 		{a: Exponent(2), loss: 10, want: 100, name: "loss^2"},
 	}
 	for _, tc := range tests {

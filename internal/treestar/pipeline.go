@@ -1,6 +1,7 @@
 package treestar
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
@@ -116,23 +117,40 @@ func (p Pipeline) Run(m sinr.Model, in *problem.Instance, rng *rand.Rand) ([]int
 // root power assignment. It is the fully constructive counterpart of
 // Theorem 2's existence statement.
 func (p Pipeline) Coloring(m sinr.Model, in *problem.Instance, rng *rand.Rand) (*problem.Schedule, error) {
+	s, _, err := p.ColoringWithStats(context.Background(), m, in, rng)
+	return s, err
+}
+
+// ColoringWithStats is Coloring, additionally reporting the per-stage
+// diagnostics of the first extracted color class — the run over the full
+// instance, and hence the most informative one. The context is checked
+// before every extracted class, so a canceled ctx aborts a long coloring
+// between pipeline runs.
+func (p Pipeline) ColoringWithStats(ctx context.Context, m sinr.Model, in *problem.Instance, rng *rand.Rand) (*problem.Schedule, *PipelineStats, error) {
 	s := problem.NewSchedule(in.N())
 	copy(s.Powers, power.Powers(m, in, power.Sqrt()))
 	remaining := make([]int, in.N())
 	for i := range remaining {
 		remaining[i] = i
 	}
+	var firstStats *PipelineStats
 	for color := 0; len(remaining) > 0; color++ {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		subInst, mapping, err := in.Restrict(remaining)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		class, _, err := p.Run(m, subInst, rng)
+		class, stats, err := p.Run(m, subInst, rng)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
+		}
+		if firstStats == nil {
+			firstStats = stats
 		}
 		if len(class) == 0 {
-			return nil, errors.New("treestar: pipeline returned empty class")
+			return nil, nil, errors.New("treestar: pipeline returned empty class")
 		}
 		inClass := make(map[int]bool, len(class))
 		for _, sub := range class {
@@ -148,5 +166,5 @@ func (p Pipeline) Coloring(m sinr.Model, in *problem.Instance, rng *rand.Rand) (
 		}
 		remaining = next
 	}
-	return s, nil
+	return s, firstStats, nil
 }

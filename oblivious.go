@@ -21,19 +21,34 @@
 //   - workload generators, including the adversarial Ω(n) family from the
 //     proof of Theorem 1.
 //
-// Quick start:
+// Every algorithm is a Solver, registered by name (greedy, lp, pipeline,
+// distributed) and configured with functional options. Quick start:
 //
 //	m := oblivious.DefaultModel()
 //	in, _ := oblivious.NewEuclideanInstance(points, reqs)
-//	s, _ := oblivious.ScheduleGreedy(m, in, oblivious.Bidirectional, oblivious.Sqrt())
-//	fmt.Println(s.NumColors())
+//	res, _ := oblivious.Lookup("greedy").Solve(ctx, m, in,
+//		oblivious.WithAssignment(oblivious.Sqrt()),
+//		oblivious.WithValidation(true))
+//	fmt.Println(res.Stats.Colors)
+//
+// Randomized solvers take a seed, and batches of instances fan out over a
+// worker pool:
+//
+//	res, _ := oblivious.Lookup("lp").Solve(ctx, m, in, oblivious.WithSeed(7))
+//	all, _ := oblivious.SolveAll(ctx, m, instances, oblivious.Lookup("pipeline"),
+//		oblivious.WithParallelism(8))
+//
+// Solvers(), Register and ParseAssignment round out the registry: CLIs
+// resolve -algo and -power flags through them, and external packages can
+// register additional solvers. The free Schedule* functions below are the
+// pre-registry API, kept as deprecated wrappers.
 package oblivious
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/coloring"
-	"repro/internal/distributed"
 	"repro/internal/geom"
 	"repro/internal/power"
 	"repro/internal/powerctl"
@@ -124,8 +139,15 @@ func PowersFor(m Model, in *Instance, a Assignment) []float64 {
 
 // ScheduleGreedy colors the instance by greedy first-fit under the given
 // oblivious power assignment (longest request first).
+//
+// Deprecated: use Lookup("greedy").Solve with WithVariant and
+// WithAssignment.
 func ScheduleGreedy(m Model, in *Instance, v Variant, a Assignment) (*Schedule, error) {
-	return coloring.GreedyFirstFit(m, in, v, power.Powers(m, in, a), nil)
+	res, err := Lookup("greedy").Solve(context.Background(), m, in, WithVariant(v), WithAssignment(a))
+	if err != nil {
+		return nil, err
+	}
+	return res.Schedule, nil
 }
 
 // ScheduleGreedyPowers colors the instance by greedy first-fit under an
@@ -137,15 +159,27 @@ func ScheduleGreedyPowers(m Model, in *Instance, v Variant, powers []float64) (*
 // ScheduleLP runs the randomized LP-based coloring for the bidirectional
 // problem under the square root assignment (Theorem 15). The seed makes
 // runs reproducible.
+//
+// Deprecated: use Lookup("lp").Solve with WithSeed.
 func ScheduleLP(m Model, in *Instance, seed int64) (*Schedule, *LPStats, error) {
-	return coloring.SqrtLPColoring(m, in, rand.New(rand.NewSource(seed)))
+	res, err := Lookup("lp").Solve(context.Background(), m, in, WithSeed(seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.Schedule, res.Stats.LP, nil
 }
 
 // SchedulePipeline colors the bidirectional instance with the constructive
 // Theorem 2 pipeline (tree embeddings, centroid stars, thinning) under the
 // square root assignment.
+//
+// Deprecated: use Lookup("pipeline").Solve with WithSeed.
 func SchedulePipeline(m Model, in *Instance, seed int64) (*Schedule, error) {
-	return treestar.Pipeline{}.Coloring(m, in, rand.New(rand.NewSource(seed)))
+	res, err := Lookup("pipeline").Solve(context.Background(), m, in, WithSeed(seed))
+	if err != nil {
+		return nil, err
+	}
+	return res.Schedule, nil
 }
 
 // Validate checks a complete schedule against the SINR constraints and
@@ -184,12 +218,15 @@ func LiftToNoise(m Model, in *Instance, v Variant, s *Schedule, nu float64) (*Sc
 // the square root assignment (the experimental answer to the paper's
 // Section 6 open question) and returns the induced feasible schedule
 // together with the number of contention slots the protocol needed.
+//
+// Deprecated: use Lookup("distributed").Solve with WithSeed; the slot
+// count is Result.Stats.Slots.
 func ScheduleDistributed(m Model, in *Instance, seed int64) (*Schedule, int, error) {
-	res, err := distributed.Default().Run(m, in, rand.New(rand.NewSource(seed)))
+	res, err := Lookup("distributed").Solve(context.Background(), m, in, WithSeed(seed))
 	if err != nil {
 		return nil, 0, err
 	}
-	return res.Schedule, res.Slots, nil
+	return res.Schedule, res.Stats.Slots, nil
 }
 
 // MaxSimultaneousLP runs the LP-guided one-shot capacity maximizer of

@@ -1,0 +1,428 @@
+// Solver API: every scheduling algorithm of the package behind one
+// interface, selectable by name from a registry, configured through
+// functional options, and runnable in bulk with SolveAll.
+package oblivious
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/coloring"
+	"repro/internal/distributed"
+	"repro/internal/power"
+	"repro/internal/treestar"
+)
+
+// Solver is the uniform entry point to every scheduling algorithm. A
+// solver colors an instance under the physical model m, honoring the
+// functional options (variant, power assignment, seed, ...).
+//
+// Implementations must be safe for concurrent use: SolveAll calls Solve
+// from many goroutines.
+type Solver interface {
+	// Name is the registry key the solver was built with.
+	Name() string
+	// Solve colors the instance and reports the schedule together with
+	// unified statistics and timing.
+	Solve(ctx context.Context, m Model, in *Instance, opts ...Option) (*Result, error)
+}
+
+// Stats unifies the diagnostics of all algorithms. Fields that do not
+// apply to the solver that produced the result stay at their zero value.
+type Stats struct {
+	// Colors is the schedule length (number of time slots).
+	Colors int
+	// Energy is the total transmission energy of the schedule.
+	Energy float64
+	// Elapsed is the wall-clock time of the Solve call.
+	Elapsed time.Duration
+	// LP carries the LP-based coloring diagnostics (lp solver only).
+	LP *LPStats
+	// Pipeline carries the Theorem 2 pipeline diagnostics (pipeline
+	// solver only).
+	Pipeline *PipelineStats
+	// Slots is the number of contention slots (distributed solver only).
+	Slots int
+	// Attempts counts transmission attempts (distributed solver only).
+	Attempts int
+	// Failures counts failed attempts (distributed solver only).
+	Failures int
+}
+
+// Result bundles everything a Solve call produces.
+type Result struct {
+	// Solver is the name of the solver that produced the result.
+	Solver string
+	// Schedule assigns a power and a color to every request.
+	Schedule *Schedule
+	// Stats reports the unified algorithm diagnostics.
+	Stats Stats
+}
+
+// Options collects the knobs shared by all solvers. Build it with the
+// With* functional options; the zero value is not meaningful — solvers
+// start from DefaultOptions.
+type Options struct {
+	// Variant selects directed or bidirectional SINR constraints.
+	Variant Variant
+	// Assignment is the oblivious power assignment.
+	Assignment Assignment
+	// Seed drives the randomized algorithms.
+	Seed int64
+	// Validate re-checks the produced schedule against the exact SINR
+	// constraints before returning it.
+	Validate bool
+	// Parallelism bounds the worker pool of SolveAll (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+// DefaultOptions returns the settings a bare Solve call runs with:
+// bidirectional constraints, square root powers, seed 1, no
+// re-validation, GOMAXPROCS batch parallelism.
+func DefaultOptions() Options {
+	return Options{Variant: Bidirectional, Assignment: Sqrt(), Seed: 1}
+}
+
+// Option mutates Options. Pass any number of them to Solve or SolveAll.
+type Option func(*Options)
+
+// WithVariant selects the SINR constraint variant (default Bidirectional).
+func WithVariant(v Variant) Option { return func(o *Options) { o.Variant = v } }
+
+// WithAssignment selects the oblivious power assignment (default Sqrt).
+func WithAssignment(a Assignment) Option { return func(o *Options) { o.Assignment = a } }
+
+// WithSeed seeds the randomized algorithms (default 1).
+func WithSeed(seed int64) Option { return func(o *Options) { o.Seed = seed } }
+
+// WithValidation makes the solver re-check its schedule against the exact
+// SINR constraints and fail if it is infeasible (default off).
+func WithValidation(on bool) Option { return func(o *Options) { o.Validate = on } }
+
+// WithParallelism bounds the SolveAll worker pool (default 0 = GOMAXPROCS).
+func WithParallelism(n int) Option { return func(o *Options) { o.Parallelism = n } }
+
+func buildOptions(opts []Option) Options {
+	o := DefaultOptions()
+	for _, opt := range opts {
+		if opt != nil {
+			opt(&o)
+		}
+	}
+	return o
+}
+
+// ParseAssignment parses the textual power-assignment syntax shared by the
+// CLIs and examples: "uniform", "linear", "sqrt", or "exp:<tau>" for the
+// assignment p = loss^tau. It is the single public parser; commands must
+// not hand-roll their own.
+func ParseAssignment(s string) (Assignment, error) {
+	switch {
+	case s == "uniform":
+		return Uniform(1), nil
+	case s == "linear":
+		return Linear(), nil
+	case s == "sqrt":
+		return Sqrt(), nil
+	case strings.HasPrefix(s, "exp:"):
+		tau, err := strconv.ParseFloat(strings.TrimPrefix(s, "exp:"), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad exponent in %q: %w", s, err)
+		}
+		// Exponent canonicalizes the named special cases, so "exp:0.5"
+		// is the sqrt assignment and satisfies the sqrt-only solvers.
+		return Exponent(tau), nil
+	default:
+		return nil, fmt.Errorf("unknown power assignment %q (want uniform, linear, sqrt, or exp:<tau>)", s)
+	}
+}
+
+// SolveFunc is the algorithm core a Solver wraps: it receives the fully
+// resolved Options and returns a Result whose Schedule is set and whose
+// algorithm-specific Stats fields are filled in. Name, timing, Colors,
+// Energy and optional validation are handled by the wrapper.
+type SolveFunc func(ctx context.Context, m Model, in *Instance, o Options) (*Result, error)
+
+// NewSolver wraps an algorithm core as a Solver. The wrapper applies the
+// options, rejects an already-canceled context, measures wall-clock time,
+// fills the shared Stats fields and, with WithValidation(true), re-checks
+// the schedule against the SINR constraints.
+func NewSolver(name string, fn SolveFunc) Solver {
+	return solverFunc{name: name, fn: fn}
+}
+
+type solverFunc struct {
+	name string
+	fn   SolveFunc
+}
+
+func (s solverFunc) Name() string { return s.name }
+
+func (s solverFunc) Solve(ctx context.Context, m Model, in *Instance, opts ...Option) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if in == nil {
+		return nil, fmt.Errorf("%s: nil instance", s.name)
+	}
+	o := buildOptions(opts)
+	if o.Assignment == nil {
+		return nil, fmt.Errorf("%s: nil power assignment", s.name)
+	}
+	start := time.Now()
+	res, err := s.fn(ctx, m, in, o)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", s.name, err)
+	}
+	// No post-run ctx check: if the core finished despite a late
+	// cancellation, the computed schedule is delivered rather than
+	// discarded.
+	if res == nil || res.Schedule == nil {
+		return nil, fmt.Errorf("%s: solver returned no schedule", s.name)
+	}
+	res.Solver = s.name
+	res.Stats.Colors = res.Schedule.NumColors()
+	res.Stats.Energy = res.Schedule.TotalEnergy()
+	if o.Validate {
+		if err := Validate(m, in, o.Variant, res.Schedule); err != nil {
+			return nil, fmt.Errorf("%s: produced schedule failed validation: %w", s.name, err)
+		}
+	}
+	res.Stats.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// ErrUnknownSolver is wrapped by the error a Lookup of an unregistered
+// name reports when solved.
+var ErrUnknownSolver = errors.New("unknown solver")
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Solver{}
+)
+
+// Register adds a solver to the registry under the given name. It panics
+// on an empty name, a nil solver, or a duplicate registration — solver
+// names are a flat global namespace resolved by CLI flags.
+func Register(name string, s Solver) {
+	if name == "" {
+		panic("oblivious: Register with empty solver name")
+	}
+	if s == nil {
+		panic("oblivious: Register with nil solver")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("oblivious: Register called twice for solver %q", name))
+	}
+	registry[name] = s
+}
+
+// Lookup returns the solver registered under name. It never returns nil:
+// an unregistered name yields a stub solver whose Solve reports an error
+// wrapping ErrUnknownSolver, so the call chains as
+// Lookup("lp").Solve(ctx, m, in, WithSeed(7)) without a nil check.
+func Lookup(name string) Solver {
+	registryMu.RLock()
+	s, ok := registry[name]
+	registryMu.RUnlock()
+	if !ok {
+		return unknownSolver(name)
+	}
+	return s
+}
+
+func unknownSolver(name string) Solver {
+	return NewSolver(name, func(context.Context, Model, *Instance, Options) (*Result, error) {
+		return nil, fmt.Errorf("%w %q (registered: %s)", ErrUnknownSolver, name, strings.Join(Solvers(), ", "))
+	})
+}
+
+// Solvers returns the sorted names of all registered solvers.
+func Solvers() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for name := range registry {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	Register("greedy", NewSolver("greedy", solveGreedy))
+	Register("lp", NewSolver("lp", solveLP))
+	Register("pipeline", NewSolver("pipeline", solvePipeline))
+	Register("distributed", NewSolver("distributed", solveDistributed))
+}
+
+// solveGreedy colors by greedy first-fit (longest request first). It is
+// the only solver that supports both variants and every assignment.
+func solveGreedy(_ context.Context, m Model, in *Instance, o Options) (*Result, error) {
+	s, err := coloring.GreedyFirstFit(m, in, o.Variant, power.Powers(m, in, o.Assignment), nil)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schedule: s}, nil
+}
+
+// requireSqrtBidirectional guards the Theorem 2/15 algorithms, which are
+// defined for bidirectional requests under the square root assignment.
+// The assignment is checked by behavior, not by name: any implementation
+// that computes √loss qualifies, and an imposter that merely calls itself
+// "sqrt" does not.
+func requireSqrtBidirectional(o Options) error {
+	if o.Variant != Bidirectional {
+		return errors.New("requires the bidirectional variant")
+	}
+	for _, loss := range []float64{1, 2, 9, 1e4, 1e8} {
+		want := math.Sqrt(loss)
+		if got := o.Assignment.Power(loss); math.Abs(got-want) > 1e-9*want {
+			return fmt.Errorf("requires the sqrt assignment (got %q: power(%g) = %g, want %g)",
+				o.Assignment.Name(), loss, got, want)
+		}
+	}
+	return nil
+}
+
+// solveLP runs the randomized LP-based O(log n)-approximation of
+// Theorem 15.
+func solveLP(ctx context.Context, m Model, in *Instance, o Options) (*Result, error) {
+	if err := requireSqrtBidirectional(o); err != nil {
+		return nil, err
+	}
+	s, stats, err := coloring.SqrtLPColoringCtx(ctx, m, in, rand.New(rand.NewSource(o.Seed)), coloring.LPOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schedule: s, Stats: Stats{LP: stats}}, nil
+}
+
+// solvePipeline runs the constructive Theorem 2 pipeline (tree embeddings,
+// centroid stars, thinning).
+func solvePipeline(ctx context.Context, m Model, in *Instance, o Options) (*Result, error) {
+	if err := requireSqrtBidirectional(o); err != nil {
+		return nil, err
+	}
+	s, stats, err := treestar.Pipeline{}.ColoringWithStats(ctx, m, in, rand.New(rand.NewSource(o.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Schedule: s, Stats: Stats{Pipeline: stats}}, nil
+}
+
+// solveDistributed simulates the slotted decay contention protocol under
+// the chosen oblivious assignment.
+func solveDistributed(ctx context.Context, m Model, in *Instance, o Options) (*Result, error) {
+	if o.Variant != Bidirectional {
+		return nil, errors.New("requires the bidirectional variant")
+	}
+	p := distributed.Default()
+	p.Assignment = o.Assignment
+	res, err := p.RunContext(ctx, m, in, rand.New(rand.NewSource(o.Seed)))
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Schedule: res.Schedule,
+		Stats:    Stats{Slots: res.Slots, Attempts: res.Attempts, Failures: res.Failures},
+	}, nil
+}
+
+// SolveAll fans the instances out across a worker pool and solves each
+// with the given solver, returning one Result per instance in input
+// order. Instance i is solved with seed Seed+i so a batch mixes
+// independent randomness while staying reproducible regardless of worker
+// interleaving. The pool size is WithParallelism (default GOMAXPROCS).
+//
+// The first solver error cancels the remaining work and is returned
+// wrapped with the instance index; a canceled ctx aborts the batch with
+// ctx.Err().
+func SolveAll(ctx context.Context, m Model, instances []*Instance, solver Solver, opts ...Option) ([]*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if solver == nil {
+		return nil, errors.New("oblivious: SolveAll with nil solver")
+	}
+	o := buildOptions(opts)
+	workers := o.Parallelism
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(instances) {
+		workers = len(instances)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	results := make([]*Result, len(instances))
+	if len(instances) == 0 {
+		return results, nil
+	}
+
+	batchCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := solver.Solve(batchCtx, m, instances[i], append(append([]Option(nil), opts...), WithSeed(o.Seed+int64(i)))...)
+				if err != nil {
+					fail(fmt.Errorf("instance %d: %w", i, err))
+					return
+				}
+				results[i] = res
+			}
+		}()
+	}
+feed:
+	for i := range instances {
+		select {
+		case jobs <- i:
+		case <-batchCtx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	errMu.Lock()
+	defer errMu.Unlock()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}

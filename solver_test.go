@@ -1,0 +1,414 @@
+package oblivious
+
+import (
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/coloring"
+	"repro/internal/distributed"
+	"repro/internal/treestar"
+)
+
+// dummySchedule backs the stub solvers used to probe the wrapper and the
+// batch runner without running a real algorithm.
+func dummySchedule(n int) *Schedule {
+	s := &Schedule{Colors: make([]int, n), Powers: make([]float64, n)}
+	for i := range s.Colors {
+		s.Colors[i] = i
+		s.Powers[i] = 1
+	}
+	return s
+}
+
+func TestSolversRegistry(t *testing.T) {
+	names := Solvers()
+	for _, want := range []string{"distributed", "greedy", "lp", "pipeline"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Solvers() = %v, missing %q", names, want)
+		}
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i-1] >= names[i] {
+			t.Errorf("Solvers() not sorted: %v", names)
+		}
+	}
+	for _, n := range names {
+		if got := Lookup(n).Name(); got != n {
+			t.Errorf("Lookup(%q).Name() = %q", n, got)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	s := Lookup("annealing")
+	if s == nil {
+		t.Fatal("Lookup must never return nil")
+	}
+	_, err := s.Solve(context.Background(), DefaultModel(), fourLinks(t))
+	if !errors.Is(err, ErrUnknownSolver) {
+		t.Fatalf("err = %v, want ErrUnknownSolver", err)
+	}
+	if !strings.Contains(err.Error(), "greedy") {
+		t.Errorf("unknown-solver error should list registered names, got %v", err)
+	}
+}
+
+func TestRegisterPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty name": func() { Register("", Lookup("greedy")) },
+		"nil solver": func() { Register("x", nil) },
+		"duplicate":  func() { Register("greedy", Lookup("greedy")) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Register with %s should panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestOptionDefaults(t *testing.T) {
+	o := DefaultOptions()
+	if o.Variant != Bidirectional {
+		t.Errorf("default variant = %v, want Bidirectional", o.Variant)
+	}
+	if o.Assignment == nil || o.Assignment.Name() != Sqrt().Name() {
+		t.Errorf("default assignment = %v, want sqrt", o.Assignment)
+	}
+	if o.Seed != 1 {
+		t.Errorf("default seed = %d, want 1", o.Seed)
+	}
+	if o.Validate {
+		t.Error("validation should default to off")
+	}
+	if o.Parallelism != 0 {
+		t.Errorf("default parallelism = %d, want 0 (GOMAXPROCS)", o.Parallelism)
+	}
+
+	// The options reach the algorithm core exactly as composed.
+	var seen Options
+	probe := NewSolver("probe", func(_ context.Context, _ Model, _ *Instance, o Options) (*Result, error) {
+		seen = o
+		return &Result{Schedule: dummySchedule(4)}, nil
+	})
+	_, err := probe.Solve(context.Background(), DefaultModel(), fourLinks(t),
+		WithVariant(Directed), WithAssignment(Linear()), WithSeed(42), WithParallelism(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen.Variant != Directed || seen.Assignment.Name() != "linear" || seen.Seed != 42 || seen.Parallelism != 3 {
+		t.Errorf("options did not thread through: %+v", seen)
+	}
+}
+
+func TestNewSolverRejectsNilSchedule(t *testing.T) {
+	for name, s := range map[string]Solver{
+		"nil result":   NewSolver("bad", func(context.Context, Model, *Instance, Options) (*Result, error) { return nil, nil }),
+		"nil schedule": NewSolver("bad", func(context.Context, Model, *Instance, Options) (*Result, error) { return &Result{}, nil }),
+	} {
+		if _, err := s.Solve(context.Background(), DefaultModel(), fourLinks(t)); err == nil {
+			t.Errorf("%s: expected an error, not a panic or success", name)
+		}
+	}
+}
+
+func TestEverySolverValidates(t *testing.T) {
+	m := DefaultModel()
+	in := fourLinks(t)
+	for _, name := range Solvers() {
+		res, err := Lookup(name).Solve(context.Background(), m, in, WithSeed(3), WithValidation(true))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Solver != name {
+			t.Errorf("%s: Result.Solver = %q", name, res.Solver)
+		}
+		if res.Schedule == nil || res.Schedule.NumColors() < 1 {
+			t.Fatalf("%s: empty schedule", name)
+		}
+		if err := Validate(m, in, Bidirectional, res.Schedule); err != nil {
+			t.Errorf("%s: schedule infeasible: %v", name, err)
+		}
+		if res.Stats.Colors != res.Schedule.NumColors() {
+			t.Errorf("%s: Stats.Colors = %d, schedule has %d", name, res.Stats.Colors, res.Schedule.NumColors())
+		}
+		if res.Stats.Energy <= 0 {
+			t.Errorf("%s: Stats.Energy = %g", name, res.Stats.Energy)
+		}
+	}
+}
+
+func TestSolverStatsUnified(t *testing.T) {
+	m := DefaultModel()
+	in := fourLinks(t)
+	lp, err := Lookup("lp").Solve(context.Background(), m, in, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lp.Stats.LP == nil || lp.Stats.LP.LPSolves == 0 {
+		t.Errorf("lp stats missing: %+v", lp.Stats)
+	}
+	pipe, err := Lookup("pipeline").Solve(context.Background(), m, in, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pipe.Stats.Pipeline == nil || pipe.Stats.Pipeline.ActiveNodes == 0 {
+		t.Errorf("pipeline stats missing: %+v", pipe.Stats)
+	}
+	dist, err := Lookup("distributed").Solve(context.Background(), m, in, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Stats.Slots == 0 || dist.Stats.Attempts == 0 {
+		t.Errorf("distributed stats missing: %+v", dist.Stats)
+	}
+}
+
+func TestSolverVariantGuards(t *testing.T) {
+	m := DefaultModel()
+	in := fourLinks(t)
+	for _, name := range []string{"lp", "pipeline", "distributed"} {
+		if _, err := Lookup(name).Solve(context.Background(), m, in, WithVariant(Directed)); err == nil {
+			t.Errorf("%s should reject the directed variant", name)
+		}
+	}
+	for _, name := range []string{"lp", "pipeline"} {
+		if _, err := Lookup(name).Solve(context.Background(), m, in, WithAssignment(Linear())); err == nil {
+			t.Errorf("%s should reject non-sqrt assignments", name)
+		}
+	}
+	// Greedy supports both variants and arbitrary assignments.
+	if _, err := Lookup("greedy").Solve(context.Background(), m, in,
+		WithVariant(Directed), WithAssignment(Uniform(1)), WithValidation(true)); err != nil {
+		t.Errorf("greedy directed uniform: %v", err)
+	}
+}
+
+func TestSolveMatchesDeprecatedWrappers(t *testing.T) {
+	m := DefaultModel()
+	in := fourLinks(t)
+	old, oldStats, err := ScheduleLP(m, in, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Lookup("lp").Solve(context.Background(), m, in, WithSeed(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if old.NumColors() != res.Schedule.NumColors() || oldStats.LPSolves != res.Stats.LP.LPSolves {
+		t.Errorf("wrapper and solver disagree: %d/%d colors, %d/%d solves",
+			old.NumColors(), res.Schedule.NumColors(), oldStats.LPSolves, res.Stats.LP.LPSolves)
+	}
+}
+
+func TestSolveAll(t *testing.T) {
+	m := DefaultModel()
+	instances := []*Instance{fourLinks(t), fourLinks(t), fourLinks(t), fourLinks(t), fourLinks(t)}
+	results, err := SolveAll(context.Background(), m, instances, Lookup("greedy"), WithParallelism(2), WithValidation(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != len(instances) {
+		t.Fatalf("got %d results", len(results))
+	}
+	for i, r := range results {
+		if r == nil || r.Schedule == nil {
+			t.Fatalf("result %d missing", i)
+		}
+	}
+}
+
+// TestSolveAllConcurrent proves the batch runner actually overlaps work: a
+// barrier solver blocks every call until `workers` goroutines are inside
+// it at the same time, so the batch can only finish if SolveAll runs that
+// many instances concurrently.
+func TestSolveAllConcurrent(t *testing.T) {
+	const workers = 4
+	var barrier sync.WaitGroup
+	barrier.Add(workers)
+	block := NewSolver("barrier", func(ctx context.Context, _ Model, _ *Instance, _ Options) (*Result, error) {
+		barrier.Done()
+		done := make(chan struct{})
+		go func() { barrier.Wait(); close(done) }()
+		select {
+		case <-done:
+			return &Result{Schedule: dummySchedule(1)}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(10 * time.Second):
+			return nil, errors.New("barrier never filled: instances did not run concurrently")
+		}
+	})
+	instances := make([]*Instance, workers)
+	for i := range instances {
+		instances[i] = fourLinks(t)
+	}
+	results, err := SolveAll(context.Background(), DefaultModel(), instances, block, WithParallelism(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != workers {
+		t.Fatalf("got %d results", len(results))
+	}
+}
+
+func TestSolveAllCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := SolveAll(ctx, DefaultModel(), []*Instance{fourLinks(t)}, Lookup("greedy"))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestSolveAllCancellationMidBatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{}, 64)
+	slow := NewSolver("slow", func(ctx context.Context, _ Model, _ *Instance, _ Options) (*Result, error) {
+		started <- struct{}{}
+		<-ctx.Done()
+		return nil, ctx.Err()
+	})
+	instances := make([]*Instance, 16)
+	for i := range instances {
+		instances[i] = fourLinks(t)
+	}
+	errc := make(chan error, 1)
+	go func() {
+		_, err := SolveAll(ctx, DefaultModel(), instances, slow, WithParallelism(2))
+		errc <- err
+	}()
+	<-started
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("SolveAll did not return after cancellation")
+	}
+}
+
+func TestSolveAllErrorAborts(t *testing.T) {
+	boom := errors.New("boom")
+	var calls sync.Map
+	failing := NewSolver("failing", func(_ context.Context, _ Model, _ *Instance, o Options) (*Result, error) {
+		calls.Store(o.Seed, true)
+		if o.Seed == 2 { // instance index 1 under the default base seed 1
+			return nil, boom
+		}
+		return &Result{Schedule: dummySchedule(1)}, nil
+	})
+	instances := make([]*Instance, 8)
+	for i := range instances {
+		instances[i] = fourLinks(t)
+	}
+	_, err := SolveAll(context.Background(), DefaultModel(), instances, failing, WithParallelism(1))
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "instance 1") {
+		t.Errorf("error should name the failing instance: %v", err)
+	}
+	// The single worker processed instances in order, so nothing after the
+	// failing one (seed 2 = index 1) may have been attempted.
+	calls.Range(func(k, _ any) bool {
+		if seed := k.(int64); seed > 2 {
+			t.Errorf("instance with seed %d ran after the failure", seed)
+		}
+		return true
+	})
+}
+
+// The sqrt gate is behavioral: a true square root assignment under any
+// name passes, a "sqrt"-named imposter does not.
+func TestSqrtGuardIsBehavioral(t *testing.T) {
+	m := DefaultModel()
+	in := fourLinks(t)
+	renamed := namedAssignment{name: "my-sqrt", f: func(loss float64) float64 { return math.Sqrt(loss) }}
+	if _, err := Lookup("lp").Solve(context.Background(), m, in, WithAssignment(renamed)); err != nil {
+		t.Errorf("behaviorally-sqrt assignment rejected: %v", err)
+	}
+	imposter := namedAssignment{name: "sqrt", f: func(loss float64) float64 { return loss }}
+	if _, err := Lookup("lp").Solve(context.Background(), m, in, WithAssignment(imposter)); err == nil {
+		t.Error("linear assignment named \"sqrt\" should be rejected")
+	}
+}
+
+type namedAssignment struct {
+	name string
+	f    func(float64) float64
+}
+
+func (a namedAssignment) Name() string               { return a.name }
+func (a namedAssignment) Power(loss float64) float64 { return a.f(loss) }
+
+// Cancellation reaches inside the long-running algorithms, not just the
+// Solve entry check: each ctx-aware core aborts at its next loop
+// iteration when handed a canceled context.
+func TestAlgorithmsHonorCancellationMidRun(t *testing.T) {
+	m := DefaultModel()
+	in := fourLinks(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	rng := rand.New(rand.NewSource(1))
+	if _, _, err := coloring.SqrtLPColoringCtx(ctx, m, in, rng, coloring.LPOptions{}); !errors.Is(err, context.Canceled) {
+		t.Errorf("lp coloring: err = %v, want context.Canceled", err)
+	}
+	if _, _, err := (treestar.Pipeline{}).ColoringWithStats(ctx, m, in, rng); !errors.Is(err, context.Canceled) {
+		t.Errorf("pipeline coloring: err = %v, want context.Canceled", err)
+	}
+	if _, err := distributed.Default().RunContext(ctx, m, in, rng); !errors.Is(err, context.Canceled) {
+		t.Errorf("distributed run: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestParseAssignmentPublic(t *testing.T) {
+	for spec, wantName := range map[string]string{
+		"uniform":  "uniform",
+		"linear":   "linear",
+		"sqrt":     "sqrt",
+		"exp:0.75": Exponent(0.75).Name(),
+	} {
+		a, err := ParseAssignment(spec)
+		if err != nil {
+			t.Errorf("%s: %v", spec, err)
+			continue
+		}
+		if a.Name() != wantName {
+			t.Errorf("%s: name = %q, want %q", spec, a.Name(), wantName)
+		}
+	}
+	if a, err := ParseAssignment("exp:2"); err != nil || a.Power(3) != 9 {
+		t.Errorf("exp:2 parse = %v, err %v", a, err)
+	}
+	// Equivalent exponents canonicalize to the named assignments, so
+	// "exp:0.5" satisfies the sqrt-only solvers.
+	for spec, want := range map[string]string{"exp:0": "uniform", "exp:0.5": "sqrt", "exp:1": "linear"} {
+		a, err := ParseAssignment(spec)
+		if err != nil || a.Name() != want {
+			t.Errorf("%s: name = %v (err %v), want %s", spec, a, err, want)
+		}
+	}
+	for _, bad := range []string{"cubic", "exp:abc", ""} {
+		if _, err := ParseAssignment(bad); err == nil {
+			t.Errorf("%q should fail to parse", bad)
+		}
+	}
+}
