@@ -1,0 +1,272 @@
+package affect
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/problem"
+	"repro/internal/sinr"
+)
+
+// Cache is the precomputed affectance engine: for one (instance, model,
+// variant, powers) tuple it stores the full n×n affectance matrices as flat
+// row-major []float64, plus the per-request loss and signal vectors, and
+// implements the sinr.Cache hook so that attaching it to a Model turns the
+// O(pow)-per-pair interference queries into array loads.
+//
+// For the directed variant one matrix is stored (interference at each
+// request's receiver); for the bidirectional variant two (interference at
+// each request's U and V endpoint). Each matrix is also stored transposed,
+// so both access patterns of the algorithms — "what does request i receive"
+// (Into rows) and "what does request j inflict" (From rows) — stream
+// through contiguous memory.
+//
+// Diagonal entries are stored as zero: a request never interferes with
+// itself, and the query loops skip j == i explicitly, mirroring the direct
+// computation.
+//
+// The powers slice is snapshotted at build time. Covers accepts the
+// original slice by pointer and any other slice with bitwise-equal
+// contents (value comparisons are memoized by slice identity, so repeated
+// queries stay O(1)). Mutating a powers slice after the cache accepted it
+// is a caller bug — the same bug as mutating the build slice itself.
+type Cache struct {
+	in     *problem.Instance
+	alpha  float64
+	n      int
+	orig   *float64  // first element of the build slice (fast-path identity)
+	powers []float64 // snapshot of the build powers
+
+	signals []float64
+	losses  []float64
+
+	// directed matrices (nil for the bidirectional variant)
+	dInto, dFrom []float64
+	// bidirectional matrices (nil for the directed variant)
+	uInto, vInto, uFrom, vFrom []float64
+
+	// accepted memoizes alternate powers slices that compared equal to the
+	// snapshot, as an immutable copy-on-write list of slice identities.
+	accepted atomic.Value // []sliceKey
+	memoMu   sync.Mutex
+}
+
+var _ sinr.Cache = (*Cache)(nil)
+
+// sliceKey identifies a []float64 by backing array and length.
+type sliceKey struct {
+	p *float64
+	n int
+}
+
+// maxMemo bounds the accepted-slice memo; beyond it, equal slices are
+// re-compared on every Covers call (still correct, just slower).
+const maxMemo = 16
+
+// New builds the affectance cache for the given model, variant, instance
+// and powers. The matrices are filled by a worker pool sized to
+// GOMAXPROCS. It panics if len(powers) != in.N() — every call site derives
+// the powers from the instance, so a mismatch is a programming error.
+func New(m sinr.Model, v sinr.Variant, in *problem.Instance, powers []float64) *Cache {
+	n := in.N()
+	if len(powers) != n {
+		panic(fmt.Sprintf("affect: %d powers for %d requests", len(powers), n))
+	}
+	c := &Cache{
+		in:     in,
+		alpha:  m.Alpha,
+		n:      n,
+		orig:   &powers[0],
+		powers: append([]float64(nil), powers...),
+	}
+	c.signals = make([]float64, n)
+	c.losses = make([]float64, n)
+	for i := 0; i < n; i++ {
+		c.losses[i] = m.RequestLoss(in, i)
+		c.signals[i] = powers[i] / c.losses[i]
+	}
+	switch v {
+	case sinr.Directed:
+		c.dInto = make([]float64, n*n)
+	case sinr.Bidirectional:
+		c.uInto = make([]float64, n*n)
+		c.vInto = make([]float64, n*n)
+	default:
+		panic(fmt.Sprintf("affect: unknown variant %d", int(v)))
+	}
+
+	// Fill the Into matrices row by row: row i holds the interference every
+	// other request adds at request i's constraint node(s). The entries are
+	// computed with the exact formulas of the sinr package, so cached and
+	// uncached queries agree bitwise.
+	parallelRows(n, func(i int) {
+		base := i * n
+		switch v {
+		case sinr.Directed:
+			vi := in.Reqs[i].V
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				c.dInto[base+j] = powers[j] / m.Loss(in.Space.Dist(in.Reqs[j].U, vi))
+			}
+		case sinr.Bidirectional:
+			for j := 0; j < n; j++ {
+				if j == i {
+					continue
+				}
+				c.uInto[base+j] = powers[j] / m.MinLossToNode(in, j, in.Reqs[i].U)
+				c.vInto[base+j] = powers[j] / m.MinLossToNode(in, j, in.Reqs[i].V)
+			}
+		}
+	})
+
+	// Transpose into the From matrices so "what does j inflict" queries are
+	// row accesses too.
+	switch v {
+	case sinr.Directed:
+		c.dFrom = transpose(c.dInto, n)
+	case sinr.Bidirectional:
+		c.uFrom = transpose(c.uInto, n)
+		c.vFrom = transpose(c.vInto, n)
+	}
+	return c
+}
+
+// parallelRows runs fill(i) for every row 0..n-1 on a pool of GOMAXPROCS
+// workers, splitting the rows into contiguous chunks.
+func parallelRows(n int, fill func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fill(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fill(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// transpose returns the transpose of an n×n row-major matrix, filled in
+// parallel by destination row.
+func transpose(a []float64, n int) []float64 {
+	t := make([]float64, n*n)
+	parallelRows(n, func(j int) {
+		base := j * n
+		for i := 0; i < n; i++ {
+			t[base+i] = a[i*n+j]
+		}
+	})
+	return t
+}
+
+// N returns the number of requests the cache was built for.
+func (c *Cache) N() int { return c.n }
+
+// Covers reports whether the cache answers queries for this instance,
+// path-loss exponent and powers. Instance identity is by pointer; powers
+// are accepted by pointer identity with the build slice, by membership in
+// the memo of previously accepted slices, or — once — by full value
+// comparison, after which the slice identity is memoized.
+func (c *Cache) Covers(in *problem.Instance, alpha float64, powers []float64) bool {
+	if in != c.in || alpha != c.alpha || len(powers) != c.n {
+		return false
+	}
+	if c.n == 0 {
+		return true
+	}
+	p := &powers[0]
+	if p == c.orig {
+		return true
+	}
+	key := sliceKey{p: p, n: len(powers)}
+	accepted, _ := c.accepted.Load().([]sliceKey)
+	for _, k := range accepted {
+		if k == key {
+			return true
+		}
+	}
+	for i, v := range powers {
+		if v != c.powers[i] {
+			return false
+		}
+	}
+	c.memoize(key)
+	return true
+}
+
+// memoize records a powers slice that compared equal to the snapshot, via
+// copy-on-write so concurrent Covers calls never lock on the read path.
+func (c *Cache) memoize(key sliceKey) {
+	c.memoMu.Lock()
+	defer c.memoMu.Unlock()
+	accepted, _ := c.accepted.Load().([]sliceKey)
+	if len(accepted) >= maxMemo {
+		return
+	}
+	for _, k := range accepted {
+		if k == key {
+			return
+		}
+	}
+	next := make([]sliceKey, len(accepted)+1)
+	copy(next, accepted)
+	next[len(accepted)] = key
+	c.accepted.Store(next)
+}
+
+func (c *Cache) row(a []float64, i int) []float64 {
+	if a == nil {
+		return nil
+	}
+	return a[i*c.n : (i+1)*c.n : (i+1)*c.n]
+}
+
+// DirectedInto returns row i of the directed affectance matrix (nil for a
+// bidirectional cache). See sinr.Cache.
+func (c *Cache) DirectedInto(i int) []float64 { return c.row(c.dInto, i) }
+
+// DirectedFrom returns row j of the transposed directed matrix.
+func (c *Cache) DirectedFrom(j int) []float64 { return c.row(c.dFrom, j) }
+
+// IntoU returns row i of the bidirectional affectance matrix at endpoint U
+// (nil for a directed cache). See sinr.Cache.
+func (c *Cache) IntoU(i int) []float64 { return c.row(c.uInto, i) }
+
+// IntoV returns row i of the bidirectional affectance matrix at endpoint V.
+func (c *Cache) IntoV(i int) []float64 { return c.row(c.vInto, i) }
+
+// FromU returns row j of the transposed endpoint-U matrix.
+func (c *Cache) FromU(j int) []float64 { return c.row(c.uFrom, j) }
+
+// FromV returns row j of the transposed endpoint-V matrix.
+func (c *Cache) FromV(j int) []float64 { return c.row(c.vFrom, j) }
+
+// Signals returns the per-request signal strengths p_i/ℓ_i.
+func (c *Cache) Signals() []float64 { return c.signals }
+
+// Losses returns the per-request endpoint losses ℓ_i.
+func (c *Cache) Losses() []float64 { return c.losses }

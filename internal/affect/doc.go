@@ -1,0 +1,30 @@
+// Package affect is the precomputed affectance engine behind the SINR hot
+// path. Every solver in this reproduction bottoms out in interference
+// queries of the physical model (package sinr) that recompute a path loss
+// d^α per sender/receiver pair on every call; this package precomputes,
+// per (instance, model, variant, powers) tuple, the full n×n affectance
+// matrices — flat row-major []float64, filled by a worker pool — plus the
+// per-request loss and signal vectors, and serves them through the
+// sinr.Cache hook so that the model's feasibility checks become array
+// sums.
+//
+// The term "affectance" follows the SINR scheduling literature: entry
+// (i, j) is the normalized interference request j inflicts on request i's
+// constraint node(s) under the fixed powers. The paper itself
+// (Fanghänel, Kesselheim, Räcke, Vöcking, PODC 2009) phrases its proofs
+// in these per-pair interference terms; the engine merely materializes
+// them once instead of deriving them per query.
+//
+// Exported entry points:
+//
+//   - New builds a Cache; attach it with sinr.Model.WithCache. Cached and
+//     uncached queries agree bitwise — the uncached path remains the
+//     oracle, and TestOracleCrossCheck pins the equivalence for all power
+//     variants.
+//   - Store deduplicates caches across solves; the batch runner SolveAll
+//     hands one Store to all workers.
+//   - Tracker maintains a transmission set with running interference
+//     accumulators: O(|set|) insert/remove and O(1) member margins,
+//     replacing the O(|set|²) re-scan of direct set-feasibility. Greedy
+//     coloring and the thinning of Proposition 3 build on it.
+package affect

@@ -1,0 +1,74 @@
+package affect
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/problem"
+	"repro/internal/sinr"
+)
+
+// Store deduplicates caches across solves that revisit the same instance —
+// the batch runner SolveAll hands one Store to all of its workers, so a
+// sweep that solves one instance under several solvers or seeds builds the
+// matrices once. Keys combine instance identity, variant, path-loss
+// exponent and a hash of the powers; concurrent requests for the same key
+// build the cache exactly once.
+type Store struct {
+	mu      sync.Mutex
+	entries map[storeKey]*storeEntry
+}
+
+type storeKey struct {
+	in    *problem.Instance
+	v     sinr.Variant
+	alpha float64
+	n     int
+	hash  uint64
+}
+
+type storeEntry struct {
+	once sync.Once
+	c    *Cache
+}
+
+// NewStore returns an empty cache store.
+func NewStore() *Store {
+	return &Store{entries: map[storeKey]*storeEntry{}}
+}
+
+// For returns the cache for (model, variant, instance, powers), building it
+// on first use. A hash collision (same key, different powers) falls back to
+// building an unshared cache, so the result always covers the arguments.
+func (s *Store) For(m sinr.Model, v sinr.Variant, in *problem.Instance, powers []float64) *Cache {
+	key := storeKey{in: in, v: v, alpha: m.Alpha, n: len(powers), hash: hashPowers(powers)}
+	s.mu.Lock()
+	e := s.entries[key]
+	if e == nil {
+		e = &storeEntry{}
+		s.entries[key] = e
+	}
+	s.mu.Unlock()
+	e.once.Do(func() { e.c = New(m, v, in, powers) })
+	if !e.c.Covers(in, m.Alpha, powers) {
+		return New(m, v, in, powers)
+	}
+	return e.c
+}
+
+// hashPowers is FNV-1a over the bit patterns of the powers.
+func hashPowers(powers []float64) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, p := range powers {
+		bits := math.Float64bits(p)
+		for s := 0; s < 64; s += 8 {
+			h ^= (bits >> s) & 0xff
+			h *= prime
+		}
+	}
+	return h
+}

@@ -1,0 +1,279 @@
+package affect
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sinr"
+)
+
+// Tracker maintains a set of simultaneously transmitting requests together
+// with running interference accumulators, so that membership queries cost
+// O(1), insertions and removals cost O(|set|) row operations, and a full
+// set-feasibility check costs O(|set|) — instead of the O(|set|²) re-scan
+// of the direct computation. It is the engine behind the cached paths of
+// greedy coloring and gain-scaling thinning.
+//
+// A Tracker is built over any sinr.Cache (typically *Cache) and the
+// model's gain and noise; it is not safe for concurrent use.
+type Tracker struct {
+	v     sinr.Variant
+	beta  float64
+	noise float64
+	c     sinr.Cache
+
+	members []int // insertion order, preserved by Remove
+	pos     []int // pos[i] = index into members, -1 if absent
+
+	// acc1[i] is the running interference received by member i at its
+	// constraint node (directed: the receiver; bidirectional: endpoint U).
+	// acc2 is endpoint V (bidirectional only).
+	acc1, acc2 []float64
+}
+
+// NewTracker builds an empty tracker for the given variant over the cache.
+// The model supplies the gain β and the noise ν; its path-loss exponent
+// must be the one the cache was built for. It panics if the cache lacks
+// the matrices of the requested variant.
+func NewTracker(m sinr.Model, v sinr.Variant, c sinr.Cache) *Tracker {
+	n := len(c.Signals())
+	switch v {
+	case sinr.Directed:
+		if n > 0 && c.DirectedInto(0) == nil {
+			panic("affect: tracker needs a directed cache")
+		}
+	case sinr.Bidirectional:
+		if n > 0 && c.IntoU(0) == nil {
+			panic("affect: tracker needs a bidirectional cache")
+		}
+	default:
+		panic(fmt.Sprintf("affect: unknown variant %d", int(v)))
+	}
+	t := &Tracker{
+		v:     v,
+		beta:  m.Beta,
+		noise: m.Noise,
+		c:     c,
+		pos:   make([]int, n),
+		acc1:  make([]float64, n),
+		acc2:  make([]float64, n),
+	}
+	for i := range t.pos {
+		t.pos[i] = -1
+	}
+	return t
+}
+
+// Len returns the current set size.
+func (t *Tracker) Len() int { return len(t.members) }
+
+// Contains reports whether request i is in the set.
+func (t *Tracker) Contains(i int) bool { return t.pos[i] >= 0 }
+
+// Members returns the current set in insertion order. The returned slice
+// is a copy.
+func (t *Tracker) Members() []int {
+	return append([]int(nil), t.members...)
+}
+
+// At returns the k-th member in insertion order, without allocating.
+func (t *Tracker) At(k int) int { return t.members[k] }
+
+// Add inserts request i, updating every member's accumulators with i's
+// contribution and computing i's own accumulated interference — O(|set|)
+// row operations. It panics if i is already a member.
+func (t *Tracker) Add(i int) {
+	if t.pos[i] >= 0 {
+		panic(fmt.Sprintf("affect: Add(%d): already a member", i))
+	}
+	switch t.v {
+	case sinr.Directed:
+		from := t.c.DirectedFrom(i)
+		into := t.c.DirectedInto(i)
+		var own float64
+		for _, k := range t.members {
+			t.acc1[k] += from[k]
+			own += into[k]
+		}
+		t.acc1[i] = own
+	case sinr.Bidirectional:
+		fromU, fromV := t.c.FromU(i), t.c.FromV(i)
+		intoU, intoV := t.c.IntoU(i), t.c.IntoV(i)
+		var ownU, ownV float64
+		for _, k := range t.members {
+			t.acc1[k] += fromU[k]
+			t.acc2[k] += fromV[k]
+			ownU += intoU[k]
+			ownV += intoV[k]
+		}
+		t.acc1[i] = ownU
+		t.acc2[i] = ownV
+	}
+	t.pos[i] = len(t.members)
+	t.members = append(t.members, i)
+}
+
+// Remove deletes request i, subtracting its contribution from every
+// remaining member's accumulators — O(|set|). The insertion order of the
+// remaining members is preserved. It panics if i is not a member.
+func (t *Tracker) Remove(i int) {
+	p := t.pos[i]
+	if p < 0 {
+		panic(fmt.Sprintf("affect: Remove(%d): not a member", i))
+	}
+	copy(t.members[p:], t.members[p+1:])
+	t.members = t.members[:len(t.members)-1]
+	for k := p; k < len(t.members); k++ {
+		t.pos[t.members[k]] = k
+	}
+	t.pos[i] = -1
+	t.acc1[i], t.acc2[i] = 0, 0
+	// Subtracting a non-finite contribution (a zero-distance pair, e.g.
+	// two requests sharing a node, has affectance p/0 = +Inf) would turn
+	// an Inf accumulator into NaN and silently corrupt every later
+	// margin; recompute such members' accumulators from the rows instead.
+	switch t.v {
+	case sinr.Directed:
+		from := t.c.DirectedFrom(i)
+		for _, k := range t.members {
+			if c := from[k]; isFinite(c) {
+				t.acc1[k] -= c
+			} else {
+				t.acc1[k] = t.rowSum(t.c.DirectedInto(k))
+			}
+		}
+	case sinr.Bidirectional:
+		fromU, fromV := t.c.FromU(i), t.c.FromV(i)
+		for _, k := range t.members {
+			if c := fromU[k]; isFinite(c) {
+				t.acc1[k] -= c
+			} else {
+				t.acc1[k] = t.rowSum(t.c.IntoU(k))
+			}
+			if c := fromV[k]; isFinite(c) {
+				t.acc2[k] -= c
+			} else {
+				t.acc2[k] = t.rowSum(t.c.IntoV(k))
+			}
+		}
+	}
+}
+
+// isFinite reports whether f is neither ±Inf nor NaN.
+func isFinite(f float64) bool {
+	return !math.IsInf(f, 0) && !math.IsNaN(f)
+}
+
+// rowSum recomputes a member's accumulated interference exactly: the sum
+// of the given Into row over the current members (the diagonal entry is
+// stored as zero, so the member itself contributes nothing).
+func (t *Tracker) rowSum(row []float64) float64 {
+	var sum float64
+	for _, j := range t.members {
+		sum += row[j]
+	}
+	return sum
+}
+
+// margin converts accumulated interference into the normalized margin of
+// the sinr package: (signal - β·(interference + noise)) / signal.
+func (t *Tracker) margin(i int, interf1, interf2 float64) float64 {
+	signal := t.c.Signals()[i]
+	if signal == 0 {
+		return math.Inf(-1)
+	}
+	mg := (signal - t.beta*(interf1+t.noise)) / signal
+	if t.v == sinr.Bidirectional {
+		if mg2 := (signal - t.beta*(interf2+t.noise)) / signal; mg2 < mg {
+			mg = mg2
+		}
+	}
+	return mg
+}
+
+// Margin returns the current SINR margin of member i in O(1), matching
+// sinr.Model.Margin over the tracked set up to the accumulated
+// floating-point drift of the incremental updates (≈ machine epsilon per
+// insert/remove, far below the feasibility tolerance).
+func (t *Tracker) Margin(i int) float64 {
+	if t.pos[i] < 0 {
+		panic(fmt.Sprintf("affect: Margin(%d): not a member", i))
+	}
+	return t.margin(i, t.acc1[i], t.acc2[i])
+}
+
+// AddMargin returns the margin request i would have if it were added to
+// the current set, without mutating the tracker — O(|set|).
+func (t *Tracker) AddMargin(i int) float64 {
+	if t.pos[i] >= 0 {
+		return t.Margin(i)
+	}
+	var interf1, interf2 float64
+	switch t.v {
+	case sinr.Directed:
+		into := t.c.DirectedInto(i)
+		for _, k := range t.members {
+			interf1 += into[k]
+		}
+	case sinr.Bidirectional:
+		intoU, intoV := t.c.IntoU(i), t.c.IntoV(i)
+		for _, k := range t.members {
+			interf1 += intoU[k]
+			interf2 += intoV[k]
+		}
+	}
+	return t.margin(i, interf1, interf2)
+}
+
+// CanAdd reports whether request i can join the set without violating its
+// own SINR constraint or any member's — O(|set|).
+func (t *Tracker) CanAdd(i int) bool {
+	if t.pos[i] >= 0 {
+		return false
+	}
+	if t.AddMargin(i) < -sinr.Tol {
+		return false
+	}
+	switch t.v {
+	case sinr.Directed:
+		from := t.c.DirectedFrom(i)
+		for _, k := range t.members {
+			if t.margin(k, t.acc1[k]+from[k], 0) < -sinr.Tol {
+				return false
+			}
+		}
+	case sinr.Bidirectional:
+		fromU, fromV := t.c.FromU(i), t.c.FromV(i)
+		for _, k := range t.members {
+			if t.margin(k, t.acc1[k]+fromU[k], t.acc2[k]+fromV[k]) < -sinr.Tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SetFeasible reports whether every member's SINR constraint holds, in
+// O(|set|).
+func (t *Tracker) SetFeasible() bool {
+	for _, i := range t.members {
+		if t.margin(i, t.acc1[i], t.acc2[i]) < -sinr.Tol {
+			return false
+		}
+	}
+	return true
+}
+
+// WorstMargin returns the minimum margin over the members and the request
+// attaining it (the earliest member on ties, matching the scan order of
+// sinr.Model.WorstMargin). It returns (+Inf, -1) for an empty set.
+func (t *Tracker) WorstMargin() (float64, int) {
+	worst, arg := math.Inf(1), -1
+	for _, i := range t.members {
+		if mg := t.margin(i, t.acc1[i], t.acc2[i]); mg < worst {
+			worst = mg
+			arg = i
+		}
+	}
+	return worst, arg
+}

@@ -1,0 +1,135 @@
+package coloring
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/affect"
+	"repro/internal/geom"
+	"repro/internal/instance"
+	"repro/internal/power"
+	"repro/internal/problem"
+	"repro/internal/sinr"
+)
+
+// TestGreedyCachedMatchesUncached pins that attaching the affectance cache
+// leaves the greedy coloring bit-for-bit unchanged: the cached fit test
+// reads the same values the direct computation produces, in the same
+// order, for every variant and power assignment.
+func TestGreedyCachedMatchesUncached(t *testing.T) {
+	m := sinr.Default()
+	in, err := instance.UniformRandom(rand.New(rand.NewSource(9)), 80, 200, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []power.Assignment{power.Uniform(1), power.Sqrt(), power.Linear()} {
+		for _, v := range []sinr.Variant{sinr.Directed, sinr.Bidirectional} {
+			powers := power.Powers(m, in, a)
+			plain, err := GreedyFirstFit(m, in, v, powers, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cached, err := GreedyFirstFit(m.WithCache(affect.New(m, v, in, powers)), in, v, powers, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range plain.Colors {
+				if plain.Colors[i] != cached.Colors[i] {
+					t.Fatalf("%s %s: request %d colored %d cached vs %d uncached",
+						a.Name(), v, i, cached.Colors[i], plain.Colors[i])
+				}
+			}
+		}
+	}
+}
+
+// TestThinToGainCachedPostconditions runs the tracker-based thinning and
+// checks it delivers the same guarantees as the direct loop: the surviving
+// subset is feasible at the strict gain, preserves input order, and is
+// produced for every victim strategy.
+func TestThinToGainCachedPostconditions(t *testing.T) {
+	m := sinr.Default()
+	in, err := instance.UniformRandom(rand.New(rand.NewSource(17)), 60, 150, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	powers := power.Powers(m, in, power.Sqrt())
+	set := make([]int, in.N())
+	for i := range set {
+		set[i] = i
+	}
+	const betaPrime = 4
+	for _, v := range []sinr.Variant{sinr.Directed, sinr.Bidirectional} {
+		cached := m.WithCache(affect.New(m, v, in, powers))
+		for _, strat := range []ThinStrategy{ThinWorstOffender, ThinWorstMargin, ThinRandom} {
+			got, err := ThinToGainStrategy(cached, in, v, powers, set, betaPrime, strat, rand.New(rand.NewSource(1)))
+			if err != nil {
+				t.Fatalf("%s %s: %v", v, strat, err)
+			}
+			if len(got) == 0 {
+				t.Fatalf("%s %s: empty result", v, strat)
+			}
+			if !m.WithBeta(betaPrime).SetFeasible(in, v, powers, got) {
+				t.Errorf("%s %s: result infeasible at betaPrime", v, strat)
+			}
+			for k := 1; k < len(got); k++ {
+				if got[k-1] >= got[k] {
+					t.Fatalf("%s %s: input order not preserved: %v", v, strat, got)
+				}
+			}
+			plain, err := ThinToGainStrategy(m, in, v, powers, set, betaPrime, strat, rand.New(rand.NewSource(1)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			// The two paths may differ on exact floating-point ties, but on
+			// this generic instance they should retain sets of the same size.
+			if len(got) != len(plain) {
+				t.Errorf("%s %s: cached kept %d, uncached %d", v, strat, len(got), len(plain))
+			}
+		}
+	}
+}
+
+// TestThinToGainCachedZeroDistance runs the tracker-based thinning on an
+// instance with shared-endpoint requests (MST-style edges), where the
+// affectance matrices contain +Inf entries. The cached path must neither
+// panic nor keep an infeasible set.
+func TestThinToGainCachedZeroDistance(t *testing.T) {
+	// A chain 0-1-2-...-7 as requests over consecutive nodes: every
+	// adjacent pair of requests shares a node.
+	coords := make([]float64, 9)
+	reqs := make([]problem.Request, 8)
+	for i := range coords {
+		coords[i] = float64(i)
+	}
+	for i := range reqs {
+		reqs[i] = problem.Request{U: i, V: i + 1}
+	}
+	l, err := geom.NewLine(coords)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := problem.New(l, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sinr.Default()
+	powers := power.Powers(m, in, power.Sqrt())
+	set := make([]int, in.N())
+	for i := range set {
+		set[i] = i
+	}
+	cached := m.WithCache(affect.New(m, sinr.Bidirectional, in, powers))
+	for _, strat := range []ThinStrategy{ThinWorstOffender, ThinWorstMargin, ThinRandom} {
+		got, err := ThinToGainStrategy(cached, in, sinr.Bidirectional, powers, set, m.Beta, strat, rand.New(rand.NewSource(2)))
+		if err != nil {
+			t.Fatalf("%s: %v", strat, err)
+		}
+		if len(got) == 0 {
+			t.Fatalf("%s: empty result", strat)
+		}
+		if !m.SetFeasible(in, sinr.Bidirectional, powers, got) {
+			t.Errorf("%s: cached thinning kept an infeasible set %v", strat, got)
+		}
+	}
+}

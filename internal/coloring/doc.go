@@ -1,0 +1,26 @@
+// Package coloring implements the scheduling (coloring) algorithms of the
+// paper: greedy first-fit coloring under a fixed power assignment, the
+// constructive gain-scaling of Propositions 3 and 4, and the randomized
+// LP-based O(log n)-approximation for the square root assignment
+// (Theorem 15).
+//
+// Exported entry points:
+//
+//   - GreedyFirstFit colors requests (longest first by default, see
+//     LengthOrder) into the first class they fit; MaxFeasibleSubsetGreedy
+//     extracts a single maximal class. Both consult the affectance cache
+//     attached to the model (package affect) and match the uncached
+//     computation bit for bit.
+//   - ThinToGain / ThinToGainStrategy realize Proposition 3: thin a
+//     β-feasible set to a stronger gain β′. With a covering cache the
+//     loop runs on the incremental tracker in O(|set|²) total instead of
+//     O(|set|³). ColorWithGain iterates it into Proposition 4's coloring.
+//   - SqrtLPColoring (+Opts/+Ctx variants) is the Theorem 15 coloring for
+//     the bidirectional problem under square root powers: distance
+//     classes, a packing LP per class (package lp), randomized rounding,
+//     repair, and a maximality pass. MaxFeasibleSubsetLP exposes one
+//     round (algorithm A) as a single-slot capacity maximizer.
+//   - ConflictGraph and CliqueLowerBound (lowerbound.go) build the
+//     pairwise-conflict graph and its greedy clique bound — the
+//     certificate experiments compare schedule lengths against.
+package coloring

@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/affect"
 	"repro/internal/problem"
 	"repro/internal/sinr"
 )
@@ -55,6 +56,12 @@ func ThinToGain(m sinr.Model, in *problem.Instance, v sinr.Variant, powers []flo
 
 // ThinToGainStrategy is ThinToGain with an explicit victim heuristic; rng
 // is required only by ThinRandom.
+//
+// With a covering affectance cache attached to the model, the loop runs on
+// an incremental interference tracker: feasibility probes and offender
+// scores are updated in O(|set|) per removal instead of re-scanned in
+// O(|set|²), making the whole thinning O(|set|²) instead of O(|set|³).
+// Without a cache the direct computation below remains the oracle.
 func ThinToGainStrategy(m sinr.Model, in *problem.Instance, v sinr.Variant, powers []float64, set []int, betaPrime float64, strat ThinStrategy, rng *rand.Rand) ([]int, error) {
 	if betaPrime < m.Beta {
 		return nil, fmt.Errorf("coloring: betaPrime %g below model gain %g", betaPrime, m.Beta)
@@ -63,6 +70,9 @@ func ThinToGainStrategy(m sinr.Model, in *problem.Instance, v sinr.Variant, powe
 		return nil, errors.New("coloring: ThinRandom needs an rng")
 	}
 	strict := m.WithBeta(betaPrime)
+	if c := strict.CacheFor(in, powers); c != nil {
+		return thinTracked(strict, v, c, set, strat, rng)
+	}
 	cur := append([]int(nil), set...)
 	for len(cur) > 0 {
 		if strict.SetFeasible(in, v, powers, cur) {
@@ -109,6 +119,110 @@ func ThinToGainStrategy(m sinr.Model, in *problem.Instance, v sinr.Variant, powe
 		cur = append(cur[:victim], cur[victim+1:]...)
 	}
 	return nil, errors.New("coloring: thinning removed every request")
+}
+
+// thinTracked is the cached thinning loop: the set lives in an affect
+// tracker whose accumulators answer feasibility in O(|set|), and the
+// worst-offender scores are maintained incrementally — on removing victim
+// w, score[j] only loses j's contribution at w. Victim selection scans the
+// members in input order with the same strict comparisons as the direct
+// loop, so the two paths pick the same victims except on floating-point
+// near-ties at the drift scale (~1e-15 relative).
+func thinTracked(strict sinr.Model, v sinr.Variant, c sinr.Cache, set []int, strat ThinStrategy, rng *rand.Rand) ([]int, error) {
+	tr := affect.NewTracker(strict, v, c)
+	for _, j := range set {
+		tr.Add(j)
+	}
+	signals := c.Signals()
+
+	// tot(j→i) is the worst-endpoint interference j adds at i, the score
+	// numerator of the direct loop.
+	tot := func(i, j int) float64 {
+		switch v {
+		case sinr.Directed:
+			return c.DirectedInto(i)[j]
+		default:
+			t := c.IntoU(i)[j]
+			if tv := c.IntoV(i)[j]; tv > t {
+				t = tv
+			}
+			return t
+		}
+	}
+	var score []float64
+	if strat != ThinWorstMargin && strat != ThinRandom {
+		score = make([]float64, len(signals))
+		for k := 0; k < tr.Len(); k++ {
+			i := tr.At(k)
+			inv := 1 / signals[i]
+			for l := 0; l < tr.Len(); l++ {
+				if j := tr.At(l); j != i {
+					score[j] += tot(i, j) * inv
+				}
+			}
+		}
+	}
+
+	for tr.Len() > 0 {
+		if tr.SetFeasible() {
+			return tr.Members(), nil
+		}
+		var victim int
+		switch strat {
+		case ThinWorstMargin:
+			_, victim = tr.WorstMargin()
+		case ThinRandom:
+			victim = tr.At(rng.Intn(tr.Len()))
+		default:
+			worst, worstScore := -1, math.Inf(-1)
+			for k := 0; k < tr.Len(); k++ {
+				if j := tr.At(k); score[j] > worstScore {
+					worstScore = score[j]
+					worst = j
+				}
+			}
+			victim = worst
+		}
+		if victim < 0 {
+			// Every candidate score/margin compared false (possible only
+			// with pathological non-finite inputs); make progress anyway.
+			victim = tr.At(0)
+		}
+		var redo []int
+		if score != nil {
+			// Subtracting a non-finite term (zero-distance pair → +Inf
+			// affectance) would leave NaN; recompute those from scratch
+			// against the post-removal set below.
+			inv := 1 / signals[victim]
+			for k := 0; k < tr.Len(); k++ {
+				j := tr.At(k)
+				if j == victim {
+					continue
+				}
+				if d := tot(victim, j) * inv; isFinite(d) && isFinite(score[j]) {
+					score[j] -= d
+				} else {
+					redo = append(redo, j)
+				}
+			}
+			score[victim] = 0
+		}
+		tr.Remove(victim)
+		for _, j := range redo {
+			score[j] = 0
+			for k := 0; k < tr.Len(); k++ {
+				if i := tr.At(k); i != j {
+					score[j] += tot(i, j) / signals[i]
+				}
+			}
+		}
+	}
+	return nil, errors.New("coloring: thinning removed every request")
+}
+
+// isFinite reports whether f is neither ±Inf nor NaN.
+func isFinite(f float64) bool {
+	return !math.IsInf(f, 0) && !math.IsNaN(f)
 }
 
 // ColorWithGain constructively realizes Proposition 4: starting from a set

@@ -1,8 +1,3 @@
-// Package coloring implements the scheduling (coloring) algorithms of the
-// paper: greedy first-fit coloring under a fixed power assignment, the
-// constructive gain-scaling of Propositions 3 and 4, and the randomized
-// LP-based O(log n)-approximation for the square root assignment
-// (Theorem 15).
 package coloring
 
 import (
@@ -58,8 +53,13 @@ func contribution(m sinr.Model, in *problem.Instance, v sinr.Variant, powers []f
 
 // fits reports whether request j can join the class without violating any
 // SINR constraint (the candidate's and the members'), and returns the
-// interference j would receive and the contributions j would add.
-func (cs *classState) fits(m sinr.Model, in *problem.Instance, v sinr.Variant, powers []float64, j int) (own [2]float64, adds [][2]float64, ok bool) {
+// interference j would receive and the contributions j would add. With a
+// covering affectance cache (cache may be nil) the per-pair contributions
+// become row lookups; both paths compute bitwise-identical values.
+func (cs *classState) fits(m sinr.Model, in *problem.Instance, v sinr.Variant, powers []float64, cache sinr.Cache, j int) (own [2]float64, adds [][2]float64, ok bool) {
+	if cache != nil {
+		return cs.fitsCached(m, v, cache, j)
+	}
 	signalJ := powers[j] / m.RequestLoss(in, j)
 	for _, i := range cs.members {
 		c := contribution(m, in, v, powers, i, j)
@@ -80,6 +80,56 @@ func (cs *classState) fits(m sinr.Model, in *problem.Instance, v sinr.Variant, p
 		if v == sinr.Bidirectional && signalI < m.Beta*(cs.interf[k][1]+c[1]+m.Noise) {
 			return own, nil, false
 		}
+	}
+	return own, adds, true
+}
+
+// fitsCached is fits against the affectance matrices: the candidate's
+// incoming interference streams through the Into rows of j and its
+// contributions to the members through the From rows of j, so the loop
+// touches two contiguous rows instead of recomputing distances and losses.
+func (cs *classState) fitsCached(m sinr.Model, v sinr.Variant, cache sinr.Cache, j int) (own [2]float64, adds [][2]float64, ok bool) {
+	signals := cache.Signals()
+	signalJ := signals[j]
+	switch v {
+	case sinr.Directed:
+		into := cache.DirectedInto(j)
+		for _, i := range cs.members {
+			own[0] += into[i]
+		}
+		if signalJ < m.Beta*(own[0]+m.Noise) {
+			return own, nil, false
+		}
+		from := cache.DirectedFrom(j)
+		adds = make([][2]float64, len(cs.members))
+		for k, i := range cs.members {
+			adds[k] = [2]float64{from[i], 0}
+			if signals[i] < m.Beta*(cs.interf[k][0]+from[i]+m.Noise) {
+				return own, nil, false
+			}
+		}
+	case sinr.Bidirectional:
+		intoU, intoV := cache.IntoU(j), cache.IntoV(j)
+		for _, i := range cs.members {
+			own[0] += intoU[i]
+			own[1] += intoV[i]
+		}
+		if signalJ < m.Beta*(own[0]+m.Noise) || signalJ < m.Beta*(own[1]+m.Noise) {
+			return own, nil, false
+		}
+		fromU, fromV := cache.FromU(j), cache.FromV(j)
+		adds = make([][2]float64, len(cs.members))
+		for k, i := range cs.members {
+			adds[k] = [2]float64{fromU[i], fromV[i]}
+			if signals[i] < m.Beta*(cs.interf[k][0]+fromU[i]+m.Noise) {
+				return own, nil, false
+			}
+			if signals[i] < m.Beta*(cs.interf[k][1]+fromV[i]+m.Noise) {
+				return own, nil, false
+			}
+		}
+	default:
+		panic(fmt.Sprintf("coloring: unknown variant %d", int(v)))
 	}
 	return own, adds, true
 }
@@ -112,6 +162,7 @@ func GreedyFirstFit(m sinr.Model, in *problem.Instance, v sinr.Variant, powers [
 	if order == nil {
 		order = LengthOrder(in)
 	}
+	cache := m.CacheFor(in, powers)
 	s := problem.NewSchedule(in.N())
 	copy(s.Powers, powers)
 	var classes []*classState
@@ -121,7 +172,7 @@ func GreedyFirstFit(m sinr.Model, in *problem.Instance, v sinr.Variant, powers [
 		}
 		placed := false
 		for c, cs := range classes {
-			own, adds, ok := cs.fits(m, in, v, powers, j)
+			own, adds, ok := cs.fits(m, in, v, powers, cache, j)
 			if ok {
 				cs.add(j, own, adds)
 				s.Colors[j] = c
@@ -131,7 +182,7 @@ func GreedyFirstFit(m sinr.Model, in *problem.Instance, v sinr.Variant, powers [
 		}
 		if !placed {
 			cs := &classState{}
-			own, adds, ok := cs.fits(m, in, v, powers, j)
+			own, adds, ok := cs.fits(m, in, v, powers, cache, j)
 			if !ok {
 				return nil, fmt.Errorf("%w: request %d", ErrUnschedulable, j)
 			}
@@ -151,9 +202,10 @@ func MaxFeasibleSubsetGreedy(m sinr.Model, in *problem.Instance, v sinr.Variant,
 	if order == nil {
 		order = LengthOrder(in)
 	}
+	cache := m.CacheFor(in, powers)
 	cs := &classState{}
 	for _, j := range order {
-		if own, adds, ok := cs.fits(m, in, v, powers, j); ok {
+		if own, adds, ok := cs.fits(m, in, v, powers, cache, j); ok {
 			cs.add(j, own, adds)
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/affect"
 	"repro/internal/lp"
 	"repro/internal/power"
 	"repro/internal/problem"
@@ -23,6 +24,10 @@ type LPOptions struct {
 	// Kappa overrides the rounding divisor (default 2): candidate j is
 	// kept with probability x_j/Kappa.
 	Kappa float64
+	// NoCache disables the affectance cache the coloring otherwise builds
+	// (or reuses, if the model already carries a covering one) for its
+	// interference queries.
+	NoCache bool
 }
 
 // LPStats reports diagnostics from one run of the LP-based coloring.
@@ -63,6 +68,9 @@ func SqrtLPColoringCtx(ctx context.Context, m sinr.Model, in *problem.Instance, 
 		return nil, nil, errors.New("coloring: nil rng")
 	}
 	powers := power.Powers(m, in, power.Sqrt())
+	if !opts.NoCache && m.CacheFor(in, powers) == nil {
+		m = m.WithCache(affect.New(m, sinr.Bidirectional, in, powers))
+	}
 	s := problem.NewSchedule(in.N())
 	copy(s.Powers, powers)
 
@@ -122,6 +130,9 @@ func MaxFeasibleSubsetLP(m sinr.Model, in *problem.Instance, rng *rand.Rand) ([]
 		return nil, errors.New("coloring: nil rng")
 	}
 	powers := power.Powers(m, in, power.Sqrt())
+	if m.CacheFor(in, powers) == nil {
+		m = m.WithCache(affect.New(m, sinr.Bidirectional, in, powers))
+	}
 	all := make([]int, in.N())
 	for i := range all {
 		all[i] = i
@@ -138,6 +149,7 @@ func MaxFeasibleSubsetLP(m sinr.Model, in *problem.Instance, rng *rand.Rand) ([]
 // back to the full gain β (Proposition 3, covering the constant-factor
 // slack of Lemma 19 and the within-class length spread).
 func algorithmA(m sinr.Model, in *problem.Instance, powers []float64, remaining []int, rng *rand.Rand, stats *LPStats, opts LPOptions) ([]int, error) {
+	cache := m.CacheFor(in, powers)
 	classes := distanceClasses(in, remaining)
 	var selected []int
 	for _, class := range classes {
@@ -145,7 +157,7 @@ func algorithmA(m sinr.Model, in *problem.Instance, powers []float64, remaining 
 		if len(cand) == 0 {
 			continue
 		}
-		picked, err := selectByLP(m, in, powers, selected, cand, rng, stats, opts)
+		picked, err := selectByLP(m, in, powers, cache, selected, cand, rng, stats, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -168,7 +180,7 @@ func algorithmA(m sinr.Model, in *problem.Instance, powers []float64, remaining 
 	// longest first; this only grows the class and preserves feasibility.
 	cs := &classState{}
 	for _, j := range final {
-		own, adds, ok := cs.fits(m, in, sinr.Bidirectional, powers, j)
+		own, adds, ok := cs.fits(m, in, sinr.Bidirectional, powers, cache, j)
 		if !ok {
 			// Cannot happen for a feasible set, but stay safe.
 			continue
@@ -187,7 +199,7 @@ func algorithmA(m sinr.Model, in *problem.Instance, powers []float64, remaining 
 	}
 	sort.Slice(rest, func(a, b int) bool { return in.Length(rest[a]) > in.Length(rest[b]) })
 	for _, j := range rest {
-		if own, adds, ok := cs.fits(m, in, sinr.Bidirectional, powers, j); ok {
+		if own, adds, ok := cs.fits(m, in, sinr.Bidirectional, powers, cache, j); ok {
 			cs.add(j, own, adds)
 		}
 	}
@@ -238,8 +250,8 @@ func candidatesWithinBudget(m sinr.Model, in *problem.Instance, powers []float64
 	var out []int
 	for _, j := range class {
 		b := budget(m, in, j)
-		iu := m.BidirectionalInterference(in, powers, selected, in.Reqs[j].U, j)
-		iv := m.BidirectionalInterference(in, powers, selected, in.Reqs[j].V, j)
+		iu := m.RequestInterferenceU(in, powers, selected, j)
+		iv := m.RequestInterferenceV(in, powers, selected, j)
 		if iu <= b && iv <= b {
 			out = append(out, j)
 		}
@@ -250,15 +262,27 @@ func candidatesWithinBudget(m sinr.Model, in *problem.Instance, powers []float64
 // conflictFree keeps a maximal subset of cand in which no two requests
 // have endpoints at distance zero from each other (e.g. tree edges sharing
 // a node): such requests can never be simultaneous, and their infinite
-// mutual interference must not reach the LP matrix.
-func conflictFree(m sinr.Model, in *problem.Instance, cand []int) []int {
+// mutual interference must not reach the LP matrix. With a cache, a
+// zero-loss neighbor shows up as a non-finite affectance entry (powers are
+// positive for the square root assignment, so p/0 = +Inf).
+func conflictFree(m sinr.Model, in *problem.Instance, cache sinr.Cache, cand []int) []int {
 	var out []int
 	for _, j := range cand {
 		ok := true
-		for _, k := range out {
-			if m.MinLossToNode(in, k, in.Reqs[j].U) == 0 || m.MinLossToNode(in, k, in.Reqs[j].V) == 0 {
-				ok = false
-				break
+		if cache != nil {
+			rowU, rowV := cache.IntoU(j), cache.IntoV(j)
+			for _, k := range out {
+				if math.IsInf(rowU[k], 1) || math.IsInf(rowV[k], 1) || math.IsNaN(rowU[k]) || math.IsNaN(rowV[k]) {
+					ok = false
+					break
+				}
+			}
+		} else {
+			for _, k := range out {
+				if m.MinLossToNode(in, k, in.Reqs[j].U) == 0 || m.MinLossToNode(in, k, in.Reqs[j].V) == 0 {
+					ok = false
+					break
+				}
 			}
 		}
 		if ok {
@@ -272,8 +296,8 @@ func conflictFree(m sinr.Model, in *problem.Instance, cand []int) []int {
 // at every candidate endpoint, by solving the packing LP of Lemma 16 and
 // rounding, followed by an alteration step that repairs any violated budget
 // by dropping offenders.
-func selectByLP(m sinr.Model, in *problem.Instance, powers []float64, selected, cand []int, rng *rand.Rand, stats *LPStats, opts LPOptions) ([]int, error) {
-	cand = conflictFree(m, in, cand)
+func selectByLP(m sinr.Model, in *problem.Instance, powers []float64, cache sinr.Cache, selected, cand []int, rng *rand.Rand, stats *LPStats, opts LPOptions) ([]int, error) {
+	cand = conflictFree(m, in, cache, cand)
 	if len(cand) == 0 {
 		return nil, nil
 	}
@@ -287,18 +311,36 @@ func selectByLP(m sinr.Model, in *problem.Instance, powers []float64, selected, 
 	// One constraint per candidate endpoint w: the interference from the
 	// other candidates (weighted by x) must stay within 2^α times the
 	// budget — Claim 17's relaxation, which any gain-β feasible subset
-	// satisfies, so the LP optimum dominates s*_i.
+	// satisfies, so the LP optimum dominates s*_i. The matrix entries are
+	// exactly the affectance values, so with a cache the assembly is two
+	// row copies per candidate.
 	relax := math.Pow(2, m.Alpha)
 	var rows [][]float64
 	var rhs []float64
 	for _, j := range cand {
-		for _, w := range [2]int{in.Reqs[j].U, in.Reqs[j].V} {
+		for side := 0; side < 2; side++ {
+			var affRow []float64
+			if cache != nil {
+				if side == 0 {
+					affRow = cache.IntoU(j)
+				} else {
+					affRow = cache.IntoV(j)
+				}
+			}
 			row := make([]float64, len(cand))
 			for _, j2 := range cand {
 				if j2 == j {
 					continue
 				}
-				row[pos[j2]] = powers[j2] / m.MinLossToNode(in, j2, w)
+				if affRow != nil {
+					row[pos[j2]] = affRow[j2]
+				} else {
+					w := in.Reqs[j].U
+					if side == 1 {
+						w = in.Reqs[j].V
+					}
+					row[pos[j2]] = powers[j2] / m.MinLossToNode(in, j2, w)
+				}
 			}
 			rows = append(rows, row)
 			rhs = append(rhs, relax*budget(m, in, j))
@@ -338,7 +380,7 @@ func selectByLP(m sinr.Model, in *problem.Instance, powers []float64, selected, 
 		}
 		picked = []int{cand[best]}
 	}
-	return repairBudget(m, in, powers, selected, picked), nil
+	return repairBudget(m, in, powers, cache, selected, picked), nil
 }
 
 // repairBudget drops requests from picked until, at every endpoint of every
@@ -347,14 +389,14 @@ func selectByLP(m sinr.Model, in *problem.Instance, powers []float64, selected, 
 // candidates already pre-passed the half granted to selected). The victim
 // of each round is the picked request exerting the largest total
 // interference on the other picked endpoints.
-func repairBudget(m sinr.Model, in *problem.Instance, powers []float64, selected, picked []int) []int {
+func repairBudget(m sinr.Model, in *problem.Instance, powers []float64, cache sinr.Cache, selected, picked []int) []int {
 	for len(picked) > 0 {
 		all := append(append([]int(nil), selected...), picked...)
 		violated := false
 		for _, j := range picked {
 			b := 2 * budget(m, in, j) // full gain-β/2 allowance
-			iu := m.BidirectionalInterference(in, powers, all, in.Reqs[j].U, j)
-			iv := m.BidirectionalInterference(in, powers, all, in.Reqs[j].V, j)
+			iu := m.RequestInterferenceU(in, powers, all, j)
+			iv := m.RequestInterferenceV(in, powers, all, j)
 			if iu > b || iv > b {
 				violated = true
 				break
@@ -366,12 +408,21 @@ func repairBudget(m sinr.Model, in *problem.Instance, powers []float64, selected
 		worst, worstScore := 0, math.Inf(-1)
 		for a, j := range picked {
 			var score float64
+			var fromU, fromV []float64
+			if cache != nil {
+				fromU, fromV = cache.FromU(j), cache.FromV(j)
+			}
 			for _, i := range picked {
 				if i == j {
 					continue
 				}
-				cu := powers[j] / m.MinLossToNode(in, j, in.Reqs[i].U)
-				cv := powers[j] / m.MinLossToNode(in, j, in.Reqs[i].V)
+				var cu, cv float64
+				if fromU != nil {
+					cu, cv = fromU[i], fromV[i]
+				} else {
+					cu = powers[j] / m.MinLossToNode(in, j, in.Reqs[i].U)
+					cv = powers[j] / m.MinLossToNode(in, j, in.Reqs[i].V)
+				}
 				score += (cu + cv) * math.Sqrt(m.RequestLoss(in, i))
 			}
 			if score > worstScore {

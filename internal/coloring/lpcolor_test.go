@@ -23,16 +23,16 @@ func TestConflictFree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got := conflictFree(m, in, []int{0, 1, 2})
+	got := conflictFree(m, in, nil, []int{0, 1, 2})
 	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
 		t.Errorf("conflictFree = %v, want [0 2]", got)
 	}
 	// Order matters: starting from 1 keeps 1 and drops 0.
-	got = conflictFree(m, in, []int{1, 0, 2})
+	got = conflictFree(m, in, nil, []int{1, 0, 2})
 	if len(got) != 2 || got[0] != 1 {
 		t.Errorf("conflictFree = %v, want [1 2]", got)
 	}
-	if got := conflictFree(m, in, nil); got != nil {
+	if got := conflictFree(m, in, nil, nil); got != nil {
 		t.Errorf("conflictFree(nil) = %v", got)
 	}
 }
@@ -90,7 +90,7 @@ func TestRepairBudgetEnforcesBudgets(t *testing.T) {
 	for i := range all {
 		all[i] = i
 	}
-	picked := repairBudget(m, in, powers, nil, all)
+	picked := repairBudget(m, in, powers, nil, nil, all)
 	if len(picked) == 0 {
 		t.Fatal("repair removed everything")
 	}

@@ -1,17 +1,3 @@
-// Package distributed implements a slotted, fully distributed contention
-// protocol for the bidirectional interference scheduling problem under an
-// oblivious power assignment — an experimental answer to the open question
-// of Section 6 of the paper ("is there a distributed coloring procedure
-// with the same kind of performance guarantee?").
-//
-// Oblivious assignments need no coordination to pick powers; the only
-// remaining coordination problem is who transmits when. The protocol is a
-// classic decay scheme: in every slot each pending request transmits with
-// its current probability; a transmission succeeds if its SINR constraint
-// holds against all simultaneously transmitting requests, and failures
-// back off multiplicatively. The slot of first success is the request's
-// color, so the produced schedule is feasible by construction (removing
-// failed transmitters from a slot only lowers interference).
 package distributed
 
 import (
@@ -21,6 +7,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/affect"
 	"repro/internal/power"
 	"repro/internal/problem"
 	"repro/internal/sinr"
@@ -41,6 +28,9 @@ type Protocol struct {
 	MinProb float64
 	// MaxSlots aborts the simulation (0 means 64·n + 1024).
 	MaxSlots int
+	// NoCache disables the affectance cache the simulator otherwise
+	// attaches for its per-slot SINR success checks.
+	NoCache bool
 }
 
 // Default returns the protocol parameters used by the experiments: square
@@ -104,6 +94,11 @@ func (p Protocol) RunContext(ctx context.Context, m sinr.Model, in *problem.Inst
 	}
 
 	powers := power.Powers(m, in, p.Assignment)
+	// Every slot probes RequestFeasible against the active set; precompute
+	// the affectance matrices once so those probes are row sums.
+	if !p.NoCache && m.CacheFor(in, powers) == nil {
+		m = m.WithCache(affect.New(m, sinr.Bidirectional, in, powers))
+	}
 	s := problem.NewSchedule(in.N())
 	copy(s.Powers, powers)
 

@@ -1,0 +1,25 @@
+// Package distributed implements a slotted, fully distributed contention
+// protocol for the bidirectional interference scheduling problem under an
+// oblivious power assignment — an experimental answer to the open question
+// of Section 6 of the paper ("is there a distributed coloring procedure
+// with the same kind of performance guarantee?").
+//
+// Oblivious assignments need no coordination to pick powers; the only
+// remaining coordination problem is who transmits when. The protocol is a
+// classic decay scheme: in every slot each pending request transmits with
+// its current probability; a transmission succeeds if its SINR constraint
+// holds against all simultaneously transmitting requests, and failures
+// back off multiplicatively. The slot of first success is the request's
+// color, so the produced schedule is feasible by construction (removing
+// failed transmitters from a slot only lowers interference).
+//
+// Exported entry points:
+//
+//   - Protocol configures the scheme (assignment, probabilities, backoff,
+//     slot budget); Default returns the experiments' parameters.
+//   - Protocol.Run / RunContext simulate the protocol and report the
+//     induced Schedule plus Slots/Attempts/Failures counters. The
+//     simulator precomputes the affectance matrices (package affect) so
+//     each slot's SINR success checks are row sums; NoCache restores the
+//     direct computation.
+package distributed

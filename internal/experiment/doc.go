@@ -1,0 +1,17 @@
+// Package experiment implements the evaluation harness of the
+// reproduction: one experiment per quantitative claim of the paper
+// (E1–E19), each producing an ASCII table that cmd/experiments prints and
+// EXPERIMENTS.md records. bench_test.go at the repository root exposes
+// one benchmark per experiment.
+//
+// The experiments cover the paper's storyline end to end: the Theorem 1
+// lower bounds for uniform/linear powers (E1, E2), the square root
+// assignment's polylogarithmic behavior and the Theorem 15 LP coloring
+// (E3, E4), gain scaling (E5), the tree/star pipeline stages (E6, E7),
+// sweeps and baselines (E8–E14, E17–E19), the distributed protocol (E11)
+// and the multihop extension (E15), plus online arrivals (E16).
+//
+// Exported entry points: each experiment is a Runner(Config) returning a
+// Table; All lists the registry in order for the CLI, and Config carries
+// the seed and the Quick flag the tests and benchmarks use.
+package experiment

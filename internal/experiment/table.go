@@ -1,8 +1,3 @@
-// Package experiment implements the evaluation harness of the
-// reproduction: one experiment per quantitative claim of the paper
-// (E1–E15, see DESIGN.md), each producing an ASCII table that
-// cmd/experiments prints and EXPERIMENTS.md records. bench_test.go at the
-// repository root exposes one benchmark per experiment.
 package experiment
 
 import (

@@ -1,9 +1,3 @@
-// Package geom provides finite metric spaces used by the interference
-// scheduling problem: Euclidean point sets, explicit distance matrices,
-// tree shortest-path metrics, and star metrics.
-//
-// All spaces implement the Metric interface over node indices 0..N-1.
-// Distances are symmetric and non-negative; Dist(i, i) is 0.
 package geom
 
 import (

@@ -1,0 +1,18 @@
+// Package hst implements the tree-embedding machinery behind Lemma 6 of
+// the paper (adapted from Gupta, Hajiaghayi and Räcke, "Oblivious network
+// design"): randomized hierarchically separated trees in the style of
+// Fakcharoenphol–Rao–Talwar whose shortest-path metric dominates the
+// original metric, sampled O(log n) times so that for every node a
+// constant fraction of the trees stretches all of its distances by at
+// most a logarithmic factor (the node's "core" trees).
+//
+// Exported entry points:
+//
+//   - Build samples one Embedding (random permutation + random scale);
+//     Embedding.Dist answers the HST metric, Embedding.ExplicitTree
+//     materializes it as a geom.Tree for the centroid decomposition of
+//     package treestar.
+//   - BuildEnsemble samples r embeddings; Ensemble.BestCoreTree picks the
+//     tree whose core covers the most nodes (Proposition 7), which is the
+//     tree the Theorem 2 pipeline hands to SelectOnTree.
+package hst

@@ -1,10 +1,3 @@
-// Package hst implements the tree-embedding machinery behind Lemma 6 of the
-// paper (adapted from Gupta, Hajiaghayi and Räcke, "Oblivious network
-// design"): randomized hierarchically separated trees in the style of
-// Fakcharoenphol–Rao–Talwar whose shortest-path metric dominates the
-// original metric, sampled O(log n) times so that for every node a constant
-// fraction of the trees stretches all of its distances by at most a
-// logarithmic factor (the node's "core" trees).
 package hst
 
 import (

@@ -1,0 +1,19 @@
+// Package instance generates interference scheduling workloads: random
+// and clustered point sets, the paper's nested exponential chain
+// (Section 1.2 intuition), plain line chains, and the adversarial family
+// from the proof of Theorem 1 parameterized by an arbitrary oblivious
+// power function.
+//
+// Exported entry points:
+//
+//   - UniformRandom and Clustered are the generic Euclidean workloads the
+//     experiments and benchmarks default to.
+//   - NestedExponential builds the exponentially nested request chain
+//     that separates uniform and linear powers from square root powers.
+//   - LineChain builds equally spaced unit requests on a line.
+//   - AdversarialDirected constructs the Ω(n) lower-bound family of
+//     Theorem 1 against a given oblivious power function: whatever f the
+//     scheduler commits to, the instance forces linearly many colors in
+//     the directed variant.
+//   - Perturb jitters an instance for sensitivity experiments.
+package instance

@@ -1,7 +1,3 @@
-// Package instance generates interference scheduling workloads: random and
-// clustered point sets, the paper's nested exponential chain (Section 1.2
-// intuition), plain line chains, and the adversarial family from the proof
-// of Theorem 1 parameterized by an arbitrary oblivious power function.
 package instance
 
 import (

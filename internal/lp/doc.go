@@ -1,0 +1,16 @@
+// Package lp implements a small dense primal simplex solver for the
+// packing linear programs used by the paper's coloring algorithm
+// (Theorem 15):
+//
+//	maximize    c·x
+//	subject to  A x ≤ b,  0 ≤ x ≤ 1
+//
+// with A ≥ 0 and b ≥ 0, so the origin with slack basis is always feasible
+// and no phase-1 is required. Bland's rule guards against cycling. The
+// solver is exact enough for randomized-rounding inputs; it is not a
+// general-purpose LP library.
+//
+// Exported entry points: Problem describes the packing LP, Solve returns
+// a Solution (optimum value and primal vector). The only caller is the
+// per-distance-class selection LP of internal/coloring (Lemma 16).
+package lp

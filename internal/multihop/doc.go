@@ -1,0 +1,18 @@
+// Package multihop adds the routing layer on top of interference
+// scheduling, mirroring the cross-layer latency problem of Chafekar et
+// al. that the paper discusses in its related work (Section 1.3): given
+// end-to-end flows between node pairs, route each flow along a multi-hop
+// path, schedule every hop as a (bidirectional) communication request,
+// and measure the end-to-end latency of the flows under the periodic
+// frame induced by the coloring.
+//
+// Exported entry points:
+//
+//   - NewNetwork builds the link graph of nodes within communication
+//     range; Network.Route routes flows along shortest paths and returns
+//     the hop instance; Network.ScheduleFlows routes and colors in one
+//     call.
+//   - Latency replays a schedule as a periodic TDMA frame and reports
+//     per-flow end-to-end latency.
+//   - RandomFlows samples flow workloads for the latency experiment.
+package multihop

@@ -1,10 +1,3 @@
-// Package multihop adds the routing layer on top of interference
-// scheduling, mirroring the cross-layer latency problem of Chafekar et al.
-// that the paper discusses in its related work (Section 1.3): given
-// end-to-end flows between node pairs, route each flow along a multi-hop
-// path, schedule every hop as a (bidirectional) communication request, and
-// measure the end-to-end latency of the flows under the periodic frame
-// induced by the coloring.
 package multihop
 
 import (

@@ -1,0 +1,21 @@
+// Package nodeloss implements the node-loss scheduling problem of
+// Section 3.2: a set of nodes in a metric space, each carrying a loss
+// parameter ℓ_i, where a set U is β-feasible for powers p if for every
+// i ∈ U:
+//
+//	p_i/ℓ_i > β · Σ_{j∈U, j≠i} p_j/ℓ(i,j)
+//
+// The paper uses this simplified problem to analyse the bidirectional
+// interference scheduling problem: splitting each request pair into its
+// two endpoint nodes (with the pair's loss as both nodes' loss parameter)
+// relates the two problems with a constant-factor gain translation.
+//
+// Exported entry points:
+//
+//   - New builds an Instance directly; FromPairs performs the Section 3.2
+//     split of a pair instance into active nodes plus the pair↔node
+//     mapping.
+//   - PairGainToNodeGain translates the bidirectional gain β into the
+//     node-loss gain the split preserves; PairsWithBothEndpoints maps a
+//     surviving node set back to the requests with both endpoints alive.
+package nodeloss

@@ -1,14 +1,3 @@
-// Package nodeloss implements the node-loss scheduling problem of
-// Section 3.2: a set of nodes in a metric space, each carrying a loss
-// parameter ℓ_i, where a set U is β-feasible for powers p if for every
-// i ∈ U:
-//
-//	p_i/ℓ_i > β · Σ_{j∈U, j≠i} p_j/ℓ(i,j)
-//
-// The paper uses this simplified problem to analyse the bidirectional
-// interference scheduling problem: splitting each request pair into its two
-// endpoint nodes (with the pair's loss as both nodes' loss parameter)
-// relates the two problems with a constant-factor gain translation.
 package nodeloss
 
 import (

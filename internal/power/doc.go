@@ -1,0 +1,23 @@
+// Package power implements oblivious power assignments.
+//
+// A power assignment is oblivious (Section 1.1 of the paper) if there is a
+// function f: R>0 → R>0 such that the power of every request i is
+// p_i = f(ℓ(u_i, v_i)), i.e. it depends only on the loss between the
+// request's own endpoints. The paper's central assignment is the square
+// root assignment p̄_i = √ℓ(u_i, v_i).
+//
+// Exported entry points:
+//
+//   - Assignment is the interface (Name + Power); Func wraps an arbitrary
+//     oblivious function.
+//   - Uniform, Linear and Sqrt are the three assignments the paper
+//     analyzes: uniform and linear suffer the Ω(n) lower bound of
+//     Theorem 1, square root achieves the polylogarithmic guarantee of
+//     Theorem 2 for bidirectional requests.
+//   - Exponent(τ) is p_i = ℓ_i^τ, used by the exponent-sweep experiment;
+//     τ ∈ {0, 0.5, 1} canonicalize to the named assignments so
+//     algorithms gated on sqrt accept Exponent(0.5).
+//   - Powers evaluates an assignment over an instance; Scale and
+//     TotalEnergy are the helpers the noise-lifting and energy
+//     experiments use.
+package power

@@ -1,10 +1,3 @@
-// Package power implements oblivious power assignments.
-//
-// A power assignment is oblivious (Section 1.1 of the paper) if there is a
-// function f: R>0 → R>0 such that the power of every request i is
-// p_i = f(ℓ(u_i, v_i)), i.e. it depends only on the loss between the
-// request's own endpoints. The paper's central assignment is the square
-// root assignment p̄_i = √ℓ(u_i, v_i).
 package power
 
 import (

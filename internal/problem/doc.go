@@ -1,0 +1,19 @@
+// Package problem defines the interference scheduling problem instances
+// and schedules shared by all algorithms in this repository.
+//
+// An Instance is a metric space together with a list of communication
+// requests, each a pair of node indices — the problem input of Section 1.1
+// of the paper. A Schedule assigns every request a power level and a color
+// (time slot); the requests of a color class are meant to communicate
+// simultaneously under the SINR model (package sinr), and the number of
+// colors is the objective the paper's theorems bound.
+//
+// Exported entry points:
+//
+//   - New validates and builds an Instance; Instance.Length/Lengths give
+//     request lengths, Instance.Restrict the sub-instance over a subset
+//     of requests (used by the iterated colorings).
+//   - NewSchedule allocates an unassigned schedule; Schedule.Classes,
+//     NumColors, Complete and TotalEnergy are the accessors experiments
+//     and validators build on.
+package problem

@@ -1,10 +1,3 @@
-// Package problem defines the interference scheduling problem instances and
-// schedules shared by all algorithms in this repository.
-//
-// An Instance is a metric space together with a list of communication
-// requests, each a pair of node indices. A Schedule assigns every request a
-// power level and a color; the requests of a color class are meant to
-// communicate simultaneously under the SINR model (package sinr).
 package problem
 
 import (

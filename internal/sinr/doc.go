@@ -1,0 +1,28 @@
+// Package sinr implements the physical interference model used throughout
+// the paper: path loss, the Signal to Interference plus Noise Ratio, and
+// feasibility checks for the directed and bidirectional variants of the
+// interference scheduling problem.
+//
+// Following Section 1.1 of the paper, the loss between nodes u and v is
+// ℓ(u,v) = d(u,v)^α and a set of simultaneously transmitting requests is
+// feasible if every request's SINR is at least the gain β. The paper's
+// analysis sets the noise ν to zero and requires strict inequality; the
+// checks here accept any ν ≥ 0 and use the relative tolerance Tol so that
+// schedules produced by floating-point algorithms validate robustly.
+//
+// Exported entry points:
+//
+//   - Model carries (α, β, ν) and answers every interference question:
+//     Loss/RequestLoss (with fast paths for integer exponents), Margin,
+//     RequestFeasible, SetFeasible, WorstMargin, and the schedule
+//     validator CheckSchedule.
+//   - Variant selects Directed (Section 1.1's sender→receiver
+//     constraints) or Bidirectional (both endpoints must decode; the
+//     variant Theorem 2 is about).
+//   - Cache is the hook for the precomputed affectance engine of package
+//     affect: Model.WithCache attaches one, and the interference queries
+//     delegate to it whenever it Covers their (instance, powers) pair,
+//     falling back to the direct computation otherwise. Cached and
+//     uncached paths agree bitwise, so the uncached path remains the
+//     oracle.
+package sinr

@@ -1,14 +1,3 @@
-// Package sinr implements the physical interference model used throughout
-// the paper: path loss, the Signal to Interference plus Noise Ratio, and
-// feasibility checks for the directed and bidirectional variants of the
-// interference scheduling problem.
-//
-// Following Section 1.1 of the paper, the loss between nodes u and v is
-// ℓ(u,v) = d(u,v)^α and a set of simultaneously transmitting requests is
-// feasible if every request's SINR is at least the gain β. The paper's
-// analysis sets the noise ν to zero and requires strict inequality; the
-// checks here accept any ν ≥ 0 and use a relative tolerance so that
-// schedules produced by floating-point algorithms validate robustly.
 package sinr
 
 import (
@@ -52,6 +41,70 @@ type Model struct {
 	Beta float64
 	// Noise is the ambient noise ν ≥ 0. The paper's analysis uses ν = 0.
 	Noise float64
+
+	// cache is the optional precomputed affectance engine the interference
+	// queries delegate to when it covers their (instance, powers) pair.
+	// Attach with WithCache; package affect provides the implementation.
+	cache Cache
+}
+
+// Cache is the hook through which a precomputed affectance engine (package
+// affect) accelerates the Model's interference queries. A cache is built
+// for one (instance, path-loss exponent, powers) tuple; the gain β and the
+// noise ν enter only at query time, so a cache survives WithBeta.
+//
+// Row/column accessors return nil when the cache was not built for the
+// corresponding variant, in which case the Model falls back to the direct
+// computation. All returned slices have one entry per request; the diagonal
+// entry (a request's effect on itself) is stored as zero and must be
+// skipped by exclusion logic, exactly as the direct loops skip j == i.
+type Cache interface {
+	// Covers reports whether the cache was built for this instance, this
+	// path-loss exponent, and powers equal to these (the slice passed at
+	// build time, or any slice with bitwise-equal contents).
+	Covers(in *problem.Instance, alpha float64, powers []float64) bool
+	// DirectedInto returns row i of the directed affectance matrix:
+	// entry j is p_j/ℓ(u_j, v_i), the interference request j's sender adds
+	// at request i's receiver. Nil unless built for the directed variant.
+	DirectedInto(i int) []float64
+	// DirectedFrom is the transpose view: entry i of row j is the
+	// interference request j's sender adds at request i's receiver.
+	DirectedFrom(j int) []float64
+	// IntoU returns row i of the bidirectional affectance matrix at
+	// endpoint U: entry j is p_j/min{ℓ(u_j,u_i), ℓ(v_j,u_i)}. Nil unless
+	// built for the bidirectional variant.
+	IntoU(i int) []float64
+	// IntoV is IntoU at request i's V endpoint.
+	IntoV(i int) []float64
+	// FromU is the transpose of IntoU: entry i of row j is the
+	// interference request j adds at request i's U endpoint.
+	FromU(j int) []float64
+	// FromV is the transpose of IntoV.
+	FromV(j int) []float64
+	// Signals returns p_i/ℓ_i for every request: the received signal
+	// strength at a request's own endpoint.
+	Signals() []float64
+	// Losses returns the endpoint loss ℓ_i of every request.
+	Losses() []float64
+}
+
+// WithCache returns a copy of the model with the affectance cache
+// attached. Interference queries consult the cache only when it Covers
+// their instance and powers, so attaching a cache never changes results —
+// it only changes how they are computed. Attach nil to detach.
+func (m Model) WithCache(c Cache) Model {
+	m.cache = c
+	return m
+}
+
+// CacheFor returns the attached cache if it covers the given instance and
+// powers under this model's path-loss exponent, and nil otherwise. Hot
+// loops call it once and then index rows directly.
+func (m Model) CacheFor(in *problem.Instance, powers []float64) Cache {
+	if m.cache != nil && m.cache.Covers(in, m.Alpha, powers) {
+		return m.cache
+	}
+	return nil
 }
 
 // Default returns the model parameters used by the experiments:
@@ -78,8 +131,38 @@ func (m Model) WithBeta(beta float64) Model {
 	return m
 }
 
-// Loss returns the path loss ℓ = d^α for a distance d.
-func (m Model) Loss(d float64) float64 { return math.Pow(d, m.Alpha) }
+// Loss returns the path loss ℓ = d^α for a distance d. Small integer
+// exponents — including the classic free-space α = 2 and the experiments'
+// default α = 3 — are expanded into plain multiplications, which are an
+// order of magnitude cheaper than math.Pow and agree with it to within a
+// few ulps (the feasibility tolerance absorbs the difference; the affect
+// oracle cross-check pins this down).
+func (m Model) Loss(d float64) float64 {
+	switch m.Alpha {
+	case 1:
+		return d
+	case 2:
+		return d * d
+	case 3:
+		return d * d * d
+	case 4:
+		q := d * d
+		return q * q
+	}
+	if a := m.Alpha; a > 4 && a <= 16 && a == math.Trunc(a) {
+		// Exponentiation by squaring for the remaining small integers.
+		out, base, k := 1.0, d, int(a)
+		for k > 0 {
+			if k&1 == 1 {
+				out *= base
+			}
+			base *= base
+			k >>= 1
+		}
+		return out
+	}
+	return math.Pow(d, m.Alpha)
+}
 
 // RequestLoss returns the loss between the endpoints of request i.
 func (m Model) RequestLoss(in *problem.Instance, i int) float64 {
@@ -95,10 +178,14 @@ func (m Model) RequestLosses(in *problem.Instance) []float64 {
 	return out
 }
 
-// tol is the relative tolerance used by feasibility comparisons to absorb
+// Tol is the relative tolerance used by feasibility comparisons to absorb
 // floating-point error: a constraint signal ≥ β·interference is accepted if
-// signal ≥ β·interference·(1-tol).
-const tol = 1e-9
+// signal ≥ β·interference·(1-Tol). Exported so that the incremental
+// feasibility trackers of package affect apply the same acceptance rule.
+const Tol = 1e-9
+
+// tol is the package-internal alias kept for the existing comparisons.
+const tol = Tol
 
 // MinLossToNode returns min{ℓ(u_j, w), ℓ(v_j, w)}: the loss from the closer
 // endpoint of request j to node w (used by the bidirectional constraints).
@@ -116,6 +203,17 @@ func (m Model) MinLossToNode(in *problem.Instance, j, w int) float64 {
 // request i from the senders of the other requests in set, under the given
 // powers: Σ_{j∈set, j≠i} p_j / ℓ(u_j, v_i).
 func (m Model) DirectedInterference(in *problem.Instance, powers []float64, set []int, i int) float64 {
+	if c := m.CacheFor(in, powers); c != nil {
+		if row := c.DirectedInto(i); row != nil {
+			var sum float64
+			for _, j := range set {
+				if j != i {
+					sum += row[j]
+				}
+			}
+			return sum
+		}
+	}
 	vi := in.Reqs[i].V
 	var sum float64
 	for _, j := range set {
@@ -129,7 +227,9 @@ func (m Model) DirectedInterference(in *problem.Instance, powers []float64, set 
 
 // BidirectionalInterference returns the interference received at node w from
 // the requests in set (excluding request excl, or none if excl < 0):
-// Σ_j p_j / min{ℓ(u_j,w), ℓ(v_j,w)}.
+// Σ_j p_j / min{ℓ(u_j,w), ℓ(v_j,w)}. The node w is arbitrary, so this
+// method cannot consult the affectance cache; when w is an endpoint of a
+// request, prefer RequestInterferenceU / RequestInterferenceV.
 func (m Model) BidirectionalInterference(in *problem.Instance, powers []float64, set []int, w, excl int) float64 {
 	var sum float64
 	for _, j := range set {
@@ -139,6 +239,41 @@ func (m Model) BidirectionalInterference(in *problem.Instance, powers []float64,
 		sum += powers[j] / m.MinLossToNode(in, j, w)
 	}
 	return sum
+}
+
+// RequestInterferenceU returns the bidirectional interference received at
+// the U endpoint of request i from the requests of set other than i. It is
+// BidirectionalInterference at node u_i with excl = i, but can delegate to
+// the affectance cache because the node is identified by its request.
+func (m Model) RequestInterferenceU(in *problem.Instance, powers []float64, set []int, i int) float64 {
+	if c := m.CacheFor(in, powers); c != nil {
+		if row := c.IntoU(i); row != nil {
+			var sum float64
+			for _, j := range set {
+				if j != i {
+					sum += row[j]
+				}
+			}
+			return sum
+		}
+	}
+	return m.BidirectionalInterference(in, powers, set, in.Reqs[i].U, i)
+}
+
+// RequestInterferenceV is RequestInterferenceU at request i's V endpoint.
+func (m Model) RequestInterferenceV(in *problem.Instance, powers []float64, set []int, i int) float64 {
+	if c := m.CacheFor(in, powers); c != nil {
+		if row := c.IntoV(i); row != nil {
+			var sum float64
+			for _, j := range set {
+				if j != i {
+					sum += row[j]
+				}
+			}
+			return sum
+		}
+	}
+	return m.BidirectionalInterference(in, powers, set, in.Reqs[i].V, i)
 }
 
 // DirectedMargin returns signal - β·(interference + noise) for request i
@@ -161,10 +296,15 @@ func (m Model) BidirectionalMargin(in *problem.Instance, powers []float64, set [
 	if signal == 0 {
 		return math.Inf(-1)
 	}
-	r := in.Reqs[i]
 	worst := math.Inf(1)
-	for _, w := range [2]int{r.U, r.V} {
-		demand := m.Beta * (m.BidirectionalInterference(in, powers, set, w, i) + m.Noise)
+	for side := 0; side < 2; side++ {
+		var interf float64
+		if side == 0 {
+			interf = m.RequestInterferenceU(in, powers, set, i)
+		} else {
+			interf = m.RequestInterferenceV(in, powers, set, i)
+		}
+		demand := m.Beta * (interf + m.Noise)
 		if mg := (signal - demand) / signal; mg < worst {
 			worst = mg
 		}

@@ -1,0 +1,21 @@
+// Package star implements the star-metric analysis of Section 4 of the
+// paper (Lemma 5 and its supporting Lemmas 10–14): given a node-loss
+// instance on a star metric that is β'-feasible under some power
+// assignment, it constructively selects a (1 − O((β/β')^{2/3}))-fraction
+// of the nodes that is β-feasible under the square root power assignment.
+//
+// The selection follows the proof structure: nodes are split by the ratio
+// a_i = ℓ_i/d_i between loss parameter and decay into large-loss nodes
+// (handled by Lemma 10 plus the crowding rule of Section 4.4) and
+// small-loss nodes (handled by the decay classes D_j and the Markov drop
+// of Lemma 11). A final verification pass enforces the exact
+// β-feasibility postcondition.
+//
+// Exported entry points:
+//
+//   - New builds a star Instance from radii and loss parameters.
+//   - Select is the faithful Lemma 5 selection with its Breakdown
+//     diagnostics; SelectLight is the practical greedy variant with the
+//     same postcondition, used by default in the Theorem 2 pipeline.
+//   - Random generates star workloads for tests and experiments.
+package star

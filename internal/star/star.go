@@ -1,15 +1,3 @@
-// Package star implements the star-metric analysis of Section 4 of the
-// paper (Lemma 5 and its supporting Lemmas 10–14): given a node-loss
-// instance on a star metric that is β'-feasible under some power
-// assignment, it constructively selects a (1 − O((β/β')^{2/3}))-fraction of
-// the nodes that is β-feasible under the square root power assignment.
-//
-// The selection follows the proof structure: nodes are split by the ratio
-// a_i = ℓ_i/d_i between loss parameter and decay into large-loss nodes
-// (handled by Lemma 10 plus the crowding rule of Section 4.4) and
-// small-loss nodes (handled by the decay classes D_j and the Markov drop of
-// Lemma 11). A final verification pass enforces the exact β-feasibility
-// postcondition.
 package star
 
 import (

@@ -1,0 +1,16 @@
+// Package topology builds spanning structures over node sets and turns
+// them into interference scheduling instances. It reproduces the workload
+// of Moscibroda and Wattenhofer's strong-connectivity question (the
+// paper's Section 1.3): given n arbitrarily placed points, schedule a set
+// of links that strongly connects them — here the edges of a minimum
+// spanning tree, which is the canonical such link set.
+//
+// Exported entry points:
+//
+//   - MST computes the minimum spanning tree of a metric (dense Prim) as
+//     communication requests; TotalWeight and MaxDegree report its shape.
+//   - ConnectivityInstance wraps the MST edges into a problem.Instance —
+//     the input of the connectivity experiment.
+//   - ExponentialChain builds the exponentially-spread chain topology
+//     whose MST stresses the length-class behavior of the schedulers.
+package topology

@@ -1,9 +1,3 @@
-// Package topology builds spanning structures over node sets and turns
-// them into interference scheduling instances. It reproduces the workload
-// of Moscibroda and Wattenhofer's strong-connectivity question (the paper's
-// Section 1.3): given n arbitrarily placed points, schedule a set of links
-// that strongly connects them — here the edges of a minimum spanning tree,
-// which is the canonical such link set.
 package topology
 
 import (

@@ -1,0 +1,22 @@
+// Package treestar implements the reduction from tree metrics to star
+// metrics (Lemma 9 of the paper) by centroid decomposition, and composes
+// it with the tree embeddings of package hst and the star analysis of
+// package star into the full constructive pipeline behind Theorem 2: from
+// a general metric, extract a large set of requests that is feasible in
+// one color under the square root power assignment.
+//
+// Exported entry points:
+//
+//   - SelectOnTree realizes Lemma 9: centroid recursion over an explicit
+//     tree, one star selection (Lemma 5) per level, final verification at
+//     the target gain. TreeOptions.Faithful switches between the paper's
+//     worst-case star selection and the practical greedy variant.
+//   - Pipeline chains the stages of Theorem 2: pair→node-loss splitting
+//     (package nodeloss, Section 3.2), HST ensemble and best-core tree
+//     (package hst, Lemma 6/Proposition 7), SelectOnTree, and a final
+//     ThinToGain back in the original metric (Proposition 3). Run
+//     extracts one color class with per-stage PipelineStats;
+//     Coloring/ColoringWithStats iterate it into a complete schedule.
+//     The final thinning stage precomputes an affectance cache for large
+//     kept sets (disable with Pipeline.NoCache).
+package treestar

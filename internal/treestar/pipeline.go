@@ -6,6 +6,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/affect"
 	"repro/internal/coloring"
 	"repro/internal/geom"
 	"repro/internal/hst"
@@ -102,9 +103,16 @@ func (p Pipeline) Run(m sinr.Model, in *problem.Instance, rng *rand.Rand) ([]int
 	}
 
 	// Stage 5 (Lemma 8 / Proposition 3): thin to the full bidirectional
-	// gain in the original metric under the square root assignment.
+	// gain in the original metric under the square root assignment. For
+	// kept sets large enough that the O(|pairs|²)-per-round thinning
+	// dominates the O(n²) matrix fill, precompute the affectance cache so
+	// the thinning runs on the incremental tracker.
 	powers := power.Powers(m, in, power.Sqrt())
-	final, err := coloring.ThinToGain(m, in, sinr.Bidirectional, powers, pairs, m.Beta)
+	mThin := m
+	if !p.NoCache && len(pairs) >= 32 {
+		mThin = m.WithCache(affect.New(m, sinr.Bidirectional, in, powers))
+	}
+	final, err := coloring.ThinToGain(mThin, in, sinr.Bidirectional, powers, pairs, m.Beta)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -1,9 +1,3 @@
-// Package treestar implements the reduction from tree metrics to star
-// metrics (Lemma 9 of the paper) by centroid decomposition, and composes it
-// with the tree embeddings of package hst and the star analysis of package
-// star into the full constructive pipeline behind Theorem 2: from a general
-// metric, extract a large set of requests that is feasible in one color
-// under the square root power assignment.
 package treestar
 
 import (
@@ -371,4 +365,7 @@ type Pipeline struct {
 	// Faithful selects the worst-case parameterized star selection inside
 	// the tree stage (see TreeOptions.Faithful).
 	Faithful bool
+	// NoCache disables the affectance cache the final thinning stage
+	// otherwise builds for large kept sets.
+	NoCache bool
 }

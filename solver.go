@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/affect"
 	"repro/internal/coloring"
 	"repro/internal/distributed"
 	"repro/internal/power"
@@ -83,13 +84,23 @@ type Options struct {
 	Validate bool
 	// Parallelism bounds the worker pool of SolveAll (0 = GOMAXPROCS).
 	Parallelism int
+	// Affectance enables the precomputed affectance cache (package
+	// affect) on the solver's SINR hot path. On by default; disable with
+	// WithAffectanceCache(false) to run every interference query through
+	// the direct oracle computation.
+	Affectance bool
+
+	// caches is the per-batch cache store SolveAll shares across its
+	// workers, so solving the same instance repeatedly (solver sweeps,
+	// seed sweeps) fills the matrices once. Nil outside SolveAll.
+	caches *affect.Store
 }
 
 // DefaultOptions returns the settings a bare Solve call runs with:
 // bidirectional constraints, square root powers, seed 1, no
-// re-validation, GOMAXPROCS batch parallelism.
+// re-validation, GOMAXPROCS batch parallelism, affectance cache on.
 func DefaultOptions() Options {
-	return Options{Variant: Bidirectional, Assignment: Sqrt(), Seed: 1}
+	return Options{Variant: Bidirectional, Assignment: Sqrt(), Seed: 1, Affectance: true}
 }
 
 // Option mutates Options. Pass any number of them to Solve or SolveAll.
@@ -110,6 +121,30 @@ func WithValidation(on bool) Option { return func(o *Options) { o.Validate = on 
 
 // WithParallelism bounds the SolveAll worker pool (default 0 = GOMAXPROCS).
 func WithParallelism(n int) Option { return func(o *Options) { o.Parallelism = n } }
+
+// WithAffectanceCache toggles the precomputed affectance engine on the
+// SINR hot path (default on). The cache never changes results — cached and
+// uncached interference queries agree bitwise — so turning it off is only
+// useful for measuring its effect or bounding memory (the matrices take
+// O(n²) floats per instance).
+func WithAffectanceCache(on bool) Option { return func(o *Options) { o.Affectance = on } }
+
+// withCacheStore hands the workers of one SolveAll batch a shared
+// per-instance cache store.
+func withCacheStore(s *affect.Store) Option { return func(o *Options) { o.caches = s } }
+
+// attachCache returns m with the affectance cache for (variant, instance,
+// powers) attached, honoring WithAffectanceCache and reusing the batch
+// store when SolveAll provides one.
+func (o Options) attachCache(m Model, in *Instance, v Variant, powers []float64) Model {
+	if !o.Affectance {
+		return m
+	}
+	if o.caches != nil {
+		return m.WithCache(o.caches.For(m, v, in, powers))
+	}
+	return m.WithCache(affect.New(m, v, in, powers))
+}
 
 func buildOptions(opts []Option) Options {
 	o := DefaultOptions()
@@ -273,7 +308,9 @@ func init() {
 // solveGreedy colors by greedy first-fit (longest request first). It is
 // the only solver that supports both variants and every assignment.
 func solveGreedy(_ context.Context, m Model, in *Instance, o Options) (*Result, error) {
-	s, err := coloring.GreedyFirstFit(m, in, o.Variant, power.Powers(m, in, o.Assignment), nil)
+	powers := power.Powers(m, in, o.Assignment)
+	m = o.attachCache(m, in, o.Variant, powers)
+	s, err := coloring.GreedyFirstFit(m, in, o.Variant, powers, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -305,7 +342,11 @@ func solveLP(ctx context.Context, m Model, in *Instance, o Options) (*Result, er
 	if err := requireSqrtBidirectional(o); err != nil {
 		return nil, err
 	}
-	s, stats, err := coloring.SqrtLPColoringCtx(ctx, m, in, rand.New(rand.NewSource(o.Seed)), coloring.LPOptions{})
+	// Attach the cache here (rather than letting the coloring build its
+	// own) so a SolveAll batch store can share it; the coloring recognizes
+	// the covering cache on its internally derived powers by value.
+	m = o.attachCache(m, in, Bidirectional, power.Powers(m, in, power.Sqrt()))
+	s, stats, err := coloring.SqrtLPColoringCtx(ctx, m, in, rand.New(rand.NewSource(o.Seed)), coloring.LPOptions{NoCache: !o.Affectance})
 	if err != nil {
 		return nil, err
 	}
@@ -318,7 +359,7 @@ func solvePipeline(ctx context.Context, m Model, in *Instance, o Options) (*Resu
 	if err := requireSqrtBidirectional(o); err != nil {
 		return nil, err
 	}
-	s, stats, err := treestar.Pipeline{}.ColoringWithStats(ctx, m, in, rand.New(rand.NewSource(o.Seed)))
+	s, stats, err := treestar.Pipeline{NoCache: !o.Affectance}.ColoringWithStats(ctx, m, in, rand.New(rand.NewSource(o.Seed)))
 	if err != nil {
 		return nil, err
 	}
@@ -333,6 +374,13 @@ func solveDistributed(ctx context.Context, m Model, in *Instance, o Options) (*R
 	}
 	p := distributed.Default()
 	p.Assignment = o.Assignment
+	p.NoCache = !o.Affectance
+	if o.Affectance {
+		// Pre-attach from the batch store so repeated simulations of one
+		// instance share the matrices; RunContext skips its own build when
+		// the model already carries a covering cache.
+		m = o.attachCache(m, in, Bidirectional, power.Powers(m, in, o.Assignment))
+	}
 	res, err := p.RunContext(ctx, m, in, rand.New(rand.NewSource(o.Seed)))
 	if err != nil {
 		return nil, err
@@ -377,6 +425,11 @@ func SolveAll(ctx context.Context, m Model, instances []*Instance, solver Solver
 
 	batchCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	if o.Affectance && o.caches == nil {
+		// One cache store per batch: workers solving the same instance
+		// (or re-solving across seeds) share the affectance matrices.
+		opts = append(append([]Option(nil), opts...), withCacheStore(affect.NewStore()))
+	}
 	var (
 		wg       sync.WaitGroup
 		errMu    sync.Mutex

@@ -12,6 +12,7 @@ import (
 
 	"repro/internal/coloring"
 	"repro/internal/distributed"
+	"repro/internal/instance"
 	"repro/internal/treestar"
 )
 
@@ -98,6 +99,9 @@ func TestOptionDefaults(t *testing.T) {
 	}
 	if o.Parallelism != 0 {
 		t.Errorf("default parallelism = %d, want 0 (GOMAXPROCS)", o.Parallelism)
+	}
+	if !o.Affectance {
+		t.Error("affectance cache should default to on")
 	}
 
 	// The options reach the algorithm core exactly as composed.
@@ -409,6 +413,71 @@ func TestParseAssignmentPublic(t *testing.T) {
 	for _, bad := range []string{"cubic", "exp:abc", ""} {
 		if _, err := ParseAssignment(bad); err == nil {
 			t.Errorf("%q should fail to parse", bad)
+		}
+	}
+}
+
+// TestWithAffectanceCacheParity runs every solver with the affectance
+// cache on (the default) and off, and checks the cache changes nothing:
+// greedy is deterministic and must match color for color; the randomized
+// solvers must produce valid schedules in both modes with the same seed.
+func TestWithAffectanceCacheParity(t *testing.T) {
+	m := DefaultModel()
+	in, err := instance.UniformRandom(rand.New(rand.NewSource(8)), 50, 150, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	on, err := Lookup("greedy").Solve(context.Background(), m, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Lookup("greedy").Solve(context.Background(), m, in, WithAffectanceCache(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range on.Schedule.Colors {
+		if on.Schedule.Colors[i] != off.Schedule.Colors[i] {
+			t.Fatalf("greedy: request %d colored %d with cache, %d without",
+				i, on.Schedule.Colors[i], off.Schedule.Colors[i])
+		}
+	}
+	for _, name := range Solvers() {
+		for _, cached := range []bool{true, false} {
+			res, err := Lookup(name).Solve(context.Background(), m, in,
+				WithSeed(5), WithAffectanceCache(cached), WithValidation(true))
+			if err != nil {
+				t.Fatalf("%s cached=%t: %v", name, cached, err)
+			}
+			if res.Schedule.NumColors() < 1 {
+				t.Fatalf("%s cached=%t: empty schedule", name, cached)
+			}
+		}
+	}
+}
+
+// TestSolveAllSharedCache solves the same instance many times in one
+// batch; the shared store means every worker reuses one set of matrices,
+// and the results must match the unbatched solve.
+func TestSolveAllSharedCache(t *testing.T) {
+	m := DefaultModel()
+	in, err := instance.UniformRandom(rand.New(rand.NewSource(21)), 40, 150, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	instances := []*Instance{in, in, in, in, in, in, in, in}
+	results, err := SolveAll(context.Background(), m, instances, Lookup("greedy"), WithValidation(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Lookup("greedy").Solve(context.Background(), m, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, r := range results {
+		for i := range r.Schedule.Colors {
+			if r.Schedule.Colors[i] != single.Schedule.Colors[i] {
+				t.Fatalf("batch result %d diverged from single solve at request %d", k, i)
+			}
 		}
 	}
 }
