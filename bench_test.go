@@ -26,6 +26,8 @@ import (
 	"repro/internal/hst"
 	"repro/internal/instance"
 	"repro/internal/lp"
+	"repro/internal/online"
+	"repro/internal/online/sim"
 	"repro/internal/power"
 	"repro/internal/powerctl"
 	"repro/internal/sinr"
@@ -33,11 +35,18 @@ import (
 )
 
 // TestMain flushes the affectance benchmark records to BENCH_affect.json
-// after a -bench run (see recordAffectBench); plain test runs record
-// nothing and write nothing.
+// and the churn records to BENCH_online.json after a -bench run (see
+// recordAffectBench / recordOnlineBench); plain test runs record nothing
+// and write nothing.
 func TestMain(m *testing.M) {
 	code := m.Run()
 	if err := writeAffectBench("BENCH_affect.json"); err != nil {
+		fmt.Fprintln(os.Stderr, "bench: ", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	if err := writeOnlineBench("BENCH_online.json"); err != nil {
 		fmt.Fprintln(os.Stderr, "bench: ", err)
 		if code == 0 {
 			code = 1
@@ -105,6 +114,73 @@ func writeAffectBench(path string) error {
 			return rs[i].N < rs[j].N
 		}
 		return !rs[i].Cached && rs[j].Cached
+	})
+	data, err := json.MarshalIndent(rs, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// onlineBenchResult is one row of BENCH_online.json: the per-event cost of
+// handling a churn trace either incrementally (the online engine) or by
+// re-running the batch greedy solver on the active set after every event.
+type onlineBenchResult struct {
+	Benchmark string  `json:"benchmark"`
+	N         int     `json:"n"`
+	Mode      string  `json:"mode"`
+	NsPerEv   float64 `json:"ns_per_event"`
+}
+
+var onlineBench struct {
+	sync.Mutex
+	results map[onlineBenchKey]onlineBenchResult
+}
+
+type onlineBenchKey struct {
+	benchmark string
+	n         int
+	mode      string
+}
+
+// recordOnlineBench captures the just-finished sub-benchmark's cost per
+// churn event (events is the trace length one b.N iteration replays).
+// Call it after the timed loop, with the timer stopped.
+func recordOnlineBench(b *testing.B, name string, n int, mode string, events int) {
+	b.Helper()
+	onlineBench.Lock()
+	defer onlineBench.Unlock()
+	if onlineBench.results == nil {
+		onlineBench.results = map[onlineBenchKey]onlineBenchResult{}
+	}
+	onlineBench.results[onlineBenchKey{name, n, mode}] = onlineBenchResult{
+		Benchmark: name,
+		N:         n,
+		Mode:      mode,
+		NsPerEv:   float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(events),
+	}
+}
+
+// writeOnlineBench emits the recorded measurements, sorted for stable
+// diffs, as the benchmark trajectory file BENCH_online.json.
+func writeOnlineBench(path string) error {
+	onlineBench.Lock()
+	defer onlineBench.Unlock()
+	if len(onlineBench.results) == 0 {
+		return nil
+	}
+	rs := make([]onlineBenchResult, 0, len(onlineBench.results))
+	for _, r := range onlineBench.results {
+		rs = append(rs, r)
+	}
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Benchmark != rs[j].Benchmark {
+			return rs[i].Benchmark < rs[j].Benchmark
+		}
+		if rs[i].N != rs[j].N {
+			return rs[i].N < rs[j].N
+		}
+		return rs[i].Mode < rs[j].Mode
 	})
 	data, err := json.MarshalIndent(rs, "", "  ")
 	if err != nil {
@@ -402,6 +478,111 @@ func BenchmarkAffectanceBuild(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				affect.New(m, sinr.Bidirectional, in, powers)
 			}
+		})
+	}
+}
+
+// BenchmarkOnlineChurn is the acceptance benchmark of the online engine:
+// one Poisson churn trace per size, replayed (a) incrementally through
+// the engine and (b) by re-running the batch greedy solver on the active
+// set after every event — the only alternative a batch-only system has.
+// Per-event costs land in BENCH_online.json; the incremental path must be
+// at least an order of magnitude cheaper at n=2000. The batch mode
+// replays a short prefix of the same trace (its per-event cost is flat in
+// the event count but grows with n², and a full-length replay would blow
+// the CI smoke budget).
+func BenchmarkOnlineChurn(b *testing.B) {
+	for _, n := range affectSizes {
+		m := sinr.Default()
+		in := benchInstance(b, n)
+		powers := power.Powers(m, in, power.Sqrt())
+		mc := m.WithCache(affect.New(m, sinr.Bidirectional, in, powers))
+		// Steady state ≈ n/2 active requests, 4n events.
+		trace := sim.Poisson(rand.New(rand.NewSource(1)), n, float64(n)/4, 2, 4*n)
+		b.Run(fmt.Sprintf("n=%d/mode=incremental", n), func(b *testing.B) {
+			b.ReportAllocs()
+			// On small machines the collector's pacing makes O(100ms)
+			// timed regions bimodal; collect first and hold GC off for
+			// the loop so incremental-vs-batch ratios are reproducible.
+			runtime.GC()
+			defer debug.SetGCPercent(debug.SetGCPercent(-1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				eng, err := online.New(mc, in, sinr.Bidirectional, powers,
+					online.WithAdmission(online.BestFit), online.WithRepair(online.ThresholdRepair))
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, ev := range trace {
+					if ev.Arrive {
+						_, err = eng.Arrive(ev.Req)
+					} else {
+						err = eng.Depart(ev.Req)
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			recordOnlineBench(b, "OnlineChurn", n, "incremental", len(trace))
+		})
+		b.Run(fmt.Sprintf("n=%d/mode=batch", n), func(b *testing.B) {
+			// Fast-forward the active set to the trace's steady state
+			// untimed (the first half is warm-up from an empty system),
+			// then time the batch re-solves over the following events.
+			warm, measured := trace[:len(trace)/2], trace[len(trace)/2:]
+			if len(measured) > 48 {
+				measured = measured[:48]
+			}
+			activeList := make([]int, 0, n)
+			pos := make([]int, n)
+			for k := range pos {
+				pos[k] = -1
+			}
+			apply := func(ev sim.Event) {
+				if ev.Arrive {
+					pos[ev.Req] = len(activeList)
+					activeList = append(activeList, ev.Req)
+				} else {
+					k := pos[ev.Req]
+					last := len(activeList) - 1
+					activeList[k] = activeList[last]
+					pos[activeList[k]] = k
+					activeList = activeList[:last]
+					pos[ev.Req] = -1
+				}
+			}
+			for _, ev := range warm {
+				apply(ev)
+			}
+			base := append([]int(nil), activeList...)
+			b.ReportAllocs()
+			runtime.GC()
+			defer debug.SetGCPercent(debug.SetGCPercent(-1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				activeList = append(activeList[:0], base...)
+				for k := range pos {
+					pos[k] = -1
+				}
+				for k, r := range activeList {
+					pos[r] = k
+				}
+				b.StartTimer()
+				for _, ev := range measured {
+					apply(ev)
+					if len(activeList) == 0 {
+						continue
+					}
+					if _, err := coloring.GreedyFirstFit(mc, in, sinr.Bidirectional, powers, activeList); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.StopTimer()
+			recordOnlineBench(b, "OnlineChurn", n, "batch", len(measured))
 		})
 	}
 }

@@ -8,6 +8,11 @@
 //	gen -kind nested    -n 32
 //	gen -kind chain     -n 32 [-length 1] [-gap 4]
 //	gen -kind adversarial -n 16 -power linear
+//	gen -kind perturb -eps 0.5 < base.json
+//
+// The perturb kind reads a base instance from stdin and jitters every
+// Euclidean coordinate by at most eps — the building block for the
+// mobility/churn robustness traces (a perturbed copy per epoch).
 package main
 
 import (
@@ -36,15 +41,16 @@ func main() {
 		gap      = flag.Float64("gap", 4, "gap for -kind chain")
 		powerFn  = flag.String("power", "linear", "target assignment for -kind adversarial (linear, sqrt, quadratic)")
 		alpha    = flag.Float64("alpha", 3, "path-loss exponent for -kind adversarial")
+		eps      = flag.Float64("eps", 0.5, "coordinate jitter for -kind perturb")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *kind, *n, *seed, *side, *maxLen, *clusters, *length, *gap, *powerFn, *alpha); err != nil {
+	if err := run(os.Stdout, os.Stdin, *kind, *n, *seed, *side, *maxLen, *clusters, *length, *gap, *powerFn, *alpha, *eps); err != nil {
 		fmt.Fprintln(os.Stderr, "gen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, kind string, n int, seed int64, side, maxLen float64, clusters int, length, gap float64, powerFn string, alpha float64) error {
+func run(w io.Writer, r io.Reader, kind string, n int, seed int64, side, maxLen float64, clusters int, length, gap float64, powerFn string, alpha, eps float64) error {
 	rng := rand.New(rand.NewSource(seed))
 	var (
 		in  *problem.Instance
@@ -59,6 +65,16 @@ func run(w io.Writer, kind string, n int, seed int64, side, maxLen float64, clus
 		in, err = instance.NestedExponential(n, 2)
 	case "chain":
 		in, err = instance.LineChain(n, length, gap)
+	case "perturb":
+		var data []byte
+		if data, err = io.ReadAll(r); err != nil {
+			return err
+		}
+		var base *problem.Instance
+		if base, err = oblivious.UnmarshalInstance(data); err != nil {
+			return fmt.Errorf("reading base instance from stdin: %w", err)
+		}
+		in, err = instance.Perturb(rng, base, eps)
 	case "adversarial":
 		var a power.Assignment
 		switch powerFn {

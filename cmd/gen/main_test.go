@@ -1,13 +1,22 @@
 package main
 
 import (
+	"bytes"
 	"io"
+	"strings"
 	"testing"
+
+	oblivious "repro"
 )
+
+// gen runs the CLI with no stdin and the default perturbation.
+func gen(w io.Writer, kind string, n int, seed int64, side, maxLen float64, clusters int, length, gap float64, powerFn string, alpha float64) error {
+	return run(w, strings.NewReader(""), kind, n, seed, side, maxLen, clusters, length, gap, powerFn, alpha, 0.5)
+}
 
 func TestRunKinds(t *testing.T) {
 	for _, kind := range []string{"uniform", "clustered", "nested", "chain"} {
-		if err := run(io.Discard, kind, 8, 1, 300, 8, 3, 1, 4, "linear", 3); err != nil {
+		if err := gen(io.Discard, kind, 8, 1, 300, 8, 3, 1, 4, "linear", 3); err != nil {
 			t.Errorf("kind %s: %v", kind, err)
 		}
 	}
@@ -15,20 +24,71 @@ func TestRunKinds(t *testing.T) {
 
 func TestRunAdversarial(t *testing.T) {
 	for _, pf := range []string{"linear", "sqrt", "quadratic"} {
-		if err := run(io.Discard, "adversarial", 4, 1, 300, 8, 3, 1, 4, pf, 3); err != nil {
+		if err := gen(io.Discard, "adversarial", 4, 1, 300, 8, 3, 1, 4, pf, 3); err != nil {
 			t.Errorf("power %s: %v", pf, err)
 		}
 	}
 }
 
+// TestRunPerturb pipes a generated base instance back through
+// -kind perturb and checks the output parses to an instance of the same
+// shape with moved coordinates.
+func TestRunPerturb(t *testing.T) {
+	var base bytes.Buffer
+	if err := gen(&base, "uniform", 8, 1, 300, 8, 3, 1, 4, "linear", 3); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run(&out, bytes.NewReader(base.Bytes()), "perturb", 8, 2, 300, 8, 3, 1, 4, "linear", 3, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := oblivious.UnmarshalInstance(base.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pert, err := oblivious.UnmarshalInstance(out.Bytes())
+	if err != nil {
+		t.Fatalf("perturb output does not parse: %v", err)
+	}
+	if pert.N() != orig.N() {
+		t.Fatalf("perturbed instance has %d requests, want %d", pert.N(), orig.N())
+	}
+	var moved bool
+	for i := 0; i < orig.N(); i++ {
+		if pert.Length(i) != orig.Length(i) {
+			moved = true
+		}
+		// eps=0.25 jitter moves each endpoint < 0.51, so lengths change by
+		// at most ~1.02 by the triangle inequality.
+		if d := pert.Length(i) - orig.Length(i); d > 1.1 || d < -1.1 {
+			t.Fatalf("request %d length moved by %g, beyond the eps bound", i, d)
+		}
+	}
+	if !moved {
+		t.Error("perturbation left every request length unchanged")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
-	if err := run(io.Discard, "mystery", 8, 1, 300, 8, 3, 1, 4, "linear", 3); err == nil {
+	if err := gen(io.Discard, "mystery", 8, 1, 300, 8, 3, 1, 4, "linear", 3); err == nil {
 		t.Error("unknown kind should fail")
 	}
-	if err := run(io.Discard, "adversarial", 4, 1, 300, 8, 3, 1, 4, "cubic", 3); err == nil {
+	if err := gen(io.Discard, "adversarial", 4, 1, 300, 8, 3, 1, 4, "cubic", 3); err == nil {
 		t.Error("unknown adversarial power should fail")
 	}
-	if err := run(io.Discard, "uniform", 0, 1, 300, 8, 3, 1, 4, "linear", 3); err == nil {
+	if err := gen(io.Discard, "uniform", 0, 1, 300, 8, 3, 1, 4, "linear", 3); err == nil {
 		t.Error("n=0 should fail")
+	}
+	if err := gen(io.Discard, "perturb", 8, 1, 300, 8, 3, 1, 4, "linear", 3); err == nil {
+		t.Error("perturb with empty stdin should fail")
+	}
+	// A non-Euclidean base (nested is a line instance) must be rejected by
+	// Perturb with a clear error.
+	var line bytes.Buffer
+	if err := gen(&line, "nested", 8, 1, 300, 8, 3, 1, 4, "linear", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(io.Discard, bytes.NewReader(line.Bytes()), "perturb", 8, 1, 300, 8, 3, 1, 4, "linear", 3, 0.5); err == nil {
+		t.Error("perturbing a non-Euclidean instance should fail")
 	}
 }

@@ -6,8 +6,20 @@
 // Usage:
 //
 //	oblsched -in instance.json [-variant bidirectional] [-power sqrt]
-//	         [-algo greedy|lp|pipeline|distributed] [-alpha 3] [-beta 1]
-//	         [-seed 1]
+//	         [-algo greedy|lp|online|pipeline|distributed] [-alpha 3]
+//	         [-beta 1] [-seed 1]
+//
+// The online solver takes two extra knobs:
+//
+//	oblsched -in instance.json -algo online -admission best-fit -repair eager
+//
+// and -trace switches from scheduling to churn simulation: the instance
+// is replayed as a stream of arrivals and departures through the online
+// engine, reporting peak/final slot counts, repair work, and per-event
+// latency instead of a schedule:
+//
+//	oblsched -in instance.json -trace poisson [-events 2000]
+//	         [-admission power-fit] [-repair threshold]
 //
 // Note: -power is enforced for every algorithm. Earlier versions
 // silently ignored it for lp and pipeline; those algorithms require the
@@ -19,34 +31,42 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	oblivious "repro"
+	"repro/internal/online"
+	"repro/internal/online/sim"
 )
 
 func main() {
 	var (
-		inPath  = flag.String("in", "", "path to the instance JSON (required)")
-		variant = flag.String("variant", "bidirectional", "directed or bidirectional")
-		powerFn = flag.String("power", "sqrt", "uniform, linear, sqrt, or exp:<tau> (lp/pipeline require sqrt)")
-		algo    = flag.String("algo", "greedy", "solver name: "+strings.Join(oblivious.Solvers(), ", "))
-		alpha   = flag.Float64("alpha", 3, "path-loss exponent α")
-		beta    = flag.Float64("beta", 1, "SINR gain β")
-		noise   = flag.Float64("noise", 0, "ambient noise ν")
-		seed    = flag.Int64("seed", 1, "seed for the randomized algorithms")
-		verbose = flag.Bool("v", false, "print the full color classes")
-		outPath = flag.String("out", "", "write the schedule as JSON to this path")
-		check   = flag.String("check", "", "instead of scheduling, validate this schedule JSON against the instance")
+		inPath    = flag.String("in", "", "path to the instance JSON (required)")
+		variant   = flag.String("variant", "bidirectional", "directed or bidirectional")
+		powerFn   = flag.String("power", "sqrt", "uniform, linear, sqrt, or exp:<tau> (lp/pipeline require sqrt)")
+		algo      = flag.String("algo", "greedy", "solver name: "+strings.Join(oblivious.Solvers(), ", "))
+		alpha     = flag.Float64("alpha", 3, "path-loss exponent α")
+		beta      = flag.Float64("beta", 1, "SINR gain β")
+		noise     = flag.Float64("noise", 0, "ambient noise ν")
+		seed      = flag.Int64("seed", 1, "seed for the randomized algorithms")
+		verbose   = flag.Bool("v", false, "print the full color classes")
+		outPath   = flag.String("out", "", "write the schedule as JSON to this path")
+		check     = flag.String("check", "", "instead of scheduling, validate this schedule JSON against the instance")
+		admission = flag.String("admission", "first-fit", "online admission policy: first-fit, best-fit, or power-fit")
+		repair    = flag.String("repair", "lazy", "online repair strategy: lazy, threshold, or eager")
+		trace     = flag.String("trace", "", "instead of scheduling, simulate churn: poisson, bursty, or replay")
+		events    = flag.Int("events", 0, "churn events for -trace poisson/bursty (default 10·n)")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *inPath, *variant, *powerFn, *algo, *alpha, *beta, *noise, *seed, *verbose, *outPath, *check); err != nil {
+	if err := run(os.Stdout, *inPath, *variant, *powerFn, *algo, *alpha, *beta, *noise, *seed, *verbose, *outPath, *check, *admission, *repair, *trace, *events); err != nil {
 		fmt.Fprintln(os.Stderr, "oblsched:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, inPath, variant, powerFn, algo string, alpha, beta, noise float64, seed int64, verbose bool, outPath, check string) error {
+func run(w io.Writer, inPath, variant, powerFn, algo string, alpha, beta, noise float64, seed int64, verbose bool, outPath, check, admission, repair, trace string, events int) error {
 	if inPath == "" {
 		return fmt.Errorf("missing -in")
 	}
@@ -69,6 +89,15 @@ func run(w io.Writer, inPath, variant, powerFn, algo string, alpha, beta, noise 
 	}
 	m := oblivious.Model{Alpha: alpha, Beta: beta, Noise: noise}
 
+	// Only the online solver and -trace consult these, but a typo must not
+	// pass silently for the others (the same lesson -power already taught).
+	if _, err := online.ParseAdmission(admission); err != nil {
+		return err
+	}
+	if _, err := online.ParseRepair(repair); err != nil {
+		return err
+	}
+
 	if check != "" {
 		sdata, err := os.ReadFile(check)
 		if err != nil {
@@ -85,6 +114,10 @@ func run(w io.Writer, inPath, variant, powerFn, algo string, alpha, beta, noise 
 		return nil
 	}
 
+	if trace != "" {
+		return runTrace(w, m, in, v, powerFn, admission, repair, trace, events, seed)
+	}
+
 	a, err := oblivious.ParseAssignment(powerFn)
 	if err != nil {
 		return err
@@ -93,6 +126,8 @@ func run(w io.Writer, inPath, variant, powerFn, algo string, alpha, beta, noise 
 		oblivious.WithVariant(v),
 		oblivious.WithAssignment(a),
 		oblivious.WithSeed(seed),
+		oblivious.WithAdmission(admission),
+		oblivious.WithRepair(repair),
 		oblivious.WithValidation(true))
 	if err != nil {
 		return err
@@ -102,6 +137,10 @@ func run(w io.Writer, inPath, variant, powerFn, algo string, alpha, beta, noise 
 		in.N(), s.NumColors(), s.TotalEnergy())
 	if res.Stats.Slots > 0 {
 		fmt.Fprintf(w, "slots:    %d contention slots\n", res.Stats.Slots)
+	}
+	if st := res.Stats.Online; st != nil {
+		fmt.Fprintf(w, "churn:    peak %d slots, %d repairs (%d moves, %d re-packs)\n",
+			st.PeakSlots, st.Repairs, st.Moves, st.Repacks)
 	}
 	if outPath != "" {
 		data, err := oblivious.MarshalSchedule(s)
@@ -121,5 +160,75 @@ func run(w io.Writer, inPath, variant, powerFn, algo string, alpha, beta, noise 
 			fmt.Fprintln(w)
 		}
 	}
+	return nil
+}
+
+// runTrace replays the instance as a churn trace through the online
+// engine and prints the time-series summary.
+func runTrace(w io.Writer, m oblivious.Model, in *oblivious.Instance, v oblivious.Variant, powerFn, admission, repair, trace string, events int, seed int64) error {
+	a, err := oblivious.ParseAssignment(powerFn)
+	if err != nil {
+		return err
+	}
+	adm, err := online.ParseAdmission(admission)
+	if err != nil {
+		return err
+	}
+	rep, err := online.ParseRepair(repair)
+	if err != nil {
+		return err
+	}
+	powers := oblivious.PowersFor(m, in, a)
+	eng, err := online.New(m, in, v, powers, online.WithAdmission(adm), online.WithRepair(rep))
+	if err != nil {
+		return err
+	}
+	n := in.N()
+	if events <= 0 {
+		events = 10 * n
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var tr sim.Trace
+	switch trace {
+	case "poisson":
+		// Rate and holding time chosen for a steady state of ≈ n/2 active.
+		tr = sim.Poisson(rng, n, float64(n)/4, 2, events)
+	case "bursty":
+		size := n / 8
+		if size < 2 {
+			size = 2
+		}
+		tr = sim.Bursty(rng, n, 1, size, 2, events)
+	case "replay":
+		tr = sim.Replay(in)
+	default:
+		return fmt.Errorf("unknown -trace %q (want poisson, bursty, or replay)", trace)
+	}
+	res, err := sim.Run(eng, tr)
+	if err != nil {
+		return err
+	}
+	st := res.Stats
+	fmt.Fprintf(w, "trace:     %s (%d events: %d arrivals, %d departures)\n",
+		trace, res.Events, res.Arrivals, res.Departures)
+	fmt.Fprintf(w, "policy:    admission %s, repair %s\n", adm, rep)
+	fmt.Fprintf(w, "peak:      %d slots\n", res.PeakSlots)
+	fmt.Fprintf(w, "final:     %d slots, %d active requests\n", eng.NumSlots(), eng.Len())
+	fmt.Fprintf(w, "repairs:   %d (%d moves, %d re-packs)\n", st.Repairs, st.Moves, st.Repacks)
+	fmt.Fprintf(w, "cost:      mean %v/event, max %v (%d tracker row ops)\n",
+		time.Duration(int64(res.MeanCostNs())), time.Duration(res.MaxCostNs()), st.RowOps)
+	// Re-check every slot against the uncached oracle, not just the
+	// engine's own trackers.
+	feasible := eng.Feasible()
+	for s := 0; feasible && s < eng.NumSlots(); s++ {
+		if members := eng.Slot(s); len(members) > 0 && !m.SetFeasible(in, v, powers, members) {
+			feasible = false
+		}
+	}
+	if !feasible {
+		fmt.Fprintf(w, "feasible:  NO\n")
+		return fmt.Errorf("infeasible slot after %d events", res.Events)
+	}
+	fmt.Fprintf(w, "feasible:  yes (oracle-checked)\n")
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	oblivious "repro"
@@ -29,11 +30,16 @@ func writeInstance(t *testing.T) string {
 	return path
 }
 
+// sched runs the CLI with scheduling defaults for the trailing flags.
+func sched(w io.Writer, inPath, variant, powerFn, algo string, alpha, beta, noise float64, seed int64, verbose bool, outPath, check string) error {
+	return run(w, inPath, variant, powerFn, algo, alpha, beta, noise, seed, verbose, outPath, check, "first-fit", "lazy", "", 0)
+}
+
 func TestRunGreedy(t *testing.T) {
 	path := writeInstance(t)
 	// Every registered solver is reachable through -algo.
 	for _, algo := range oblivious.Solvers() {
-		if err := run(io.Discard, path, "bidirectional", "sqrt", algo, 3, 1, 0, 1, false, "", ""); err != nil {
+		if err := sched(io.Discard, path, "bidirectional", "sqrt", algo, 3, 1, 0, 1, false, "", ""); err != nil {
 			t.Errorf("algo %s: %v", algo, err)
 		}
 	}
@@ -41,7 +47,7 @@ func TestRunGreedy(t *testing.T) {
 
 func TestRunDirectedGreedy(t *testing.T) {
 	path := writeInstance(t)
-	if err := run(io.Discard, path, "directed", "linear", "greedy", 3, 1, 0, 1, true, "", ""); err != nil {
+	if err := sched(io.Discard, path, "directed", "linear", "greedy", 3, 1, 0, 1, true, "", ""); err != nil {
 		t.Error(err)
 	}
 }
@@ -49,11 +55,39 @@ func TestRunDirectedGreedy(t *testing.T) {
 func TestRunWriteAndCheck(t *testing.T) {
 	path := writeInstance(t)
 	out := filepath.Join(t.TempDir(), "sched.json")
-	if err := run(io.Discard, path, "bidirectional", "sqrt", "greedy", 3, 1, 0, 1, false, out, ""); err != nil {
+	if err := sched(io.Discard, path, "bidirectional", "sqrt", "greedy", 3, 1, 0, 1, false, out, ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(io.Discard, path, "bidirectional", "sqrt", "greedy", 3, 1, 0, 1, false, "", out); err != nil {
+	if err := sched(io.Discard, path, "bidirectional", "sqrt", "greedy", 3, 1, 0, 1, false, "", out); err != nil {
 		t.Errorf("check of a written schedule failed: %v", err)
+	}
+}
+
+func TestRunOnlinePolicies(t *testing.T) {
+	path := writeInstance(t)
+	for _, adm := range []string{"first-fit", "best-fit", "power-fit"} {
+		for _, rep := range []string{"lazy", "threshold", "eager"} {
+			if err := run(io.Discard, path, "bidirectional", "sqrt", "online", 3, 1, 0, 1, false, "", "", adm, rep, "", 0); err != nil {
+				t.Errorf("online %s/%s: %v", adm, rep, err)
+			}
+		}
+	}
+}
+
+func TestRunTrace(t *testing.T) {
+	path := writeInstance(t)
+	for _, trace := range []string{"poisson", "bursty", "replay"} {
+		var sb strings.Builder
+		if err := run(&sb, path, "bidirectional", "sqrt", "greedy", 3, 1, 0, 1, false, "", "", "best-fit", "eager", trace, 40); err != nil {
+			t.Errorf("trace %s: %v", trace, err)
+			continue
+		}
+		out := sb.String()
+		for _, want := range []string{"trace:", "peak:", "repairs:", "feasible:  yes"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("trace %s output missing %q:\n%s", trace, want, out)
+			}
+		}
 	}
 }
 
@@ -63,13 +97,19 @@ func TestRunErrors(t *testing.T) {
 		name string
 		err  error
 	}{
-		{name: "missing input", err: run(io.Discard, "", "bidirectional", "sqrt", "greedy", 3, 1, 0, 1, false, "", "")},
-		{name: "bad variant", err: run(io.Discard, path, "sideways", "sqrt", "greedy", 3, 1, 0, 1, false, "", "")},
-		{name: "bad algo", err: run(io.Discard, path, "bidirectional", "sqrt", "annealing", 3, 1, 0, 1, false, "", "")},
-		{name: "bad power", err: run(io.Discard, path, "bidirectional", "cubic", "greedy", 3, 1, 0, 1, false, "", "")},
-		{name: "lp directed", err: run(io.Discard, path, "directed", "sqrt", "lp", 3, 1, 0, 1, false, "", "")},
-		{name: "missing file", err: run(io.Discard, filepath.Join(t.TempDir(), "no.json"), "bidirectional", "sqrt", "greedy", 3, 1, 0, 1, false, "", "")},
-		{name: "bad check file", err: run(io.Discard, path, "bidirectional", "sqrt", "greedy", 3, 1, 0, 1, false, "", path)},
+		{name: "missing input", err: sched(io.Discard, "", "bidirectional", "sqrt", "greedy", 3, 1, 0, 1, false, "", "")},
+		{name: "bad variant", err: sched(io.Discard, path, "sideways", "sqrt", "greedy", 3, 1, 0, 1, false, "", "")},
+		{name: "bad algo", err: sched(io.Discard, path, "bidirectional", "sqrt", "annealing", 3, 1, 0, 1, false, "", "")},
+		{name: "bad power", err: sched(io.Discard, path, "bidirectional", "cubic", "greedy", 3, 1, 0, 1, false, "", "")},
+		{name: "lp directed", err: sched(io.Discard, path, "directed", "sqrt", "lp", 3, 1, 0, 1, false, "", "")},
+		{name: "missing file", err: sched(io.Discard, filepath.Join(t.TempDir(), "no.json"), "bidirectional", "sqrt", "greedy", 3, 1, 0, 1, false, "", "")},
+		{name: "bad check file", err: sched(io.Discard, path, "bidirectional", "sqrt", "greedy", 3, 1, 0, 1, false, "", path)},
+		{name: "bad admission", err: run(io.Discard, path, "bidirectional", "sqrt", "online", 3, 1, 0, 1, false, "", "", "worst-fit", "lazy", "", 0)},
+		{name: "bad repair", err: run(io.Discard, path, "bidirectional", "sqrt", "online", 3, 1, 0, 1, false, "", "", "first-fit", "psychic", "", 0)},
+		{name: "bad admission non-online", err: run(io.Discard, path, "bidirectional", "sqrt", "greedy", 3, 1, 0, 1, false, "", "", "worst-fit", "lazy", "", 0)},
+		{name: "bad repair non-online", err: run(io.Discard, path, "bidirectional", "sqrt", "greedy", 3, 1, 0, 1, false, "", "", "first-fit", "psychic", "", 0)},
+		{name: "bad trace", err: run(io.Discard, path, "bidirectional", "sqrt", "greedy", 3, 1, 0, 1, false, "", "", "first-fit", "lazy", "brownian", 0)},
+		{name: "trace bad admission", err: run(io.Discard, path, "bidirectional", "sqrt", "greedy", 3, 1, 0, 1, false, "", "", "worst-fit", "lazy", "poisson", 10)},
 	}
 	for _, tc := range cases {
 		if tc.err == nil {
@@ -82,7 +122,7 @@ func TestRunErrors(t *testing.T) {
 // ParseAssignment tests; here we only check the CLI surfaces its errors.
 func TestRunBadPowerForLP(t *testing.T) {
 	path := writeInstance(t)
-	if err := run(io.Discard, path, "bidirectional", "uniform", "lp", 3, 1, 0, 1, false, "", ""); err == nil {
+	if err := sched(io.Discard, path, "bidirectional", "uniform", "lp", 3, 1, 0, 1, false, "", ""); err == nil {
 		t.Error("lp with a non-sqrt -power should fail")
 	}
 }

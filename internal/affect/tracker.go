@@ -79,6 +79,18 @@ func (t *Tracker) Members() []int {
 // At returns the k-th member in insertion order, without allocating.
 func (t *Tracker) At(k int) int { return t.members[k] }
 
+// Reset empties the tracker in O(|set|) without dropping the cache or the
+// backing arrays, so a tracker can be recycled for a fresh set (the online
+// engine re-packs slots this way instead of reallocating three O(n)
+// vectors per re-pack).
+func (t *Tracker) Reset() {
+	for _, i := range t.members {
+		t.pos[i] = -1
+		t.acc1[i], t.acc2[i] = 0, 0
+	}
+	t.members = t.members[:0]
+}
+
 // Add inserts request i, updating every member's accumulators with i's
 // contribution and computing i's own accumulated interference — O(|set|)
 // row operations. It panics if i is already a member.

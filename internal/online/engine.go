@@ -1,0 +1,474 @@
+package online
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/affect"
+	"repro/internal/problem"
+	"repro/internal/sinr"
+)
+
+// Engine maintains a feasible multi-slot schedule for a fixed instance
+// under a stream of Arrive/Depart events, without ever recomputing from
+// scratch. Each slot is an affect.Tracker over the instance's precomputed
+// affectance matrices, so an arrival costs one O(|slot|) feasibility probe
+// per examined slot and a departure one O(|slot|) accumulator update —
+// versus the O(n²·colors) of re-running a batch solver per event.
+//
+// Every mutation preserves the invariant that each slot passes its
+// tracker's SetFeasible: admission only places a request where CanAdd
+// holds, and repair migrations are departures followed by admissions.
+//
+// An Engine is not safe for concurrent use.
+type Engine struct {
+	m      sinr.Model
+	v      sinr.Variant
+	in     *problem.Instance
+	powers []float64
+	cache  sinr.Cache
+	lens   []float64 // request lengths, for the power-fit order
+
+	slots  []*slot
+	free   []*affect.Tracker // recycled trackers (Reset, not reallocated)
+	slotOf []int             // slotOf[i] = slot of request i, -1 if absent
+	active int
+
+	admission Admission
+	repair    Repair
+	threshold float64 // empty-slot fraction that triggers ThresholdRepair
+
+	stats Stats
+}
+
+// slot is one color class: its tracker plus the minimum member length,
+// which the power-fit admission uses to preserve the longest-first
+// discipline per slot (math.Inf(1) when empty).
+type slot struct {
+	tr     *affect.Tracker
+	minLen float64
+}
+
+// Stats counts the engine's lifetime work. RowOps is the cost proxy the
+// churn experiments report: every tracker probe or update adds the size of
+// the slot it touched (plus one), so it measures exactly the row
+// operations an equivalent batch re-solve would redo in full.
+type Stats struct {
+	// Arrivals and Departures count the accepted events.
+	Arrivals, Departures int
+	// PeakSlots is the largest slot count ever reached.
+	PeakSlots int
+	// Moves counts requests migrated between slots by repair.
+	Moves int
+	// Repacks counts slots dissolved by migrating their members away.
+	Repacks int
+	// Repairs counts repair invocations that changed the schedule.
+	Repairs int
+	// RowOps is the total tracker row operations (see type comment).
+	RowOps int64
+}
+
+// Option configures an Engine at construction time.
+type Option func(*Engine)
+
+// WithAdmission selects the admission policy (default FirstFit).
+func WithAdmission(a Admission) Option { return func(e *Engine) { e.admission = a } }
+
+// WithRepair selects the repair strategy (default LazyRepair).
+func WithRepair(r Repair) Option { return func(e *Engine) { e.repair = r } }
+
+// WithThreshold sets the empty-slot fraction at which ThresholdRepair
+// compacts (default 0.25). Values outside (0, 1] are rejected by New.
+func WithThreshold(frac float64) Option { return func(e *Engine) { e.threshold = frac } }
+
+// ErrUnschedulable is wrapped by Arrive when a request cannot hold its
+// SINR constraint even alone in an empty slot (positive noise with
+// insufficient power).
+var ErrUnschedulable = errors.New("online: request infeasible even in an empty slot")
+
+// New builds an engine for the given model, instance, variant and powers.
+// If the model carries an affectance cache covering (instance, powers) for
+// the variant it is reused — SolveAll batch stores thread through here —
+// otherwise the matrices are built once, which is the only super-linear
+// cost of the engine's lifetime.
+func New(m sinr.Model, in *problem.Instance, v sinr.Variant, powers []float64, opts ...Option) (*Engine, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if in == nil {
+		return nil, errors.New("online: nil instance")
+	}
+	n := in.N()
+	if len(powers) != n {
+		return nil, fmt.Errorf("online: %d powers for %d requests", len(powers), n)
+	}
+	if v != sinr.Directed && v != sinr.Bidirectional {
+		return nil, fmt.Errorf("online: unknown variant %d", int(v))
+	}
+	e := &Engine{
+		m:         m,
+		v:         v,
+		in:        in,
+		powers:    append([]float64(nil), powers...),
+		lens:      in.Lengths(),
+		slotOf:    make([]int, n),
+		threshold: 0.25,
+	}
+	for i := range e.slotOf {
+		e.slotOf[i] = -1
+	}
+	for _, opt := range opts {
+		if opt != nil {
+			opt(e)
+		}
+	}
+	switch e.admission {
+	case FirstFit, BestFit, PowerFit:
+	default:
+		return nil, fmt.Errorf("online: unknown admission policy %d", int(e.admission))
+	}
+	switch e.repair {
+	case LazyRepair, ThresholdRepair, EagerRepair:
+	default:
+		return nil, fmt.Errorf("online: unknown repair strategy %d", int(e.repair))
+	}
+	if !(e.threshold > 0 && e.threshold <= 1) {
+		return nil, fmt.Errorf("online: compaction threshold must be in (0,1], got %g", e.threshold)
+	}
+	e.cache = m.CacheFor(in, e.powers)
+	if e.cache == nil || !cacheHasVariant(e.cache, v) {
+		e.cache = affect.New(m, v, in, e.powers)
+	}
+	return e, nil
+}
+
+// cacheHasVariant reports whether the cache carries the matrices the
+// tracker needs for the variant (a covering cache of the other variant
+// must not be reused).
+func cacheHasVariant(c sinr.Cache, v sinr.Variant) bool {
+	if v == sinr.Directed {
+		return c.DirectedInto(0) != nil
+	}
+	return c.IntoU(0) != nil
+}
+
+// --- accessors ---
+
+// Len returns the number of currently active requests.
+func (e *Engine) Len() int { return e.active }
+
+// NumSlots returns the current slot count, the online schedule length.
+// Under LazyRepair interior slots may momentarily be empty; they still
+// count, because the slot indices are live colors.
+func (e *Engine) NumSlots() int { return len(e.slots) }
+
+// SlotOf returns the slot of request i, or -1 if it is not active.
+func (e *Engine) SlotOf(i int) int { return e.slotOf[i] }
+
+// Slot returns the members of slot s in insertion order (a copy).
+func (e *Engine) Slot(s int) []int { return e.slots[s].tr.Members() }
+
+// Stats returns a snapshot of the lifetime counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// Feasible re-checks every slot's full SINR constraint set through the
+// trackers in O(active) total. It holds after every event by construction;
+// the churn tests call it after each simulated event.
+func (e *Engine) Feasible() bool {
+	for _, sl := range e.slots {
+		if !sl.tr.SetFeasible() {
+			return false
+		}
+	}
+	return true
+}
+
+// Snapshot returns the current assignment as a Schedule: active requests
+// get their slot as color — renumbered densely, skipping any momentarily
+// empty interior slots, so a complete snapshot passes CheckSchedule —
+// inactive requests stay at color -1.
+func (e *Engine) Snapshot() *problem.Schedule {
+	s := problem.NewSchedule(e.in.N())
+	copy(s.Powers, e.powers)
+	color := 0
+	for _, sl := range e.slots {
+		if sl.tr.Len() == 0 {
+			continue
+		}
+		for k := 0; k < sl.tr.Len(); k++ {
+			s.Colors[sl.tr.At(k)] = color
+		}
+		color++
+	}
+	return s
+}
+
+// --- events ---
+
+// Arrive admits request i into a slot chosen by the admission policy,
+// opening a new slot when no existing one can take it, and returns the
+// slot index. It fails if i is out of range, already active, or infeasible
+// even alone (ErrUnschedulable).
+func (e *Engine) Arrive(i int) (int, error) {
+	if i < 0 || i >= e.in.N() {
+		return -1, fmt.Errorf("online: Arrive(%d): request out of range [0,%d)", i, e.in.N())
+	}
+	if e.slotOf[i] >= 0 {
+		return -1, fmt.Errorf("online: Arrive(%d): already active in slot %d", i, e.slotOf[i])
+	}
+	s := e.admit(i)
+	if s < 0 {
+		s = len(e.slots)
+		sl := &slot{tr: e.newTracker(), minLen: math.Inf(1)}
+		if !e.canAdd(sl, i) {
+			sl.tr.Reset()
+			e.free = append(e.free, sl.tr)
+			return -1, fmt.Errorf("%w: request %d", ErrUnschedulable, i)
+		}
+		e.slots = append(e.slots, sl)
+	}
+	e.place(i, s)
+	e.active++
+	e.stats.Arrivals++
+	if len(e.slots) > e.stats.PeakSlots {
+		e.stats.PeakSlots = len(e.slots)
+	}
+	return s, nil
+}
+
+// Depart removes request i from its slot and runs the repair strategy.
+func (e *Engine) Depart(i int) error {
+	if i < 0 || i >= e.in.N() {
+		return fmt.Errorf("online: Depart(%d): request out of range [0,%d)", i, e.in.N())
+	}
+	s := e.slotOf[i]
+	if s < 0 {
+		return fmt.Errorf("online: Depart(%d): not active", i)
+	}
+	e.unplace(i, s)
+	e.active--
+	e.stats.Departures++
+	e.runRepair()
+	return nil
+}
+
+// admit picks the slot for request i under the admission policy, or -1
+// when no existing slot can take it.
+func (e *Engine) admit(i int) int {
+	switch e.admission {
+	case FirstFit:
+		for s, sl := range e.slots {
+			if e.canAdd(sl, i) {
+				return s
+			}
+		}
+	case BestFit:
+		best, bestMargin := -1, math.Inf(1)
+		for s, sl := range e.slots {
+			// Margin first: a slot that is infeasible for the candidate or
+			// no tighter than the current best needs no member scan.
+			mg := e.addMargin(sl, i)
+			if mg < -sinr.Tol || mg >= bestMargin {
+				continue
+			}
+			if e.canAdd(sl, i) {
+				best, bestMargin = s, mg
+			}
+		}
+		return best
+	case PowerFit:
+		// First pass: only slots whose members are all at least as long as
+		// the arrival, so lengths within a slot stay non-increasing over
+		// time like the batch greedy's longest-first scan.
+		for s, sl := range e.slots {
+			if sl.minLen >= e.lens[i] && e.canAdd(sl, i) {
+				return s
+			}
+		}
+		for s, sl := range e.slots {
+			if sl.minLen < e.lens[i] && e.canAdd(sl, i) {
+				return s
+			}
+		}
+	}
+	return -1
+}
+
+// --- repair ---
+
+// runRepair applies the configured strategy after a departure. Any
+// change to the schedule — a trailing trim, an empty-slot deletion, or a
+// migration — counts as one repair, uniformly across strategies.
+func (e *Engine) runRepair() {
+	changed := e.trimTail()
+	switch e.repair {
+	case LazyRepair:
+		// Trailing trim only.
+	case ThresholdRepair:
+		if empty := e.emptySlots(); empty > 0 && float64(empty) >= e.threshold*float64(len(e.slots)) {
+			changed = e.compact() || changed
+		}
+	case EagerRepair:
+		changed = e.compact() || changed
+	}
+	if changed {
+		e.stats.Repairs++
+	}
+}
+
+// trimTail pops empty slots off the end of the schedule — always safe and
+// O(1) per trimmed slot, so every strategy does it.
+func (e *Engine) trimTail() bool {
+	trimmed := false
+	for len(e.slots) > 0 && e.slots[len(e.slots)-1].tr.Len() == 0 {
+		e.recycle(e.slots[len(e.slots)-1])
+		e.slots = e.slots[:len(e.slots)-1]
+		trimmed = true
+	}
+	return trimmed
+}
+
+func (e *Engine) emptySlots() int {
+	empty := 0
+	for _, sl := range e.slots {
+		if sl.tr.Len() == 0 {
+			empty++
+		}
+	}
+	return empty
+}
+
+// compact shrinks the schedule in two phases: delete every empty slot,
+// then repeatedly try to dissolve the smallest remaining slot by migrating
+// its members into others. Each migration is a Remove feasibility-checked
+// by CanAdd at the target, so the engine invariant survives even a partial
+// dissolve (the moved members simply stay moved). It reports whether the
+// schedule changed.
+func (e *Engine) compact() bool {
+	changed := false
+	w := 0
+	for _, sl := range e.slots {
+		if sl.tr.Len() == 0 {
+			e.recycle(sl)
+			changed = true
+			continue
+		}
+		e.slots[w] = sl
+		w++
+	}
+	if w != len(e.slots) {
+		e.slots = e.slots[:w]
+		e.renumber()
+	}
+	for len(e.slots) > 1 {
+		k, size := -1, math.MaxInt
+		for s, sl := range e.slots {
+			if l := sl.tr.Len(); l < size {
+				k, size = s, l
+			}
+		}
+		moved, dissolved := e.tryDissolve(k)
+		changed = changed || moved
+		if !dissolved {
+			break
+		}
+		e.stats.Repacks++
+	}
+	return changed
+}
+
+// tryDissolve migrates the members of slot k into other slots (first
+// feasible target). It reports whether anything moved and whether the slot
+// emptied out and was deleted.
+func (e *Engine) tryDissolve(k int) (moved, dissolved bool) {
+	members := e.slots[k].tr.Members()
+	for _, i := range members {
+		target := -1
+		for s, sl := range e.slots {
+			if s != k && e.canAdd(sl, i) {
+				target = s
+				break
+			}
+		}
+		if target < 0 {
+			continue
+		}
+		e.unplace(i, k)
+		e.place(i, target)
+		e.stats.Moves++
+		moved = true
+	}
+	if e.slots[k].tr.Len() > 0 {
+		return moved, false
+	}
+	e.recycle(e.slots[k])
+	e.slots = append(e.slots[:k], e.slots[k+1:]...)
+	e.renumber()
+	return moved, true
+}
+
+// renumber rebuilds slotOf after slot indices shifted — O(active).
+func (e *Engine) renumber() {
+	for s, sl := range e.slots {
+		for k := 0; k < sl.tr.Len(); k++ {
+			e.slotOf[sl.tr.At(k)] = s
+		}
+	}
+}
+
+// --- tracker plumbing (with RowOps accounting) ---
+
+func (e *Engine) newTracker() *affect.Tracker {
+	if n := len(e.free); n > 0 {
+		tr := e.free[n-1]
+		e.free = e.free[:n-1]
+		return tr
+	}
+	return affect.NewTracker(e.m, e.v, e.cache)
+}
+
+func (e *Engine) recycle(sl *slot) {
+	sl.tr.Reset()
+	e.free = append(e.free, sl.tr)
+}
+
+func (e *Engine) canAdd(sl *slot, i int) bool {
+	e.stats.RowOps += int64(sl.tr.Len()) + 1
+	return sl.tr.CanAdd(i)
+}
+
+func (e *Engine) addMargin(sl *slot, i int) float64 {
+	e.stats.RowOps += int64(sl.tr.Len()) + 1
+	return sl.tr.AddMargin(i)
+}
+
+// place inserts request i into slot s (which must have passed canAdd).
+func (e *Engine) place(i, s int) {
+	sl := e.slots[s]
+	e.stats.RowOps += int64(sl.tr.Len()) + 1
+	sl.tr.Add(i)
+	e.slotOf[i] = s
+	if e.lens[i] < sl.minLen {
+		sl.minLen = e.lens[i]
+	}
+}
+
+// unplace removes request i from slot s, maintaining the slot's minimum
+// member length for the power-fit scan.
+func (e *Engine) unplace(i, s int) {
+	sl := e.slots[s]
+	e.stats.RowOps += int64(sl.tr.Len()) + 1
+	sl.tr.Remove(i)
+	e.slotOf[i] = -1
+	if sl.tr.Len() == 0 {
+		sl.minLen = math.Inf(1)
+	} else if e.lens[i] == sl.minLen {
+		sl.minLen = math.Inf(1)
+		for k := 0; k < sl.tr.Len(); k++ {
+			if l := e.lens[sl.tr.At(k)]; l < sl.minLen {
+				sl.minLen = l
+			}
+		}
+	}
+}

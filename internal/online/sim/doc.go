@@ -1,0 +1,18 @@
+// Package sim generates request-churn traces and replays them against an
+// online.Engine, recording per-event latency and slot-count time series.
+//
+// A trace is a sequence of arrive/depart events over the requests of one
+// instance. Three generators cover the workload regimes of the churn
+// experiments: Poisson (memoryless arrivals with exponential holding
+// times, the M/M/∞ steady state), Bursty (batched arrivals at Poisson
+// burst epochs, the flash-crowd regime), and Replay (a deterministic
+// adversarial pattern that arrives requests shortest-first — the worst
+// order for greedy packing — and churns alternating halves to maximize
+// fragmentation).
+//
+// Run applies a trace event by event, timing each Engine call; the
+// Result's Slots and CostNs series are what the churn experiments and the
+// oblsched -trace mode report, and BenchmarkOnlineChurn uses the same
+// replay loop to compare incremental per-event cost against re-running
+// the batch greedy solver per event.
+package sim

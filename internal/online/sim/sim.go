@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/online"
+	"repro/internal/problem"
+)
+
+// Event is one churn event: at time T, request Req arrives or departs.
+// Times are in abstract trace units; Run replays events back to back.
+type Event struct {
+	T      float64
+	Arrive bool
+	Req    int
+}
+
+// Trace is an event sequence. Generators guarantee well-formedness: a
+// request arrives only while absent and departs only while present.
+type Trace []Event
+
+// depHeap is a min-heap of scheduled departures.
+type depHeap []Event
+
+func (h depHeap) Len() int            { return len(h) }
+func (h depHeap) Less(i, j int) bool  { return h[i].T < h[j].T }
+func (h depHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *depHeap) Push(x interface{}) { *h = append(*h, x.(Event)) }
+func (h *depHeap) Pop() interface{} {
+	old := *h
+	x := old[len(old)-1]
+	*h = old[:len(old)-1]
+	return x
+}
+
+// pool tracks which requests are inactive and hands out uniform random
+// picks in O(1) by swap-removal.
+type pool struct {
+	ids []int
+	pos []int // pos[i] = index in ids, -1 if absent from the pool
+}
+
+func newPool(n int) *pool {
+	p := &pool{ids: make([]int, n), pos: make([]int, n)}
+	for i := range p.ids {
+		p.ids[i] = i
+		p.pos[i] = i
+	}
+	return p
+}
+
+func (p *pool) take(rng *rand.Rand) int {
+	k := rng.Intn(len(p.ids))
+	i := p.ids[k]
+	last := len(p.ids) - 1
+	p.ids[k] = p.ids[last]
+	p.pos[p.ids[k]] = k
+	p.ids = p.ids[:last]
+	p.pos[i] = -1
+	return i
+}
+
+func (p *pool) put(i int) {
+	p.pos[i] = len(p.ids)
+	p.ids = append(p.ids, i)
+}
+
+// Poisson generates a trace of the given length over n requests: arrivals
+// form a Poisson process of rate lambda (picking a uniform random inactive
+// request; arrivals finding all requests active are dropped), and every
+// active request departs after an exponential holding time of the given
+// mean. Steady-state load is therefore ≈ lambda·meanHold active requests,
+// capped at n.
+func Poisson(rng *rand.Rand, n int, lambda, meanHold float64, events int) Trace {
+	if n <= 0 || events <= 0 || !(lambda > 0) || !(meanHold > 0) {
+		return nil
+	}
+	tr := make(Trace, 0, events)
+	inactive := newPool(n)
+	var deps depHeap
+	t := 0.0
+	nextArr := rng.ExpFloat64() / lambda
+	for len(tr) < events {
+		if len(deps) > 0 && deps[0].T <= nextArr {
+			ev := heap.Pop(&deps).(Event)
+			t = ev.T
+			tr = append(tr, ev)
+			inactive.put(ev.Req)
+			continue
+		}
+		t = nextArr
+		nextArr = t + rng.ExpFloat64()/lambda
+		if len(inactive.ids) == 0 {
+			continue // dropped arrival: the system is full
+		}
+		i := inactive.take(rng)
+		tr = append(tr, Event{T: t, Arrive: true, Req: i})
+		heap.Push(&deps, Event{T: t + rng.ExpFloat64()*meanHold, Arrive: false, Req: i})
+	}
+	return tr
+}
+
+// Bursty generates a trace where arrivals come in bursts: at Poisson
+// epochs of rate burstRate, up to burstSize inactive requests arrive back
+// to back; each departs after an exponential holding time of the given
+// mean. The bursts stress admission (many placements against a cold
+// schedule) and the synchronized expiries stress repair.
+func Bursty(rng *rand.Rand, n int, burstRate float64, burstSize int, meanHold float64, events int) Trace {
+	if n <= 0 || events <= 0 || !(burstRate > 0) || burstSize <= 0 || !(meanHold > 0) {
+		return nil
+	}
+	tr := make(Trace, 0, events)
+	inactive := newPool(n)
+	var deps depHeap
+	t := 0.0
+	nextBurst := rng.ExpFloat64() / burstRate
+	for len(tr) < events {
+		if len(deps) > 0 && deps[0].T <= nextBurst {
+			ev := heap.Pop(&deps).(Event)
+			t = ev.T
+			tr = append(tr, ev)
+			inactive.put(ev.Req)
+			continue
+		}
+		t = nextBurst
+		nextBurst = t + rng.ExpFloat64()/burstRate
+		hold := rng.ExpFloat64() * meanHold
+		for b := 0; b < burstSize && len(inactive.ids) > 0 && len(tr) < events; b++ {
+			i := inactive.take(rng)
+			tr = append(tr, Event{T: t, Arrive: true, Req: i})
+			heap.Push(&deps, Event{T: t + hold + rng.ExpFloat64()*meanHold/4, Arrive: false, Req: i})
+		}
+	}
+	return tr
+}
+
+// Replay builds the deterministic adversarial pattern for the instance:
+// all requests arrive in increasing length order (the reverse of the
+// batch greedy's longest-first scan, maximizing misplacements), then the
+// even-positioned half departs and re-arrives, then the odd half — ending
+// with every request active. The re-add cycles fragment the slots and
+// force the repair strategies to earn their keep.
+func Replay(in *problem.Instance) Trace {
+	n := in.N()
+	asc := make([]int, n)
+	for i := range asc {
+		asc[i] = i
+	}
+	sort.SliceStable(asc, func(a, b int) bool { return in.Length(asc[a]) < in.Length(asc[b]) })
+	tr := make(Trace, 0, 3*n)
+	t := 0.0
+	emit := func(arrive bool, req int) {
+		tr = append(tr, Event{T: t, Arrive: arrive, Req: req})
+		t++
+	}
+	for _, i := range asc {
+		emit(true, i)
+	}
+	for phase := 0; phase < 2; phase++ {
+		var half []int
+		for k := phase; k < n; k += 2 {
+			half = append(half, asc[k])
+		}
+		for _, i := range half {
+			emit(false, i)
+		}
+		for _, i := range half {
+			emit(true, i)
+		}
+	}
+	return tr
+}
+
+// Result is the outcome of replaying a trace: per-event time series plus
+// the engine's lifetime counters.
+type Result struct {
+	// Events is the number of events applied.
+	Events int
+	// Arrivals and Departures split the event count.
+	Arrivals, Departures int
+	// Slots[k] is the slot count right after event k.
+	Slots []int
+	// CostNs[k] is the wall-clock latency of event k in nanoseconds.
+	CostNs []int64
+	// PeakSlots is the maximum of Slots.
+	PeakSlots int
+	// Stats are the engine's counters after the replay.
+	Stats online.Stats
+}
+
+// MeanCostNs returns the mean per-event latency.
+func (r *Result) MeanCostNs() float64 {
+	if len(r.CostNs) == 0 {
+		return 0
+	}
+	var sum int64
+	for _, c := range r.CostNs {
+		sum += c
+	}
+	return float64(sum) / float64(len(r.CostNs))
+}
+
+// MaxCostNs returns the worst per-event latency.
+func (r *Result) MaxCostNs() int64 {
+	var max int64
+	for _, c := range r.CostNs {
+		if c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Run replays the trace against the engine, timing each event. It stops at
+// the first engine error (a malformed trace); the partial series up to the
+// failing event are returned alongside the error.
+func Run(e *online.Engine, trace Trace) (*Result, error) {
+	if e == nil {
+		return nil, errors.New("sim: nil engine")
+	}
+	r := &Result{
+		Slots:  make([]int, 0, len(trace)),
+		CostNs: make([]int64, 0, len(trace)),
+	}
+	for k, ev := range trace {
+		start := time.Now()
+		var err error
+		if ev.Arrive {
+			_, err = e.Arrive(ev.Req)
+		} else {
+			err = e.Depart(ev.Req)
+		}
+		cost := time.Since(start).Nanoseconds()
+		if err != nil {
+			return r, fmt.Errorf("sim: event %d: %w", k, err)
+		}
+		if ev.Arrive {
+			r.Arrivals++
+		} else {
+			r.Departures++
+		}
+		r.Events++
+		r.CostNs = append(r.CostNs, cost)
+		s := e.NumSlots()
+		r.Slots = append(r.Slots, s)
+		if s > r.PeakSlots {
+			r.PeakSlots = s
+		}
+	}
+	r.Stats = e.Stats()
+	return r, nil
+}

@@ -1,0 +1,161 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/instance"
+	"repro/internal/online"
+	"repro/internal/power"
+	"repro/internal/problem"
+	"repro/internal/sinr"
+)
+
+func testInstance(t testing.TB, seed int64, n int) *problem.Instance {
+	t.Helper()
+	in, err := instance.UniformRandom(rand.New(rand.NewSource(seed)), n, 100, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// wellFormed verifies the trace contract every generator must honor: a
+// request arrives only while absent, departs only while present, and
+// event times never decrease.
+func wellFormed(t *testing.T, name string, trace Trace, n int) {
+	t.Helper()
+	active := make([]bool, n)
+	last := 0.0
+	for k, ev := range trace {
+		if ev.Req < 0 || ev.Req >= n {
+			t.Fatalf("%s event %d: request %d out of range", name, k, ev.Req)
+		}
+		if ev.T < last {
+			t.Fatalf("%s event %d: time went backwards (%g after %g)", name, k, ev.T, last)
+		}
+		last = ev.T
+		if ev.Arrive == active[ev.Req] {
+			t.Fatalf("%s event %d: request %d arrive=%t while active=%t", name, k, ev.Req, ev.Arrive, active[ev.Req])
+		}
+		active[ev.Req] = ev.Arrive
+	}
+}
+
+func TestGeneratorsWellFormed(t *testing.T) {
+	n := 50
+	rng := rand.New(rand.NewSource(1))
+	poisson := Poisson(rng, n, 10, 2, 400)
+	if len(poisson) != 400 {
+		t.Fatalf("Poisson produced %d events, want 400", len(poisson))
+	}
+	wellFormed(t, "poisson", poisson, n)
+
+	bursty := Bursty(rand.New(rand.NewSource(2)), n, 1, 8, 3, 400)
+	if len(bursty) != 400 {
+		t.Fatalf("Bursty produced %d events, want 400", len(bursty))
+	}
+	wellFormed(t, "bursty", bursty, n)
+
+	in := testInstance(t, 3, n)
+	replay := Replay(in)
+	if len(replay) != 3*n {
+		t.Fatalf("Replay produced %d events, want %d", len(replay), 3*n)
+	}
+	wellFormed(t, "replay", replay, n)
+	// Replay must end with every request active.
+	active := make([]bool, n)
+	for _, ev := range replay {
+		active[ev.Req] = ev.Arrive
+	}
+	for i, a := range active {
+		if !a {
+			t.Fatalf("Replay left request %d inactive", i)
+		}
+	}
+}
+
+func TestGeneratorsRejectBadArgs(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if tr := Poisson(rng, 0, 1, 1, 10); tr != nil {
+		t.Error("Poisson with n=0 must return nil")
+	}
+	if tr := Poisson(rng, 5, -1, 1, 10); tr != nil {
+		t.Error("Poisson with negative rate must return nil")
+	}
+	if tr := Bursty(rng, 5, 1, 0, 1, 10); tr != nil {
+		t.Error("Bursty with zero burst size must return nil")
+	}
+}
+
+// TestRunSeries replays every generator against every admission × repair
+// combination; the engine must stay feasible after the whole trace and
+// the time series must line up with the event count.
+func TestRunSeries(t *testing.T) {
+	in := testInstance(t, 5, 40)
+	m := sinr.Default()
+	powers := power.Powers(m, in, power.Sqrt())
+	traces := map[string]Trace{
+		"poisson": Poisson(rand.New(rand.NewSource(7)), in.N(), 12, 2, 300),
+		"bursty":  Bursty(rand.New(rand.NewSource(8)), in.N(), 1.5, 6, 2, 300),
+		"replay":  Replay(in),
+	}
+	for name, trace := range traces {
+		for _, adm := range online.Admissions() {
+			for _, rep := range online.Repairs() {
+				e, err := online.New(m, in, sinr.Bidirectional, powers,
+					online.WithAdmission(adm), online.WithRepair(rep))
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := Run(e, trace)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: %v", name, adm, rep, err)
+				}
+				if res.Events != len(trace) || len(res.Slots) != len(trace) || len(res.CostNs) != len(trace) {
+					t.Fatalf("%s/%s/%s: series lengths %d/%d/%d for %d events",
+						name, adm, rep, res.Events, len(res.Slots), len(res.CostNs), len(trace))
+				}
+				if res.Arrivals+res.Departures != res.Events {
+					t.Fatalf("%s/%s/%s: %d arrivals + %d departures != %d events",
+						name, adm, rep, res.Arrivals, res.Departures, res.Events)
+				}
+				if res.PeakSlots <= 0 || res.PeakSlots < e.NumSlots() {
+					t.Fatalf("%s/%s/%s: peak %d below final %d", name, adm, rep, res.PeakSlots, e.NumSlots())
+				}
+				if res.MeanCostNs() < 0 || res.MaxCostNs() < 0 {
+					t.Fatalf("%s/%s/%s: negative costs", name, adm, rep)
+				}
+				if !e.Feasible() {
+					t.Fatalf("%s/%s/%s: infeasible after replay", name, adm, rep)
+				}
+				for s := 0; s < e.NumSlots(); s++ {
+					if members := e.Slot(s); len(members) > 0 && !m.SetFeasible(in, sinr.Bidirectional, powers, members) {
+						t.Fatalf("%s/%s/%s: slot %d infeasible per the oracle", name, adm, rep, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunMalformedTrace surfaces the engine error and the partial series.
+func TestRunMalformedTrace(t *testing.T) {
+	in := testInstance(t, 9, 10)
+	m := sinr.Default()
+	powers := power.Powers(m, in, power.Sqrt())
+	e, err := online.New(m, in, sinr.Bidirectional, powers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(e, Trace{{Arrive: true, Req: 1}, {Arrive: true, Req: 1}})
+	if err == nil {
+		t.Fatal("double arrive must surface the engine error")
+	}
+	if res == nil || res.Events != 1 {
+		t.Fatalf("partial series should hold 1 event, got %+v", res)
+	}
+	if _, err := Run(nil, Trace{}); err == nil {
+		t.Fatal("nil engine must fail")
+	}
+}

@@ -19,10 +19,14 @@
 //   - single-slot feasibility oracles under optimal (non-oblivious) power
 //     control, used as the baseline the paper compares against;
 //   - workload generators, including the adversarial Ω(n) family from the
-//     proof of Theorem 1.
+//     proof of Theorem 1;
+//   - an online scheduling engine (internal/online) that maintains a
+//     feasible schedule under request arrivals and departures, exposed as
+//     the "online" solver with WithAdmission / WithRepair options.
 //
-// Every algorithm is a Solver, registered by name (greedy, lp, pipeline,
-// distributed) and configured with functional options. Quick start:
+// Every algorithm is a Solver, registered by name (greedy, lp, online,
+// pipeline, distributed) and configured with functional options. Quick
+// start:
 //
 //	m := oblivious.DefaultModel()
 //	in, _ := oblivious.NewEuclideanInstance(points, reqs)
@@ -50,6 +54,7 @@ import (
 
 	"repro/internal/coloring"
 	"repro/internal/geom"
+	"repro/internal/online"
 	"repro/internal/power"
 	"repro/internal/powerctl"
 	"repro/internal/problem"
@@ -76,6 +81,8 @@ type (
 	LPStats = coloring.LPStats
 	// PipelineStats reports diagnostics of the Theorem 2 pipeline.
 	PipelineStats = treestar.PipelineStats
+	// OnlineStats reports the churn-engine counters of the online solver.
+	OnlineStats = online.Stats
 )
 
 // SINR constraint variants.

@@ -1,0 +1,130 @@
+package oblivious_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	oblivious "repro"
+	"repro/internal/instance"
+)
+
+func onlineTestInstance(t *testing.T, n int) *oblivious.Instance {
+	t.Helper()
+	in, err := instance.UniformRandom(rand.New(rand.NewSource(1)), n, 100, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestOnlineSolverRegistered(t *testing.T) {
+	found := false
+	for _, name := range oblivious.Solvers() {
+		if name == "online" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("online solver missing from registry: %v", oblivious.Solvers())
+	}
+}
+
+// TestOnlineSolverAllPolicies solves one instance through every admission
+// × repair combination; each run must produce a complete, valid schedule
+// (WithValidation re-checks through the uncached oracle) and fill the
+// online counters.
+func TestOnlineSolverAllPolicies(t *testing.T) {
+	m := oblivious.DefaultModel()
+	in := onlineTestInstance(t, 48)
+	for _, adm := range []string{"first-fit", "best-fit", "power-fit"} {
+		for _, rep := range []string{"lazy", "threshold", "eager"} {
+			res, err := oblivious.Lookup("online").Solve(context.Background(), m, in,
+				oblivious.WithAdmission(adm),
+				oblivious.WithRepair(rep),
+				oblivious.WithSeed(7),
+				oblivious.WithValidation(true))
+			if err != nil {
+				t.Fatalf("%s/%s: %v", adm, rep, err)
+			}
+			if !res.Schedule.Complete() {
+				t.Fatalf("%s/%s: incomplete schedule", adm, rep)
+			}
+			st := res.Stats.Online
+			if st == nil {
+				t.Fatalf("%s/%s: Stats.Online not filled", adm, rep)
+			}
+			// The replay arrives all n, then churns a third twice.
+			wantArrivals := in.N() + 2*(in.N()/3)
+			if st.Arrivals != wantArrivals || st.Departures != 2*(in.N()/3) {
+				t.Fatalf("%s/%s: %d arrivals / %d departures, want %d / %d",
+					adm, rep, st.Arrivals, st.Departures, wantArrivals, 2*(in.N()/3))
+			}
+			if st.PeakSlots < res.Stats.Colors {
+				t.Fatalf("%s/%s: peak %d below final colors %d", adm, rep, st.PeakSlots, res.Stats.Colors)
+			}
+			if st.RowOps == 0 {
+				t.Fatalf("%s/%s: zero row operations recorded", adm, rep)
+			}
+		}
+	}
+}
+
+// TestOnlineSolverDirected covers the directed variant under any
+// assignment — the online engine, like greedy, is variant- and
+// assignment-agnostic.
+func TestOnlineSolverDirected(t *testing.T) {
+	m := oblivious.DefaultModel()
+	in := onlineTestInstance(t, 32)
+	res, err := oblivious.Lookup("online").Solve(context.Background(), m, in,
+		oblivious.WithVariant(oblivious.Directed),
+		oblivious.WithAssignment(oblivious.Linear()),
+		oblivious.WithValidation(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Colors <= 0 {
+		t.Fatal("no colors")
+	}
+}
+
+func TestOnlineSolverReproducible(t *testing.T) {
+	m := oblivious.DefaultModel()
+	in := onlineTestInstance(t, 40)
+	var colors [2][]int
+	for k := range colors {
+		res, err := oblivious.Lookup("online").Solve(context.Background(), m, in, oblivious.WithSeed(3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		colors[k] = res.Schedule.Colors
+	}
+	for i := range colors[0] {
+		if colors[0][i] != colors[1][i] {
+			t.Fatalf("same seed, different schedules at request %d", i)
+		}
+	}
+}
+
+func TestOnlineSolverBadPolicies(t *testing.T) {
+	m := oblivious.DefaultModel()
+	in := onlineTestInstance(t, 8)
+	if _, err := oblivious.Lookup("online").Solve(context.Background(), m, in,
+		oblivious.WithAdmission("worst-fit")); err == nil {
+		t.Error("unknown admission policy must fail")
+	}
+	if _, err := oblivious.Lookup("online").Solve(context.Background(), m, in,
+		oblivious.WithRepair("optimistic")); err == nil {
+		t.Error("unknown repair strategy must fail")
+	}
+}
+
+func TestOnlineSolverCancellation(t *testing.T) {
+	m := oblivious.DefaultModel()
+	in := onlineTestInstance(t, 300)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := oblivious.Lookup("online").Solve(ctx, m, in); err == nil {
+		t.Error("canceled context must abort the replay")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"repro/internal/affect"
 	"repro/internal/coloring"
 	"repro/internal/distributed"
+	"repro/internal/online"
 	"repro/internal/power"
 	"repro/internal/treestar"
 )
@@ -57,6 +58,9 @@ type Stats struct {
 	Attempts int
 	// Failures counts failed attempts (distributed solver only).
 	Failures int
+	// Online carries the churn-engine counters — peak slots, repairs,
+	// re-packs, migrations, row-operation cost (online solver only).
+	Online *OnlineStats
 }
 
 // Result bundles everything a Solve call produces.
@@ -89,6 +93,12 @@ type Options struct {
 	// WithAffectanceCache(false) to run every interference query through
 	// the direct oracle computation.
 	Affectance bool
+	// Admission names the slot-admission policy of the online engine:
+	// "first-fit", "best-fit", or "power-fit" (online solver only).
+	Admission string
+	// Repair names the departure-repair strategy of the online engine:
+	// "lazy", "threshold", or "eager" (online solver only).
+	Repair string
 
 	// caches is the per-batch cache store SolveAll shares across its
 	// workers, so solving the same instance repeatedly (solver sweeps,
@@ -98,9 +108,13 @@ type Options struct {
 
 // DefaultOptions returns the settings a bare Solve call runs with:
 // bidirectional constraints, square root powers, seed 1, no
-// re-validation, GOMAXPROCS batch parallelism, affectance cache on.
+// re-validation, GOMAXPROCS batch parallelism, affectance cache on,
+// first-fit admission with lazy repair for the online engine.
 func DefaultOptions() Options {
-	return Options{Variant: Bidirectional, Assignment: Sqrt(), Seed: 1, Affectance: true}
+	return Options{
+		Variant: Bidirectional, Assignment: Sqrt(), Seed: 1, Affectance: true,
+		Admission: online.FirstFit.String(), Repair: online.LazyRepair.String(),
+	}
 }
 
 // Option mutates Options. Pass any number of them to Solve or SolveAll.
@@ -126,8 +140,21 @@ func WithParallelism(n int) Option { return func(o *Options) { o.Parallelism = n
 // SINR hot path (default on). The cache never changes results — cached and
 // uncached interference queries agree bitwise — so turning it off is only
 // useful for measuring its effect or bounding memory (the matrices take
-// O(n²) floats per instance).
+// O(n²) floats per instance). The online solver is the exception: its
+// per-slot trackers are built on the matrices, so it always constructs a
+// cache and this option only controls whether the cache is shared with a
+// SolveAll batch store.
 func WithAffectanceCache(on bool) Option { return func(o *Options) { o.Affectance = on } }
+
+// WithAdmission selects the online engine's slot-admission policy by name:
+// "first-fit" (default), "best-fit", or "power-fit". Only the online
+// solver consults it.
+func WithAdmission(name string) Option { return func(o *Options) { o.Admission = name } }
+
+// WithRepair selects the online engine's departure-repair strategy by
+// name: "lazy" (default), "threshold", or "eager". Only the online solver
+// consults it.
+func WithRepair(name string) Option { return func(o *Options) { o.Repair = name } }
 
 // withCacheStore hands the workers of one SolveAll batch a shared
 // per-instance cache store.
@@ -301,6 +328,7 @@ func Solvers() []string {
 func init() {
 	Register("greedy", NewSolver("greedy", solveGreedy))
 	Register("lp", NewSolver("lp", solveLP))
+	Register("online", NewSolver("online", solveOnline))
 	Register("pipeline", NewSolver("pipeline", solvePipeline))
 	Register("distributed", NewSolver("distributed", solveDistributed))
 }
@@ -315,6 +343,69 @@ func solveGreedy(_ context.Context, m Model, in *Instance, o Options) (*Result, 
 		return nil, err
 	}
 	return &Result{Schedule: s}, nil
+}
+
+// solveOnline replays the instance as a churn trace through the dynamic
+// engine (internal/online): every request arrives in a seeded random
+// order, then two churn rounds depart and re-admit a random third of
+// them — exercising the departure-repair strategy — so the run ends with
+// every request active and the engine's slot assignment is a complete
+// schedule. Admission and repair are selected with WithAdmission /
+// WithRepair; the engine counters land in Stats.Online. The affectance
+// matrices are the engine's core data structure, so unlike the batch
+// solvers it builds them even under WithAffectanceCache(false).
+func solveOnline(ctx context.Context, m Model, in *Instance, o Options) (*Result, error) {
+	adm, err := online.ParseAdmission(o.Admission)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := online.ParseRepair(o.Repair)
+	if err != nil {
+		return nil, err
+	}
+	powers := power.Powers(m, in, o.Assignment)
+	m = o.attachCache(m, in, o.Variant, powers)
+	eng, err := online.New(m, in, o.Variant, powers, online.WithAdmission(adm), online.WithRepair(rep))
+	if err != nil {
+		return nil, err
+	}
+	events := 0
+	tick := func() error {
+		if events++; events%64 == 0 {
+			return ctx.Err()
+		}
+		return nil
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	for _, i := range rng.Perm(in.N()) {
+		if _, err := eng.Arrive(i); err != nil {
+			return nil, err
+		}
+		if err := tick(); err != nil {
+			return nil, err
+		}
+	}
+	for round := 0; round < 2; round++ {
+		churn := rng.Perm(in.N())[:in.N()/3]
+		for _, i := range churn {
+			if err := eng.Depart(i); err != nil {
+				return nil, err
+			}
+			if err := tick(); err != nil {
+				return nil, err
+			}
+		}
+		for _, k := range rng.Perm(len(churn)) {
+			if _, err := eng.Arrive(churn[k]); err != nil {
+				return nil, err
+			}
+			if err := tick(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	st := eng.Stats()
+	return &Result{Schedule: eng.Snapshot(), Stats: Stats{Online: &st}}, nil
 }
 
 // requireSqrtBidirectional guards the Theorem 2/15 algorithms, which are
