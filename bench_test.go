@@ -9,18 +9,16 @@
 package oblivious_test
 
 import (
-	"encoding/json"
 	"fmt"
 	"math/rand"
 	"os"
 	"runtime"
 	"runtime/debug"
-	"sort"
-	"sync"
 	"testing"
 
 	oblivious "repro"
 	"repro/internal/affect"
+	"repro/internal/benchio"
 	"repro/internal/coloring"
 	"repro/internal/experiment"
 	"repro/internal/hst"
@@ -34,159 +32,65 @@ import (
 	"repro/internal/treestar"
 )
 
-// TestMain flushes the affectance benchmark records to BENCH_affect.json
-// and the churn records to BENCH_online.json after a -bench run (see
-// recordAffectBench / recordOnlineBench); plain test runs record nothing
-// and write nothing.
+// TestMain flushes the benchmark trajectories (BENCH_affect.json,
+// BENCH_online.json, BENCH_scale.json — see the recorders below and in
+// scale_test.go) after a -bench run; plain test runs record nothing and
+// write nothing. The emission machinery lives in internal/benchio.
 func TestMain(m *testing.M) {
 	code := m.Run()
-	if err := writeAffectBench("BENCH_affect.json"); err != nil {
-		fmt.Fprintln(os.Stderr, "bench: ", err)
-		if code == 0 {
-			code = 1
-		}
-	}
-	if err := writeOnlineBench("BENCH_online.json"); err != nil {
-		fmt.Fprintln(os.Stderr, "bench: ", err)
-		if code == 0 {
-			code = 1
+	for _, rec := range []*benchio.Recorder{affectRec, onlineRec, scaleRec} {
+		if err := rec.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "bench: ", err)
+			if code == 0 {
+				code = 1
+			}
 		}
 	}
 	os.Exit(code)
 }
 
-// affectBenchResult is one row of BENCH_affect.json: a cached-vs-uncached
+var (
+	affectRec = benchio.NewRecorder("BENCH_affect.json")
+	onlineRec = benchio.NewRecorder("BENCH_online.json")
+)
+
+// affectRow is one row of BENCH_affect.json: a cached-vs-uncached
 // measurement of an affectance hot path at one instance size.
-type affectBenchResult struct {
-	Benchmark string  `json:"benchmark"`
-	N         int     `json:"n"`
-	Cached    bool    `json:"cached"`
-	NsPerOp   float64 `json:"ns_per_op"`
+type affectRow struct {
+	Benchmark string `json:"benchmark"`
+	N         int    `json:"n"`
+	Cached    bool   `json:"cached"`
+	benchio.Metrics
 }
 
-var affectBench struct {
-	sync.Mutex
-	results map[affectBenchKey]affectBenchResult
-}
-
-type affectBenchKey struct {
-	benchmark string
-	n         int
-	cached    bool
-}
-
-// recordAffectBench captures the just-finished sub-benchmark's ns/op.
-// Call it after the timed loop, with the timer stopped. The framework
-// invokes each sub-benchmark more than once (calibration runs first);
-// keying by benchmark keeps only the final, longest measurement.
-func recordAffectBench(b *testing.B, name string, n int, cached bool) {
+// recordAffectBench captures the just-finished sub-benchmark. Call it
+// after the timed loop, with the timer stopped, passing the checkpoint
+// taken before the loop.
+func recordAffectBench(b *testing.B, cp benchio.Checkpoint, name string, n int, cached bool) {
 	b.Helper()
-	affectBench.Lock()
-	defer affectBench.Unlock()
-	if affectBench.results == nil {
-		affectBench.results = map[affectBenchKey]affectBenchResult{}
-	}
-	affectBench.results[affectBenchKey{name, n, cached}] = affectBenchResult{
-		Benchmark: name,
-		N:         n,
-		Cached:    cached,
-		NsPerOp:   float64(b.Elapsed().Nanoseconds()) / float64(b.N),
-	}
+	affectRec.Record(fmt.Sprintf("%s/%07d/cached=%t", name, n, cached),
+		affectRow{Benchmark: name, N: n, Cached: cached, Metrics: cp.End(b)})
 }
 
-// writeAffectBench emits the recorded measurements, sorted for stable
-// diffs, as the benchmark trajectory file BENCH_affect.json.
-func writeAffectBench(path string) error {
-	affectBench.Lock()
-	defer affectBench.Unlock()
-	if len(affectBench.results) == 0 {
-		return nil
-	}
-	rs := make([]affectBenchResult, 0, len(affectBench.results))
-	for _, r := range affectBench.results {
-		rs = append(rs, r)
-	}
-	sort.Slice(rs, func(i, j int) bool {
-		if rs[i].Benchmark != rs[j].Benchmark {
-			return rs[i].Benchmark < rs[j].Benchmark
-		}
-		if rs[i].N != rs[j].N {
-			return rs[i].N < rs[j].N
-		}
-		return !rs[i].Cached && rs[j].Cached
-	})
-	data, err := json.MarshalIndent(rs, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
-}
-
-// onlineBenchResult is one row of BENCH_online.json: the per-event cost of
+// onlineRow is one row of BENCH_online.json: the per-event cost of
 // handling a churn trace either incrementally (the online engine) or by
-// re-running the batch greedy solver on the active set after every event.
-type onlineBenchResult struct {
+// re-running the batch greedy solver after every event. The embedded
+// metrics are per full trace replay; NsPerEv divides by the trace length.
+type onlineRow struct {
 	Benchmark string  `json:"benchmark"`
 	N         int     `json:"n"`
 	Mode      string  `json:"mode"`
 	NsPerEv   float64 `json:"ns_per_event"`
+	benchio.Metrics
 }
 
-var onlineBench struct {
-	sync.Mutex
-	results map[onlineBenchKey]onlineBenchResult
-}
-
-type onlineBenchKey struct {
-	benchmark string
-	n         int
-	mode      string
-}
-
-// recordOnlineBench captures the just-finished sub-benchmark's cost per
-// churn event (events is the trace length one b.N iteration replays).
-// Call it after the timed loop, with the timer stopped.
-func recordOnlineBench(b *testing.B, name string, n int, mode string, events int) {
+// recordOnlineBench captures the just-finished churn sub-benchmark
+// (events is the trace length one b.N iteration replays).
+func recordOnlineBench(b *testing.B, cp benchio.Checkpoint, name string, n int, mode string, events int) {
 	b.Helper()
-	onlineBench.Lock()
-	defer onlineBench.Unlock()
-	if onlineBench.results == nil {
-		onlineBench.results = map[onlineBenchKey]onlineBenchResult{}
-	}
-	onlineBench.results[onlineBenchKey{name, n, mode}] = onlineBenchResult{
-		Benchmark: name,
-		N:         n,
-		Mode:      mode,
-		NsPerEv:   float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(events),
-	}
-}
-
-// writeOnlineBench emits the recorded measurements, sorted for stable
-// diffs, as the benchmark trajectory file BENCH_online.json.
-func writeOnlineBench(path string) error {
-	onlineBench.Lock()
-	defer onlineBench.Unlock()
-	if len(onlineBench.results) == 0 {
-		return nil
-	}
-	rs := make([]onlineBenchResult, 0, len(onlineBench.results))
-	for _, r := range onlineBench.results {
-		rs = append(rs, r)
-	}
-	sort.Slice(rs, func(i, j int) bool {
-		if rs[i].Benchmark != rs[j].Benchmark {
-			return rs[i].Benchmark < rs[j].Benchmark
-		}
-		if rs[i].N != rs[j].N {
-			return rs[i].N < rs[j].N
-		}
-		return rs[i].Mode < rs[j].Mode
-	})
-	data, err := json.MarshalIndent(rs, "", "  ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	met := cp.End(b)
+	onlineRec.Record(fmt.Sprintf("%s/%07d/%s", name, n, mode),
+		onlineRow{Benchmark: name, N: n, Mode: mode, NsPerEv: met.NsPerOp / float64(events), Metrics: met})
 }
 
 func benchExperiment(b *testing.B, run experiment.Runner) {
@@ -421,12 +325,13 @@ func BenchmarkSetFeasible(b *testing.B) {
 				// the loop so cached-vs-uncached ratios are reproducible.
 				runtime.GC()
 				defer debug.SetGCPercent(debug.SetGCPercent(-1))
+				cp := benchio.Begin()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					mm.SetFeasible(in, sinr.Bidirectional, powers, set)
 				}
 				b.StopTimer()
-				recordAffectBench(b, "SetFeasible", n, cached)
+				recordAffectBench(b, cp, "SetFeasible", n, cached)
 			})
 		}
 	}
@@ -453,6 +358,7 @@ func BenchmarkGreedyColoring(b *testing.B) {
 				// the loop so cached-vs-uncached ratios are reproducible.
 				runtime.GC()
 				defer debug.SetGCPercent(debug.SetGCPercent(-1))
+				cp := benchio.Begin()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := coloring.GreedyFirstFit(mm, in, sinr.Bidirectional, powers, nil); err != nil {
@@ -460,7 +366,7 @@ func BenchmarkGreedyColoring(b *testing.B) {
 					}
 				}
 				b.StopTimer()
-				recordAffectBench(b, "GreedyColoring", n, cached)
+				recordAffectBench(b, cp, "GreedyColoring", n, cached)
 			})
 		}
 	}
@@ -506,6 +412,7 @@ func BenchmarkOnlineChurn(b *testing.B) {
 			// the loop so incremental-vs-batch ratios are reproducible.
 			runtime.GC()
 			defer debug.SetGCPercent(debug.SetGCPercent(-1))
+			cp := benchio.Begin()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				eng, err := online.New(mc, in, sinr.Bidirectional, powers,
@@ -525,7 +432,7 @@ func BenchmarkOnlineChurn(b *testing.B) {
 				}
 			}
 			b.StopTimer()
-			recordOnlineBench(b, "OnlineChurn", n, "incremental", len(trace))
+			recordOnlineBench(b, cp, "OnlineChurn", n, "incremental", len(trace))
 		})
 		b.Run(fmt.Sprintf("n=%d/mode=batch", n), func(b *testing.B) {
 			// Fast-forward the active set to the trace's steady state
@@ -560,6 +467,7 @@ func BenchmarkOnlineChurn(b *testing.B) {
 			b.ReportAllocs()
 			runtime.GC()
 			defer debug.SetGCPercent(debug.SetGCPercent(-1))
+			cp := benchio.Begin()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				b.StopTimer()
@@ -582,7 +490,7 @@ func BenchmarkOnlineChurn(b *testing.B) {
 				}
 			}
 			b.StopTimer()
-			recordOnlineBench(b, "OnlineChurn", n, "batch", len(measured))
+			recordOnlineBench(b, cp, "OnlineChurn", n, "batch", len(measured))
 		})
 	}
 }
@@ -611,6 +519,7 @@ func BenchmarkThinToGain(b *testing.B) {
 				// the loop so cached-vs-uncached ratios are reproducible.
 				runtime.GC()
 				defer debug.SetGCPercent(debug.SetGCPercent(-1))
+				cp := benchio.Begin()
 				b.ResetTimer()
 				for i := 0; i < b.N; i++ {
 					if _, err := coloring.ThinToGain(mm, in, sinr.Bidirectional, powers, set, 2*m.Beta); err != nil {
@@ -618,7 +527,7 @@ func BenchmarkThinToGain(b *testing.B) {
 					}
 				}
 				b.StopTimer()
-				recordAffectBench(b, "ThinToGain", n, cached)
+				recordAffectBench(b, cp, "ThinToGain", n, cached)
 			})
 		}
 	}

@@ -7,7 +7,17 @@
 //
 //	oblsched -in instance.json [-variant bidirectional] [-power sqrt]
 //	         [-algo greedy|lp|online|pipeline|distributed] [-alpha 3]
-//	         [-beta 1] [-seed 1]
+//	         [-beta 1] [-seed 1] [-affect auto|dense|sparse] [-eps 8]
+//
+// The affectance engine behind the SINR hot path is selected with
+// -affect: "dense" materializes the exact n×n matrices, "sparse" the
+// grid-bucketed conservative engine that scales to tens of thousands of
+// requests, and "auto" (default) switches on instance size. -eps is the
+// sparse far-field error budget; 0 forces the dense path bitwise.
+//
+// Large runs are profiled without editing code:
+//
+//	oblsched -in big.json -affect sparse -cpuprofile cpu.pb.gz -memprofile mem.pb.gz
 //
 // The online solver takes two extra knobs:
 //
@@ -33,44 +43,66 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
 	oblivious "repro"
+	"repro/internal/affect/sparse"
 	"repro/internal/online"
 	"repro/internal/online/sim"
 )
 
+// config carries every flag of one invocation; run consumes it so the
+// tests can drive the command without a process boundary.
+type config struct {
+	in, variant, power, algo string
+	alpha, beta, noise       float64
+	seed                     int64
+	verbose                  bool
+	out, check               string
+	admission, repair        string
+	trace                    string
+	events                   int
+	affect                   string
+	eps                      float64
+	cpuProfile, memProfile   string
+}
+
 func main() {
-	var (
-		inPath    = flag.String("in", "", "path to the instance JSON (required)")
-		variant   = flag.String("variant", "bidirectional", "directed or bidirectional")
-		powerFn   = flag.String("power", "sqrt", "uniform, linear, sqrt, or exp:<tau> (lp/pipeline require sqrt)")
-		algo      = flag.String("algo", "greedy", "solver name: "+strings.Join(oblivious.Solvers(), ", "))
-		alpha     = flag.Float64("alpha", 3, "path-loss exponent α")
-		beta      = flag.Float64("beta", 1, "SINR gain β")
-		noise     = flag.Float64("noise", 0, "ambient noise ν")
-		seed      = flag.Int64("seed", 1, "seed for the randomized algorithms")
-		verbose   = flag.Bool("v", false, "print the full color classes")
-		outPath   = flag.String("out", "", "write the schedule as JSON to this path")
-		check     = flag.String("check", "", "instead of scheduling, validate this schedule JSON against the instance")
-		admission = flag.String("admission", "first-fit", "online admission policy: first-fit, best-fit, or power-fit")
-		repair    = flag.String("repair", "lazy", "online repair strategy: lazy, threshold, or eager")
-		trace     = flag.String("trace", "", "instead of scheduling, simulate churn: poisson, bursty, or replay")
-		events    = flag.Int("events", 0, "churn events for -trace poisson/bursty (default 10·n)")
-	)
+	var cfg config
+	flag.StringVar(&cfg.in, "in", "", "path to the instance JSON (required)")
+	flag.StringVar(&cfg.variant, "variant", "bidirectional", "directed or bidirectional")
+	flag.StringVar(&cfg.power, "power", "sqrt", "uniform, linear, sqrt, or exp:<tau> (lp/pipeline require sqrt)")
+	flag.StringVar(&cfg.algo, "algo", "greedy", "solver name: "+strings.Join(oblivious.Solvers(), ", "))
+	flag.Float64Var(&cfg.alpha, "alpha", 3, "path-loss exponent α")
+	flag.Float64Var(&cfg.beta, "beta", 1, "SINR gain β")
+	flag.Float64Var(&cfg.noise, "noise", 0, "ambient noise ν")
+	flag.Int64Var(&cfg.seed, "seed", 1, "seed for the randomized algorithms")
+	flag.BoolVar(&cfg.verbose, "v", false, "print the full color classes")
+	flag.StringVar(&cfg.out, "out", "", "write the schedule as JSON to this path")
+	flag.StringVar(&cfg.check, "check", "", "instead of scheduling, validate this schedule JSON against the instance")
+	flag.StringVar(&cfg.admission, "admission", "first-fit", "online admission policy: first-fit, best-fit, or power-fit")
+	flag.StringVar(&cfg.repair, "repair", "lazy", "online repair strategy: lazy, threshold, or eager")
+	flag.StringVar(&cfg.trace, "trace", "", "instead of scheduling, simulate churn: poisson, bursty, or replay")
+	flag.IntVar(&cfg.events, "events", 0, "churn events for -trace poisson/bursty (default 10·n)")
+	flag.StringVar(&cfg.affect, "affect", "auto", "affectance engine: auto, dense, or sparse")
+	flag.Float64Var(&cfg.eps, "eps", oblivious.DefaultSparseEpsilon, "sparse far-field error budget ε (0 = dense bitwise)")
+	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile to this path")
+	flag.StringVar(&cfg.memProfile, "memprofile", "", "write an allocation profile to this path on exit")
 	flag.Parse()
-	if err := run(os.Stdout, *inPath, *variant, *powerFn, *algo, *alpha, *beta, *noise, *seed, *verbose, *outPath, *check, *admission, *repair, *trace, *events); err != nil {
+	if err := run(os.Stdout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "oblsched:", err)
 		os.Exit(1)
 	}
 }
 
-func run(w io.Writer, inPath, variant, powerFn, algo string, alpha, beta, noise float64, seed int64, verbose bool, outPath, check, admission, repair, trace string, events int) error {
-	if inPath == "" {
+func run(w io.Writer, cfg config) error {
+	if cfg.in == "" {
 		return fmt.Errorf("missing -in")
 	}
-	data, err := os.ReadFile(inPath)
+	data, err := os.ReadFile(cfg.in)
 	if err != nil {
 		return err
 	}
@@ -79,27 +111,60 @@ func run(w io.Writer, inPath, variant, powerFn, algo string, alpha, beta, noise 
 		return err
 	}
 	var v oblivious.Variant
-	switch variant {
+	switch cfg.variant {
 	case "directed":
 		v = oblivious.Directed
 	case "bidirectional":
 		v = oblivious.Bidirectional
 	default:
-		return fmt.Errorf("unknown variant %q", variant)
+		return fmt.Errorf("unknown variant %q", cfg.variant)
 	}
-	m := oblivious.Model{Alpha: alpha, Beta: beta, Noise: noise}
+	m := oblivious.Model{Alpha: cfg.alpha, Beta: cfg.beta, Noise: cfg.noise}
 
 	// Only the online solver and -trace consult these, but a typo must not
 	// pass silently for the others (the same lesson -power already taught).
-	if _, err := online.ParseAdmission(admission); err != nil {
+	if _, err := online.ParseAdmission(cfg.admission); err != nil {
 		return err
 	}
-	if _, err := online.ParseRepair(repair); err != nil {
+	if _, err := online.ParseRepair(cfg.repair); err != nil {
 		return err
+	}
+	mode, err := oblivious.ParseAffectanceMode(cfg.affect)
+	if err != nil {
+		return err
+	}
+	if cfg.eps < 0 {
+		return fmt.Errorf("-eps must be ≥ 0, got %g", cfg.eps)
 	}
 
-	if check != "" {
-		sdata, err := os.ReadFile(check)
+	if cfg.cpuProfile != "" {
+		f, err := os.Create(cfg.cpuProfile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if cfg.memProfile != "" {
+		defer func() {
+			f, err := os.Create(cfg.memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "oblsched: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the retained set before sampling
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "oblsched: memprofile:", err)
+			}
+		}()
+	}
+
+	if cfg.check != "" {
+		sdata, err := os.ReadFile(cfg.check)
 		if err != nil {
 			return err
 		}
@@ -114,20 +179,22 @@ func run(w io.Writer, inPath, variant, powerFn, algo string, alpha, beta, noise 
 		return nil
 	}
 
-	if trace != "" {
-		return runTrace(w, m, in, v, powerFn, admission, repair, trace, events, seed)
+	if cfg.trace != "" {
+		return runTrace(w, m, in, v, mode, cfg)
 	}
 
-	a, err := oblivious.ParseAssignment(powerFn)
+	a, err := oblivious.ParseAssignment(cfg.power)
 	if err != nil {
 		return err
 	}
-	res, err := oblivious.Lookup(algo).Solve(context.Background(), m, in,
+	res, err := oblivious.Lookup(cfg.algo).Solve(context.Background(), m, in,
 		oblivious.WithVariant(v),
 		oblivious.WithAssignment(a),
-		oblivious.WithSeed(seed),
-		oblivious.WithAdmission(admission),
-		oblivious.WithRepair(repair),
+		oblivious.WithSeed(cfg.seed),
+		oblivious.WithAffectanceMode(mode),
+		oblivious.WithEpsilon(cfg.eps),
+		oblivious.WithAdmission(cfg.admission),
+		oblivious.WithRepair(cfg.repair),
 		oblivious.WithValidation(true))
 	if err != nil {
 		return err
@@ -142,16 +209,16 @@ func run(w io.Writer, inPath, variant, powerFn, algo string, alpha, beta, noise 
 		fmt.Fprintf(w, "churn:    peak %d slots, %d repairs (%d moves, %d re-packs)\n",
 			st.PeakSlots, st.Repairs, st.Moves, st.Repacks)
 	}
-	if outPath != "" {
+	if cfg.out != "" {
 		data, err := oblivious.MarshalSchedule(s)
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(outPath, append(data, '\n'), 0o644); err != nil {
+		if err := os.WriteFile(cfg.out, append(data, '\n'), 0o644); err != nil {
 			return err
 		}
 	}
-	if verbose {
+	if cfg.verbose {
 		for c, class := range s.Classes() {
 			fmt.Fprintf(w, "color %d:", c)
 			for _, i := range class {
@@ -165,31 +232,42 @@ func run(w io.Writer, inPath, variant, powerFn, algo string, alpha, beta, noise 
 
 // runTrace replays the instance as a churn trace through the online
 // engine and prints the time-series summary.
-func runTrace(w io.Writer, m oblivious.Model, in *oblivious.Instance, v oblivious.Variant, powerFn, admission, repair, trace string, events int, seed int64) error {
-	a, err := oblivious.ParseAssignment(powerFn)
+func runTrace(w io.Writer, m oblivious.Model, in *oblivious.Instance, v oblivious.Variant, mode oblivious.AffectanceMode, cfg config) error {
+	a, err := oblivious.ParseAssignment(cfg.power)
 	if err != nil {
 		return err
 	}
-	adm, err := online.ParseAdmission(admission)
+	adm, err := online.ParseAdmission(cfg.admission)
 	if err != nil {
 		return err
 	}
-	rep, err := online.ParseRepair(repair)
+	rep, err := online.ParseRepair(cfg.repair)
 	if err != nil {
 		return err
 	}
 	powers := oblivious.PowersFor(m, in, a)
+	// Mirror the solver-level engine selection through the same Resolve
+	// predicate: the online engine reuses a covering sparse engine from
+	// the model and otherwise builds the dense matrices itself.
+	if mode.Resolve(in, cfg.eps) == oblivious.AffectSparse {
+		c, err := sparse.For(m, v, in, powers, sparse.Options{Epsilon: cfg.eps})
+		if err != nil {
+			return err
+		}
+		m = m.WithCache(c)
+	}
 	eng, err := online.New(m, in, v, powers, online.WithAdmission(adm), online.WithRepair(rep))
 	if err != nil {
 		return err
 	}
 	n := in.N()
+	events := cfg.events
 	if events <= 0 {
 		events = 10 * n
 	}
-	rng := rand.New(rand.NewSource(seed))
+	rng := rand.New(rand.NewSource(cfg.seed))
 	var tr sim.Trace
-	switch trace {
+	switch cfg.trace {
 	case "poisson":
 		// Rate and holding time chosen for a steady state of ≈ n/2 active.
 		tr = sim.Poisson(rng, n, float64(n)/4, 2, events)
@@ -202,7 +280,7 @@ func runTrace(w io.Writer, m oblivious.Model, in *oblivious.Instance, v obliviou
 	case "replay":
 		tr = sim.Replay(in)
 	default:
-		return fmt.Errorf("unknown -trace %q (want poisson, bursty, or replay)", trace)
+		return fmt.Errorf("unknown -trace %q (want poisson, bursty, or replay)", cfg.trace)
 	}
 	res, err := sim.Run(eng, tr)
 	if err != nil {
@@ -210,7 +288,7 @@ func runTrace(w io.Writer, m oblivious.Model, in *oblivious.Instance, v obliviou
 	}
 	st := res.Stats
 	fmt.Fprintf(w, "trace:     %s (%d events: %d arrivals, %d departures)\n",
-		trace, res.Events, res.Arrivals, res.Departures)
+		cfg.trace, res.Events, res.Arrivals, res.Departures)
 	fmt.Fprintf(w, "policy:    admission %s, repair %s\n", adm, rep)
 	fmt.Fprintf(w, "peak:      %d slots\n", res.PeakSlots)
 	fmt.Fprintf(w, "final:     %d slots, %d active requests\n", eng.NumSlots(), eng.Len())

@@ -30,9 +30,31 @@ func writeInstance(t *testing.T) string {
 	return path
 }
 
+// baseConfig returns the flag defaults of the command for one instance.
+func baseConfig(inPath string) config {
+	return config{
+		in: inPath, variant: "bidirectional", power: "sqrt", algo: "greedy",
+		alpha: 3, beta: 1, seed: 1,
+		admission: "first-fit", repair: "lazy",
+		affect: "auto", eps: oblivious.DefaultSparseEpsilon,
+	}
+}
+
 // sched runs the CLI with scheduling defaults for the trailing flags.
 func sched(w io.Writer, inPath, variant, powerFn, algo string, alpha, beta, noise float64, seed int64, verbose bool, outPath, check string) error {
-	return run(w, inPath, variant, powerFn, algo, alpha, beta, noise, seed, verbose, outPath, check, "first-fit", "lazy", "", 0)
+	cfg := baseConfig(inPath)
+	cfg.variant, cfg.power, cfg.algo = variant, powerFn, algo
+	cfg.alpha, cfg.beta, cfg.noise, cfg.seed = alpha, beta, noise, seed
+	cfg.verbose, cfg.out, cfg.check = verbose, outPath, check
+	return run(w, cfg)
+}
+
+// churn runs the CLI with explicit online/trace knobs.
+func churn(w io.Writer, inPath, algo, admission, repair, trace string, events int) error {
+	cfg := baseConfig(inPath)
+	cfg.algo, cfg.admission, cfg.repair = algo, admission, repair
+	cfg.trace, cfg.events = trace, events
+	return run(w, cfg)
 }
 
 func TestRunGreedy(t *testing.T) {
@@ -67,7 +89,7 @@ func TestRunOnlinePolicies(t *testing.T) {
 	path := writeInstance(t)
 	for _, adm := range []string{"first-fit", "best-fit", "power-fit"} {
 		for _, rep := range []string{"lazy", "threshold", "eager"} {
-			if err := run(io.Discard, path, "bidirectional", "sqrt", "online", 3, 1, 0, 1, false, "", "", adm, rep, "", 0); err != nil {
+			if err := churn(io.Discard, path, "online", adm, rep, "", 0); err != nil {
 				t.Errorf("online %s/%s: %v", adm, rep, err)
 			}
 		}
@@ -78,7 +100,7 @@ func TestRunTrace(t *testing.T) {
 	path := writeInstance(t)
 	for _, trace := range []string{"poisson", "bursty", "replay"} {
 		var sb strings.Builder
-		if err := run(&sb, path, "bidirectional", "sqrt", "greedy", 3, 1, 0, 1, false, "", "", "best-fit", "eager", trace, 40); err != nil {
+		if err := churn(&sb, path, "greedy", "best-fit", "eager", trace, 40); err != nil {
 			t.Errorf("trace %s: %v", trace, err)
 			continue
 		}
@@ -104,12 +126,19 @@ func TestRunErrors(t *testing.T) {
 		{name: "lp directed", err: sched(io.Discard, path, "directed", "sqrt", "lp", 3, 1, 0, 1, false, "", "")},
 		{name: "missing file", err: sched(io.Discard, filepath.Join(t.TempDir(), "no.json"), "bidirectional", "sqrt", "greedy", 3, 1, 0, 1, false, "", "")},
 		{name: "bad check file", err: sched(io.Discard, path, "bidirectional", "sqrt", "greedy", 3, 1, 0, 1, false, "", path)},
-		{name: "bad admission", err: run(io.Discard, path, "bidirectional", "sqrt", "online", 3, 1, 0, 1, false, "", "", "worst-fit", "lazy", "", 0)},
-		{name: "bad repair", err: run(io.Discard, path, "bidirectional", "sqrt", "online", 3, 1, 0, 1, false, "", "", "first-fit", "psychic", "", 0)},
-		{name: "bad admission non-online", err: run(io.Discard, path, "bidirectional", "sqrt", "greedy", 3, 1, 0, 1, false, "", "", "worst-fit", "lazy", "", 0)},
-		{name: "bad repair non-online", err: run(io.Discard, path, "bidirectional", "sqrt", "greedy", 3, 1, 0, 1, false, "", "", "first-fit", "psychic", "", 0)},
-		{name: "bad trace", err: run(io.Discard, path, "bidirectional", "sqrt", "greedy", 3, 1, 0, 1, false, "", "", "first-fit", "lazy", "brownian", 0)},
-		{name: "trace bad admission", err: run(io.Discard, path, "bidirectional", "sqrt", "greedy", 3, 1, 0, 1, false, "", "", "worst-fit", "lazy", "poisson", 10)},
+		{name: "bad admission", err: churn(io.Discard, path, "online", "worst-fit", "lazy", "", 0)},
+		{name: "bad repair", err: churn(io.Discard, path, "online", "first-fit", "psychic", "", 0)},
+		{name: "bad admission non-online", err: churn(io.Discard, path, "greedy", "worst-fit", "lazy", "", 0)},
+		{name: "bad repair non-online", err: churn(io.Discard, path, "greedy", "first-fit", "psychic", "", 0)},
+		{name: "bad trace", err: churn(io.Discard, path, "greedy", "first-fit", "lazy", "brownian", 0)},
+		{name: "trace bad admission", err: churn(io.Discard, path, "greedy", "worst-fit", "lazy", "poisson", 10)},
+		{name: "bad affect mode", err: func() error { cfg := baseConfig(path); cfg.affect = "octree"; return run(io.Discard, cfg) }()},
+		{name: "negative eps", err: func() error {
+			cfg := baseConfig(path)
+			cfg.affect = "sparse"
+			cfg.eps = -1
+			return run(io.Discard, cfg)
+		}()},
 	}
 	for _, tc := range cases {
 		if tc.err == nil {

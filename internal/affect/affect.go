@@ -47,6 +47,15 @@ type Cache struct {
 	// bidirectional matrices (nil for the directed variant)
 	uInto, vInto, uFrom, vFrom []float64
 
+	// The transposed From views are materialized lazily on first use: the
+	// greedy and online hot paths need them, but plain interference
+	// queries (Model.*Interference, margins, CheckSchedule) only stream
+	// Into rows, and for those a cache at half the memory suffices. Each
+	// transpose is built exactly once, behind a sync.Once, so concurrent
+	// readers (SolveAll workers sharing a Store) race neither on the build
+	// nor on the slice assignment.
+	dFromOnce, uFromOnce, vFromOnce sync.Once
+
 	// accepted memoizes alternate powers slices that compared equal to the
 	// snapshot, as an immutable copy-on-write list of slice identities.
 	accepted atomic.Value // []sliceKey
@@ -123,15 +132,10 @@ func New(m sinr.Model, v sinr.Variant, in *problem.Instance, powers []float64) *
 		}
 	})
 
-	// Transpose into the From matrices so "what does j inflict" queries are
-	// row accesses too.
-	switch v {
-	case sinr.Directed:
-		c.dFrom = transpose(c.dInto, n)
-	case sinr.Bidirectional:
-		c.uFrom = transpose(c.uInto, n)
-		c.vFrom = transpose(c.vInto, n)
-	}
+	// The transposed From matrices are NOT built here: they materialize
+	// lazily on first access (see DirectedFrom/FromU/FromV), so a solve
+	// that never walks them — every pure Into consumer — pays half the
+	// dense memory.
 	return c
 }
 
@@ -249,8 +253,15 @@ func (c *Cache) row(a []float64, i int) []float64 {
 // bidirectional cache). See sinr.Cache.
 func (c *Cache) DirectedInto(i int) []float64 { return c.row(c.dInto, i) }
 
-// DirectedFrom returns row j of the transposed directed matrix.
-func (c *Cache) DirectedFrom(j int) []float64 { return c.row(c.dFrom, j) }
+// DirectedFrom returns row j of the transposed directed matrix,
+// materializing the transpose on first use.
+func (c *Cache) DirectedFrom(j int) []float64 {
+	if c.dInto == nil {
+		return nil
+	}
+	c.dFromOnce.Do(func() { c.dFrom = transpose(c.dInto, c.n) })
+	return c.row(c.dFrom, j)
+}
 
 // IntoU returns row i of the bidirectional affectance matrix at endpoint U
 // (nil for a directed cache). See sinr.Cache.
@@ -259,11 +270,25 @@ func (c *Cache) IntoU(i int) []float64 { return c.row(c.uInto, i) }
 // IntoV returns row i of the bidirectional affectance matrix at endpoint V.
 func (c *Cache) IntoV(i int) []float64 { return c.row(c.vInto, i) }
 
-// FromU returns row j of the transposed endpoint-U matrix.
-func (c *Cache) FromU(j int) []float64 { return c.row(c.uFrom, j) }
+// FromU returns row j of the transposed endpoint-U matrix, materializing
+// the transpose on first use.
+func (c *Cache) FromU(j int) []float64 {
+	if c.uInto == nil {
+		return nil
+	}
+	c.uFromOnce.Do(func() { c.uFrom = transpose(c.uInto, c.n) })
+	return c.row(c.uFrom, j)
+}
 
-// FromV returns row j of the transposed endpoint-V matrix.
-func (c *Cache) FromV(j int) []float64 { return c.row(c.vFrom, j) }
+// FromV returns row j of the transposed endpoint-V matrix, materializing
+// the transpose on first use.
+func (c *Cache) FromV(j int) []float64 {
+	if c.vInto == nil {
+		return nil
+	}
+	c.vFromOnce.Do(func() { c.vFrom = transpose(c.vInto, c.n) })
+	return c.row(c.vFrom, j)
+}
 
 // Signals returns the per-request signal strengths p_i/ℓ_i.
 func (c *Cache) Signals() []float64 { return c.signals }

@@ -1,0 +1,35 @@
+// Package sparse is the spatially-bucketed affectance engine: the memory
+// face of the SINR hot path at production scale. The dense engine
+// (package affect) materializes n×n float64 matrices — ≈190 MB at
+// n=2000 and ≈120 GB at n=50000 — while affectance decays as d^(-α), so
+// at large n the overwhelming majority of entries are negligible. This
+// package exploits exactly that structure.
+//
+// The engine buckets the request endpoints into a uniform grid of cells
+// and splits every request pair into two regimes:
+//
+//   - near pairs — some endpoint cells within `rings` Chebyshev cells of
+//     each other — keep their exact per-pair affectance entries, stored in
+//     a CSR adjacency (bitwise identical to the dense matrix entries);
+//   - far pairs are never stored: their contribution is bounded from
+//     above at cell granularity, p_j/ℓ(boxdist(cell_j, cell_i)), where
+//     boxdist is the minimum distance between the two cells' boxes.
+//
+// Because the far field is an upper bound, every margin the engine
+// reports is a lower bound on the true SINR margin: a set the engine
+// accepts is provably feasible under the exact constraints (the dense
+// oracle), while a set it rejects may in truth have fit — the engine
+// trades schedule length for O(n·k) memory, never feasibility.
+//
+// The Epsilon option is the explicit error budget of that trade: the
+// near radius is derived from it so that every far-field entry
+// overestimates the true affectance by at most a factor 1+ε
+// (see rings()). ε=0 degenerates to the dense path bitwise — For
+// returns the dense affect.Cache itself.
+//
+// An Engine implements sinr.Cache (Covers/Signals/Losses; the row
+// accessors return nil — rows are exactly what it refuses to
+// materialize) and sinr.TrackerProvider, through which the schedulers
+// obtain conservative incremental trackers whose Add/Remove/CanAdd touch
+// only near-cell neighbors plus per-cell far-field accumulators.
+package sparse

@@ -1,0 +1,425 @@
+package sparse
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/sinr"
+)
+
+// Tracker is the conservative incremental set-feasibility engine over a
+// sparse affectance Engine. It maintains, per member, one combined
+// interference bound per constraint node: exact near-field entries plus
+// cell-granular far-field upper bounds, applied pairwise so additions and
+// removals cancel. Margins computed from the bound are lower bounds on
+// the true margins — a set the tracker accepts always passes the dense
+// oracle — and Add/Remove/CanAdd touch only the candidate's near-cell
+// neighbors, the current members, and the per-cell far-field
+// accumulators.
+//
+// A Tracker is not safe for concurrent use.
+type Tracker struct {
+	e           *Engine
+	beta, noise float64
+
+	members []int
+	pos     []int32 // pos[i] = index into members, -1 if absent
+
+	// acc1[k]/acc2[k] is the interference bound accumulated at member
+	// members[k]'s constraint node(s): directed uses acc1 (receiver),
+	// bidirectional acc1 at U and acc2 at V.
+	acc1, acc2 []float64
+
+	// Per-cell far-field accumulators over the members' source cells:
+	// cellPow[c] is the total power of the members with a source endpoint
+	// in the cell. Candidate-side probes (AddMargin, the CanAdd early
+	// exit) read the far field from them in O(#occupied cells); the
+	// reference-counted entries vanish with their last member, so no
+	// floating-point residue outlives a cell.
+	cellIDs   []int32
+	cellPow   []float64
+	cellCnt   []int32
+	cellIndex map[int32]int32
+
+	// scratch marks the candidate's near entries during one operation so
+	// the member loop distinguishes near from far partners in O(1).
+	scratchEntry []int32
+	scratchEpoch []uint32
+	epoch        uint32
+}
+
+var _ sinr.SetTracker = (*Tracker)(nil)
+
+// NewSetTracker implements sinr.TrackerProvider: it returns a fresh empty
+// tracker for the model's gain and noise, or nil when the engine was
+// built for a different variant or path-loss exponent.
+func (e *Engine) NewSetTracker(m sinr.Model, v sinr.Variant) sinr.SetTracker {
+	if v != e.v || m.Alpha != e.alpha {
+		return nil
+	}
+	return &Tracker{
+		e:            e,
+		beta:         m.Beta,
+		noise:        m.Noise,
+		pos:          newNegOnes(e.n),
+		cellIndex:    make(map[int32]int32),
+		scratchEntry: make([]int32, e.n),
+		scratchEpoch: make([]uint32, e.n),
+	}
+}
+
+func newNegOnes(n int) []int32 {
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = -1
+	}
+	return s
+}
+
+// Len returns the current set size.
+func (t *Tracker) Len() int { return len(t.members) }
+
+// Contains reports whether request i is in the set.
+func (t *Tracker) Contains(i int) bool { return t.pos[i] >= 0 }
+
+// At returns the k-th member in insertion order, without allocating.
+func (t *Tracker) At(k int) int { return t.members[k] }
+
+// Members returns the current set in insertion order (a copy).
+func (t *Tracker) Members() []int {
+	return append([]int(nil), t.members...)
+}
+
+// Reset empties the tracker without dropping its backing storage, so the
+// online engine can recycle it across slot re-packs.
+func (t *Tracker) Reset() {
+	for _, i := range t.members {
+		t.pos[i] = -1
+	}
+	t.members = t.members[:0]
+	t.acc1 = t.acc1[:0]
+	t.acc2 = t.acc2[:0]
+	t.cellIDs = t.cellIDs[:0]
+	t.cellPow = t.cellPow[:0]
+	t.cellCnt = t.cellCnt[:0]
+	clear(t.cellIndex)
+}
+
+// markNear stamps the active near partners of request j for this
+// operation; nearEntry answers in O(1) afterwards.
+func (t *Tracker) markNear(j int) {
+	t.epoch++
+	if t.epoch == 0 {
+		clear(t.scratchEpoch)
+		t.epoch = 1
+	}
+	e := t.e
+	for ee := e.start[j]; ee < e.start[j+1]; ee++ {
+		if k := e.adj[ee]; t.pos[k] >= 0 {
+			t.scratchEntry[k] = ee
+			t.scratchEpoch[k] = t.epoch
+		}
+	}
+}
+
+// nearEntry returns the CSR entry of active near partner k in the marked
+// request's row, or -1 when the pair is far (valid until the next mark).
+func (t *Tracker) nearEntry(k int) int32 {
+	if t.scratchEpoch[k] == t.epoch {
+		return t.scratchEntry[k]
+	}
+	return -1
+}
+
+// --- per-cell far-field accumulators ---
+
+func (t *Tracker) bumpCell(c int32, p float64) {
+	if idx, ok := t.cellIndex[c]; ok {
+		t.cellPow[idx] += p
+		t.cellCnt[idx]++
+		return
+	}
+	t.cellIndex[c] = int32(len(t.cellIDs))
+	t.cellIDs = append(t.cellIDs, c)
+	t.cellPow = append(t.cellPow, p)
+	t.cellCnt = append(t.cellCnt, 1)
+}
+
+func (t *Tracker) dropCell(c int32, p float64) {
+	idx := t.cellIndex[c]
+	if t.cellCnt[idx]--; t.cellCnt[idx] > 0 {
+		t.cellPow[idx] -= p
+		return
+	}
+	delete(t.cellIndex, c)
+	last := int32(len(t.cellIDs) - 1)
+	if idx != last {
+		t.cellIDs[idx] = t.cellIDs[last]
+		t.cellPow[idx] = t.cellPow[last]
+		t.cellCnt[idx] = t.cellCnt[last]
+		t.cellIndex[t.cellIDs[idx]] = idx
+	}
+	t.cellIDs = t.cellIDs[:last]
+	t.cellPow = t.cellPow[:last]
+	t.cellCnt = t.cellCnt[:last]
+}
+
+func (t *Tracker) cellAdd(j int) {
+	e := t.e
+	t.bumpCell(e.cellU[j], e.powers[j])
+	if e.v == sinr.Bidirectional && e.cellV[j] != e.cellU[j] {
+		t.bumpCell(e.cellV[j], e.powers[j])
+	}
+}
+
+func (t *Tracker) cellRemove(j int) {
+	e := t.e
+	t.dropCell(e.cellU[j], e.powers[j])
+	if e.v == sinr.Bidirectional && e.cellV[j] != e.cellU[j] {
+		t.dropCell(e.cellV[j], e.powers[j])
+	}
+}
+
+// farCells sums the far-field bound the occupied cells add at target cell
+// tgt, skipping cells within the near radius — their members' exact
+// contributions are accounted separately.
+func (t *Tracker) farCells(tgt int32) float64 {
+	e := t.e
+	var s float64
+	for idx, c := range t.cellIDs {
+		if e.g.cheb(c, tgt) > e.r {
+			s += t.cellPow[idx] * e.invBox(c, tgt)
+		}
+	}
+	return s
+}
+
+// --- margins ---
+
+// margin converts an interference bound into the normalized margin of the
+// sinr package. Because the bound overestimates the true interference,
+// the result is a lower bound on the exact margin.
+func (t *Tracker) margin(i int, i1, i2 float64) float64 {
+	signal := t.e.signals[i]
+	if signal == 0 {
+		return math.Inf(-1)
+	}
+	mg := (signal - t.beta*(i1+t.noise)) / signal
+	if t.e.v == sinr.Bidirectional {
+		if mg2 := (signal - t.beta*(i2+t.noise)) / signal; mg2 < mg {
+			mg = mg2
+		}
+	}
+	return mg
+}
+
+// Margin returns the conservative SINR margin of member i in O(1).
+func (t *Tracker) Margin(i int) float64 {
+	p := t.pos[i]
+	if p < 0 {
+		panic(fmt.Sprintf("sparse: Margin(%d): not a member", i))
+	}
+	return t.margin(i, t.acc1[p], t.acc2[p])
+}
+
+// AddMargin returns the conservative margin request i would have if it
+// were added, without mutating the tracker: exact near entries from i's
+// row plus the per-cell far-field accumulators — O(k_near + #cells).
+func (t *Tracker) AddMargin(i int) float64 {
+	if t.pos[i] >= 0 {
+		return t.Margin(i)
+	}
+	e := t.e
+	var b1, b2 float64
+	for ee := e.start[i]; ee < e.start[i+1]; ee++ {
+		if t.pos[e.adj[ee]] >= 0 {
+			b1 += e.a1[ee]
+			if e.a2 != nil {
+				b2 += e.a2[ee]
+			}
+		}
+	}
+	if e.v == sinr.Directed {
+		b1 += t.farCells(e.cellV[i])
+	} else {
+		b1 += t.farCells(e.cellU[i])
+		b2 += t.farCells(e.cellV[i])
+	}
+	return t.margin(i, b1, b2)
+}
+
+// CanAdd reports whether request i can join without violating its own
+// conservative constraint or any member's.
+func (t *Tracker) CanAdd(i int) bool {
+	if t.pos[i] >= 0 {
+		return false
+	}
+	// Candidate side first: the cell-accumulator probe is O(k_near +
+	// #cells) and rejects most misfits before the member scan.
+	if t.AddMargin(i) < -sinr.Tol {
+		return false
+	}
+	e := t.e
+	t.markNear(i)
+	for p, k := range t.members {
+		var c1, c2 float64
+		if ee := t.nearEntry(k); ee >= 0 {
+			me := e.mirror[ee]
+			c1 = e.a1[me]
+			if e.a2 != nil {
+				c2 = e.a2[me]
+			}
+		} else if e.v == sinr.Directed {
+			c1 = e.farBound(i, e.cellV[k])
+		} else {
+			c1 = e.farBound(i, e.cellU[k])
+			c2 = e.farBound(i, e.cellV[k])
+		}
+		if t.margin(k, t.acc1[p]+c1, t.acc2[p]+c2) < -sinr.Tol {
+			return false
+		}
+	}
+	return true
+}
+
+// Add inserts request i, updating every member's bound with i's pairwise
+// contribution (exact when near, cell-granular when far) and accumulating
+// i's own bound the same way, so a later Remove cancels entry for entry.
+// It panics if i is already a member.
+func (t *Tracker) Add(i int) {
+	if t.pos[i] >= 0 {
+		panic(fmt.Sprintf("sparse: Add(%d): already a member", i))
+	}
+	e := t.e
+	t.markNear(i)
+	var own1, own2 float64
+	for p, k := range t.members {
+		if ee := t.nearEntry(k); ee >= 0 {
+			own1 += e.a1[ee]
+			me := e.mirror[ee]
+			t.acc1[p] += e.a1[me]
+			if e.a2 != nil {
+				own2 += e.a2[ee]
+				t.acc2[p] += e.a2[me]
+			}
+		} else if e.v == sinr.Directed {
+			own1 += e.farBound(k, e.cellV[i])
+			t.acc1[p] += e.farBound(i, e.cellV[k])
+		} else {
+			own1 += e.farBound(k, e.cellU[i])
+			own2 += e.farBound(k, e.cellV[i])
+			t.acc1[p] += e.farBound(i, e.cellU[k])
+			t.acc2[p] += e.farBound(i, e.cellV[k])
+		}
+	}
+	t.pos[i] = int32(len(t.members))
+	t.members = append(t.members, i)
+	t.acc1 = append(t.acc1, own1)
+	t.acc2 = append(t.acc2, own2)
+	t.cellAdd(i)
+}
+
+// Remove deletes request i, subtracting the same pairwise contributions
+// Add applied; insertion order of the remaining members is preserved. A
+// non-finite near entry (zero-distance pair) cannot be subtracted without
+// corrupting the accumulator, so such members are recomputed from
+// scratch, mirroring the dense tracker. It panics if i is not a member.
+func (t *Tracker) Remove(i int) {
+	p := t.pos[i]
+	if p < 0 {
+		panic(fmt.Sprintf("sparse: Remove(%d): not a member", i))
+	}
+	e := t.e
+	t.markNear(i)
+	copy(t.members[p:], t.members[p+1:])
+	copy(t.acc1[p:], t.acc1[p+1:])
+	copy(t.acc2[p:], t.acc2[p+1:])
+	last := len(t.members) - 1
+	t.members = t.members[:last]
+	t.acc1 = t.acc1[:last]
+	t.acc2 = t.acc2[:last]
+	for k := int(p); k < last; k++ {
+		t.pos[t.members[k]] = int32(k)
+	}
+	t.pos[i] = -1
+	t.cellRemove(i)
+
+	for p, k := range t.members {
+		if ee := t.nearEntry(k); ee >= 0 {
+			me := e.mirror[ee]
+			v1 := e.a1[me]
+			var v2 float64
+			if e.a2 != nil {
+				v2 = e.a2[me]
+			}
+			if isFinite(v1) && isFinite(v2) {
+				t.acc1[p] -= v1
+				t.acc2[p] -= v2
+			} else {
+				t.acc1[p], t.acc2[p] = t.recompute(k)
+			}
+		} else if e.v == sinr.Directed {
+			t.acc1[p] -= e.farBound(i, e.cellV[k])
+		} else {
+			t.acc1[p] -= e.farBound(i, e.cellU[k])
+			t.acc2[p] -= e.farBound(i, e.cellV[k])
+		}
+	}
+}
+
+// recompute rebuilds member k's interference bound from scratch against
+// the current members: exact entries over k's near row, pairwise far
+// bounds for the rest — O(k_near + |set|·log k_near).
+func (t *Tracker) recompute(k int) (b1, b2 float64) {
+	e := t.e
+	for ee := e.start[k]; ee < e.start[k+1]; ee++ {
+		j := e.adj[ee]
+		if int(j) != k && t.pos[j] >= 0 {
+			b1 += e.a1[ee]
+			if e.a2 != nil {
+				b2 += e.a2[ee]
+			}
+		}
+	}
+	for _, j := range t.members {
+		if j == k || e.findEntry(k, j) >= 0 {
+			continue
+		}
+		if e.v == sinr.Directed {
+			b1 += e.farBound(j, e.cellV[k])
+		} else {
+			b1 += e.farBound(j, e.cellU[k])
+			b2 += e.farBound(j, e.cellV[k])
+		}
+	}
+	return b1, b2
+}
+
+// SetFeasible reports whether every member's conservative constraint
+// holds, in O(|set|). True implies the set passes the dense oracle.
+func (t *Tracker) SetFeasible() bool {
+	for p, i := range t.members {
+		if t.margin(i, t.acc1[p], t.acc2[p]) < -sinr.Tol {
+			return false
+		}
+	}
+	return true
+}
+
+// WorstMargin returns the minimum conservative margin over the members
+// and the request attaining it ((+Inf, -1) for an empty set).
+func (t *Tracker) WorstMargin() (float64, int) {
+	worst, arg := math.Inf(1), -1
+	for p, i := range t.members {
+		if mg := t.margin(i, t.acc1[p], t.acc2[p]); mg < worst {
+			worst = mg
+			arg = i
+		}
+	}
+	return worst, arg
+}
+
+// isFinite reports whether f is neither ±Inf nor NaN.
+func isFinite(f float64) bool {
+	return !math.IsInf(f, 0) && !math.IsNaN(f)
+}

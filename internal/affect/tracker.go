@@ -31,6 +31,8 @@ type Tracker struct {
 	acc1, acc2 []float64
 }
 
+var _ sinr.SetTracker = (*Tracker)(nil)
+
 // NewTracker builds an empty tracker for the given variant over the cache.
 // The model supplies the gain β and the noise ν; its path-loss exponent
 // must be the one the cache was built for. It panics if the cache lacks

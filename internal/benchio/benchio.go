@@ -1,0 +1,102 @@
+// Package benchio is the shared emission layer of the BENCH_*.json
+// benchmark trajectory files: a keyed recorder that deduplicates the
+// calibration reruns of the testing framework, sorts rows for stable
+// diffs, and flushes one indented JSON array per file from TestMain —
+// machinery that used to be copied per trajectory in bench_test.go. It
+// also standardizes the measured quantities: wall time plus allocator
+// pressure (bytes and allocations per operation).
+package benchio
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// Metrics is the per-operation cost of a finished benchmark loop. Embed
+// it in a row struct to flatten the fields into the JSON object.
+type Metrics struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+// Checkpoint snapshots the allocator counters before a timed loop.
+type Checkpoint struct {
+	totalAlloc, mallocs uint64
+}
+
+// Begin snapshots the allocator; call it before b.ResetTimer. The
+// counters are process-global, so concurrent benchmarks would pollute
+// each other — the framework runs benchmarks sequentially.
+func Begin() Checkpoint {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return Checkpoint{totalAlloc: ms.TotalAlloc, mallocs: ms.Mallocs}
+}
+
+// End converts the checkpoint into per-operation metrics for the
+// just-finished loop; call it with the timer stopped. TotalAlloc and
+// Mallocs are monotone (GC does not decrease them), so the deltas are
+// valid even with collection disabled inside the loop.
+func (c Checkpoint) End(b *testing.B) Metrics {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	n := float64(b.N)
+	return Metrics{
+		NsPerOp:     float64(b.Elapsed().Nanoseconds()) / n,
+		BytesPerOp:  float64(ms.TotalAlloc-c.totalAlloc) / n,
+		AllocsPerOp: float64(ms.Mallocs-c.mallocs) / n,
+	}
+}
+
+// Recorder accumulates benchmark rows keyed by identity. The framework
+// invokes each sub-benchmark several times (calibration first); keying
+// keeps only the final, longest measurement per sub-benchmark.
+type Recorder struct {
+	path string
+	mu   sync.Mutex
+	rows map[string]any
+}
+
+// NewRecorder returns a recorder that Flush writes to path.
+func NewRecorder(path string) *Recorder {
+	return &Recorder{path: path, rows: map[string]any{}}
+}
+
+// Record stores row under key, replacing any earlier measurement. The
+// key also fixes the row's position in the flushed file (rows are sorted
+// by key), so make it collate the way the file should read.
+func (r *Recorder) Record(key string, row any) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.rows[key] = row
+}
+
+// Flush writes the recorded rows as one sorted, indented JSON array. A
+// recorder that recorded nothing writes nothing — plain test runs leave
+// the trajectory files untouched.
+func (r *Recorder) Flush() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.rows) == 0 {
+		return nil
+	}
+	keys := make([]string, 0, len(r.rows))
+	for k := range r.rows {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	rows := make([]any, 0, len(keys))
+	for _, k := range keys {
+		rows = append(rows, r.rows[k])
+	}
+	data, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(r.path, append(data, '\n'), 0o644)
+}

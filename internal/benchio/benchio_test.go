@@ -1,0 +1,63 @@
+package benchio
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+type row struct {
+	Name string `json:"name"`
+	Metrics
+}
+
+func TestRecorderFlushSortedAndDeduped(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_x.json")
+	r := NewRecorder(path)
+	r.Record("b", row{Name: "b"})
+	r.Record("a", row{Name: "stale"})
+	r.Record("a", row{Name: "a", Metrics: Metrics{NsPerOp: 1}})
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows []row
+	if err := json.Unmarshal(data, &rows); err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 || rows[0].Name != "a" || rows[1].Name != "b" {
+		t.Fatalf("rows = %+v, want deduped [a b]", rows)
+	}
+	if rows[0].NsPerOp != 1 {
+		t.Fatalf("embedded metrics did not flatten: %+v", rows[0])
+	}
+}
+
+func TestRecorderEmptyWritesNothing(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_empty.json")
+	if err := NewRecorder(path).Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("empty recorder wrote %s", path)
+	}
+}
+
+func BenchmarkCheckpoint(b *testing.B) {
+	cp := Begin()
+	b.ResetTimer()
+	var sink []byte
+	for i := 0; i < b.N; i++ {
+		sink = make([]byte, 64)
+	}
+	b.StopTimer()
+	_ = sink
+	met := cp.End(b)
+	if met.NsPerOp < 0 || met.AllocsPerOp < 1 || met.BytesPerOp < 64 {
+		b.Fatalf("implausible metrics: %+v", met)
+	}
+}

@@ -70,7 +70,11 @@ func ThinToGainStrategy(m sinr.Model, in *problem.Instance, v sinr.Variant, powe
 		return nil, errors.New("coloring: ThinRandom needs an rng")
 	}
 	strict := m.WithBeta(betaPrime)
-	if c := strict.CacheFor(in, powers); c != nil {
+	if tp, probe, c := engineFor(strict, in, v, powers); tp != nil {
+		if pb, ok := tp.(pairBounder); ok {
+			return thinTrackedSparse(v, probe, pb, set, strat, rng)
+		}
+	} else if c != nil {
 		return thinTracked(strict, v, c, set, strat, rng)
 	}
 	cur := append([]int(nil), set...)
@@ -129,12 +133,6 @@ func ThinToGainStrategy(m sinr.Model, in *problem.Instance, v sinr.Variant, powe
 // loop, so the two paths pick the same victims except on floating-point
 // near-ties at the drift scale (~1e-15 relative).
 func thinTracked(strict sinr.Model, v sinr.Variant, c sinr.Cache, set []int, strat ThinStrategy, rng *rand.Rand) ([]int, error) {
-	tr := affect.NewTracker(strict, v, c)
-	for _, j := range set {
-		tr.Add(j)
-	}
-	signals := c.Signals()
-
 	// tot(j→i) is the worst-endpoint interference j adds at i, the score
 	// numerator of the direct loop.
 	tot := func(i, j int) float64 {
@@ -148,6 +146,42 @@ func thinTracked(strict sinr.Model, v sinr.Variant, c sinr.Cache, set []int, str
 			}
 			return t
 		}
+	}
+	return thinWithTracker(affect.NewTracker(strict, v, c), c.Signals(), tot, set, strat, rng)
+}
+
+// pairBounder is the optional per-pair query of the sparse engine: a
+// conservative upper bound on the affectance j adds at i's constraint
+// node(s), exact for near pairs.
+type pairBounder interface {
+	PairBound(i, j int) (float64, float64)
+}
+
+// thinTrackedSparse is the thinning loop over a sparse engine: margins
+// and feasibility come from the conservative tracker, the worst-offender
+// scores from the per-pair bounds. The surviving subset is feasible at
+// the strict gain under the exact constraints (conservative margins only
+// over-thin, never under-thin).
+func thinTrackedSparse(v sinr.Variant, tr sinr.SetTracker, pb pairBounder, set []int, strat ThinStrategy, rng *rand.Rand) ([]int, error) {
+	tot := func(i, j int) float64 {
+		b1, b2 := pb.PairBound(i, j)
+		if v == sinr.Bidirectional && b2 > b1 {
+			return b2
+		}
+		return b1
+	}
+	// The sparse engine implements sinr.Cache for exactly this metadata.
+	signals := pb.(sinr.Cache).Signals()
+	return thinWithTracker(tr, signals, tot, set, strat, rng)
+}
+
+// thinWithTracker is the victim-selection loop shared by the dense and
+// sparse tracked paths: the set lives in the tracker, whose accumulators
+// answer feasibility in O(|set|), and the worst-offender scores are
+// maintained incrementally through tot.
+func thinWithTracker(tr sinr.SetTracker, signals []float64, tot func(i, j int) float64, set []int, strat ThinStrategy, rng *rand.Rand) ([]int, error) {
+	for _, j := range set {
+		tr.Add(j)
 	}
 	var score []float64
 	if strat != ThinWorstMargin && strat != ThinRandom {

@@ -23,6 +23,37 @@ func LengthOrder(in *problem.Instance) []int {
 	return idx
 }
 
+// engineFor resolves the model's covering affectance cache for the
+// variant into the form the algorithms consume: a tracker provider (the
+// sparse engine, whose row accessors return nil) or a row cache (the
+// dense engine). Probing the provider costs one tracker build (O(n)
+// backing arrays), so that first tracker is returned for the caller to
+// use rather than re-allocate. At most provider or cache is non-nil;
+// both nil means the direct computation is the only oracle.
+func engineFor(m sinr.Model, in *problem.Instance, v sinr.Variant, powers []float64) (sinr.TrackerProvider, sinr.SetTracker, sinr.Cache) {
+	c := m.CacheFor(in, powers)
+	if c == nil {
+		return nil, nil, nil
+	}
+	if tp, ok := c.(sinr.TrackerProvider); ok {
+		if tr := tp.NewSetTracker(m, v); tr != nil {
+			return tp, tr, nil
+		}
+		return nil, nil, nil
+	}
+	// A dense cache built for the other variant has nil rows for this
+	// one; streaming them would fault, so fall back to the direct path.
+	if n := len(c.Signals()); n > 0 {
+		if v == sinr.Directed && c.DirectedInto(0) == nil {
+			return nil, nil, nil
+		}
+		if v == sinr.Bidirectional && c.IntoU(0) == nil {
+			return nil, nil, nil
+		}
+	}
+	return nil, nil, c
+}
+
 // classState caches, for one color class, the interference received at the
 // relevant nodes of each member, so that first-fit insertions cost O(|class|)
 // instead of O(|class|^2).
@@ -162,7 +193,10 @@ func GreedyFirstFit(m sinr.Model, in *problem.Instance, v sinr.Variant, powers [
 	if order == nil {
 		order = LengthOrder(in)
 	}
-	cache := m.CacheFor(in, powers)
+	tp, probe, cache := engineFor(m, in, v, powers)
+	if tp != nil {
+		return greedyTracked(m, in, v, powers, order, tp, probe)
+	}
 	s := problem.NewSchedule(in.N())
 	copy(s.Powers, powers)
 	var classes []*classState
@@ -194,6 +228,49 @@ func GreedyFirstFit(m sinr.Model, in *problem.Instance, v sinr.Variant, powers [
 	return s, nil
 }
 
+// greedyTracked is greedy first-fit over the trackers of a sparse-style
+// affectance engine: each color class is a sinr.SetTracker, admission is
+// CanAdd, so the loop never streams a dense row. Margins are conservative
+// — the schedule may use more colors than the exact dense greedy — but
+// every class the trackers accept is provably feasible under the exact
+// constraints.
+func greedyTracked(m sinr.Model, in *problem.Instance, v sinr.Variant, powers []float64, order []int, tp sinr.TrackerProvider, probe sinr.SetTracker) (*problem.Schedule, error) {
+	s := problem.NewSchedule(in.N())
+	copy(s.Powers, powers)
+	var classes []sinr.SetTracker
+	newTracker := func() sinr.SetTracker {
+		if tr := probe; tr != nil {
+			probe = nil
+			return tr
+		}
+		return tp.NewSetTracker(m, v)
+	}
+	for _, j := range order {
+		if powers[j]/m.RequestLoss(in, j) < m.Beta*m.Noise {
+			return nil, fmt.Errorf("%w: request %d", ErrUnschedulable, j)
+		}
+		placed := false
+		for c, tr := range classes {
+			if tr.CanAdd(j) {
+				tr.Add(j)
+				s.Colors[j] = c
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			tr := newTracker()
+			if !tr.CanAdd(j) {
+				return nil, fmt.Errorf("%w: request %d", ErrUnschedulable, j)
+			}
+			tr.Add(j)
+			classes = append(classes, tr)
+			s.Colors[j] = len(classes) - 1
+		}
+	}
+	return s, nil
+}
+
 // MaxFeasibleSubsetGreedy builds a single color class greedily: it scans the
 // requests in the given order (LengthOrder if nil) and keeps every request
 // that still fits. The result is a maximal (not maximum) feasible set, used
@@ -202,14 +279,26 @@ func MaxFeasibleSubsetGreedy(m sinr.Model, in *problem.Instance, v sinr.Variant,
 	if order == nil {
 		order = LengthOrder(in)
 	}
-	cache := m.CacheFor(in, powers)
-	cs := &classState{}
-	for _, j := range order {
-		if own, adds, ok := cs.fits(m, in, v, powers, cache, j); ok {
-			cs.add(j, own, adds)
+	tp, probe, cache := engineFor(m, in, v, powers)
+	var members []int
+	if tp != nil {
+		tr := probe
+		for _, j := range order {
+			if tr.CanAdd(j) {
+				tr.Add(j)
+			}
 		}
+		members = tr.Members()
+	} else {
+		cs := &classState{}
+		for _, j := range order {
+			if own, adds, ok := cs.fits(m, in, v, powers, cache, j); ok {
+				cs.add(j, own, adds)
+			}
+		}
+		members = cs.members
 	}
-	out := append([]int(nil), cs.members...)
+	out := append([]int(nil), members...)
 	sort.Ints(out)
 	return out
 }

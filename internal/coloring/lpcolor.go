@@ -149,15 +149,16 @@ func MaxFeasibleSubsetLP(m sinr.Model, in *problem.Instance, rng *rand.Rand) ([]
 // back to the full gain β (Proposition 3, covering the constant-factor
 // slack of Lemma 19 and the within-class length spread).
 func algorithmA(m sinr.Model, in *problem.Instance, powers []float64, remaining []int, rng *rand.Rand, stats *LPStats, opts LPOptions) ([]int, error) {
-	cache := m.CacheFor(in, powers)
+	tp, probe, cache := engineFor(m, in, sinr.Bidirectional, powers)
+	ib, _ := tp.(interferenceBounder)
 	classes := distanceClasses(in, remaining)
 	var selected []int
 	for _, class := range classes {
-		cand := candidatesWithinBudget(m, in, powers, selected, class)
+		cand := candidatesWithinBudget(m, in, powers, ib, selected, class)
 		if len(cand) == 0 {
 			continue
 		}
-		picked, err := selectByLP(m, in, powers, cache, selected, cand, rng, stats, opts)
+		picked, err := selectByLP(m, in, powers, cache, ib, selected, cand, rng, stats, opts)
 		if err != nil {
 			return nil, err
 		}
@@ -178,15 +179,6 @@ func algorithmA(m sinr.Model, in *problem.Instance, powers []float64, remaining 
 	// gain-β/2 allowance per distance class), so requests rejected by the
 	// rounding may still fit at the exact gain β. Greedily add them,
 	// longest first; this only grows the class and preserves feasibility.
-	cs := &classState{}
-	for _, j := range final {
-		own, adds, ok := cs.fits(m, in, sinr.Bidirectional, powers, cache, j)
-		if !ok {
-			// Cannot happen for a feasible set, but stay safe.
-			continue
-		}
-		cs.add(j, own, adds)
-	}
 	inFinal := make(map[int]bool, len(final))
 	for _, j := range final {
 		inFinal[j] = true
@@ -198,6 +190,32 @@ func algorithmA(m sinr.Model, in *problem.Instance, powers []float64, remaining 
 		}
 	}
 	sort.Slice(rest, func(a, b int) bool { return in.Length(rest[a]) > in.Length(rest[b]) })
+	if tp != nil {
+		// Sparse path: the class lives in a conservative tracker (the
+		// probe engineFor already built). The final set is exactly
+		// feasible; augmentation only admits requests whose conservative
+		// margins hold, which implies exact feasibility of the grown
+		// class.
+		tr := probe
+		for _, j := range final {
+			tr.Add(j)
+		}
+		for _, j := range rest {
+			if tr.CanAdd(j) {
+				tr.Add(j)
+			}
+		}
+		return tr.Members(), nil
+	}
+	cs := &classState{}
+	for _, j := range final {
+		own, adds, ok := cs.fits(m, in, sinr.Bidirectional, powers, cache, j)
+		if !ok {
+			// Cannot happen for a feasible set, but stay safe.
+			continue
+		}
+		cs.add(j, own, adds)
+	}
 	for _, j := range rest {
 		if own, adds, ok := cs.fits(m, in, sinr.Bidirectional, powers, cache, j); ok {
 			cs.add(j, own, adds)
@@ -243,15 +261,29 @@ func budget(m sinr.Model, in *problem.Instance, j int) float64 {
 	return 1 / (m.Beta * math.Sqrt(m.RequestLoss(in, j)))
 }
 
+// interferenceBounder is the set-query face of the sparse engine: a
+// conservative upper bound on the interference a set adds at a request's
+// endpoints. Budget checks run on it where the dense path would walk a
+// row — over-estimates only tighten the budgets, never break them.
+type interferenceBounder interface {
+	InterferenceBound(set []int, i int) (u, v float64)
+}
+
 // candidatesWithinBudget keeps the requests of class whose endpoints
 // currently receive at most their budget of interference from the already
-// selected shorter requests (the set C'_i of the paper).
-func candidatesWithinBudget(m sinr.Model, in *problem.Instance, powers []float64, selected, class []int) []int {
+// selected shorter requests (the set C'_i of the paper). With a sparse
+// engine (ib non-nil) the interference is its conservative bound.
+func candidatesWithinBudget(m sinr.Model, in *problem.Instance, powers []float64, ib interferenceBounder, selected, class []int) []int {
 	var out []int
 	for _, j := range class {
 		b := budget(m, in, j)
-		iu := m.RequestInterferenceU(in, powers, selected, j)
-		iv := m.RequestInterferenceV(in, powers, selected, j)
+		var iu, iv float64
+		if ib != nil {
+			iu, iv = ib.InterferenceBound(selected, j)
+		} else {
+			iu = m.RequestInterferenceU(in, powers, selected, j)
+			iv = m.RequestInterferenceV(in, powers, selected, j)
+		}
 		if iu <= b && iv <= b {
 			out = append(out, j)
 		}
@@ -265,7 +297,8 @@ func candidatesWithinBudget(m sinr.Model, in *problem.Instance, powers []float64
 // mutual interference must not reach the LP matrix. With a cache, a
 // zero-loss neighbor shows up as a non-finite affectance entry (powers are
 // positive for the square root assignment, so p/0 = +Inf).
-func conflictFree(m sinr.Model, in *problem.Instance, cache sinr.Cache, cand []int) []int {
+func conflictFree(m sinr.Model, in *problem.Instance, cache sinr.Cache, ib interferenceBounder, cand []int) []int {
+	pb, _ := ib.(pairBounder)
 	var out []int
 	for _, j := range cand {
 		ok := true
@@ -273,6 +306,16 @@ func conflictFree(m sinr.Model, in *problem.Instance, cache sinr.Cache, cand []i
 			rowU, rowV := cache.IntoU(j), cache.IntoV(j)
 			for _, k := range out {
 				if math.IsInf(rowU[k], 1) || math.IsInf(rowV[k], 1) || math.IsNaN(rowU[k]) || math.IsNaN(rowV[k]) {
+					ok = false
+					break
+				}
+			}
+		} else if pb != nil {
+			// Sparse engine: a zero-loss pair shares a grid cell, so its
+			// non-finite affectance is stored exactly and surfaces here.
+			for _, k := range out {
+				bu, bv := pb.PairBound(j, k)
+				if math.IsInf(bu, 1) || math.IsInf(bv, 1) || math.IsNaN(bu) || math.IsNaN(bv) {
 					ok = false
 					break
 				}
@@ -296,8 +339,8 @@ func conflictFree(m sinr.Model, in *problem.Instance, cache sinr.Cache, cand []i
 // at every candidate endpoint, by solving the packing LP of Lemma 16 and
 // rounding, followed by an alteration step that repairs any violated budget
 // by dropping offenders.
-func selectByLP(m sinr.Model, in *problem.Instance, powers []float64, cache sinr.Cache, selected, cand []int, rng *rand.Rand, stats *LPStats, opts LPOptions) ([]int, error) {
-	cand = conflictFree(m, in, cache, cand)
+func selectByLP(m sinr.Model, in *problem.Instance, powers []float64, cache sinr.Cache, ib interferenceBounder, selected, cand []int, rng *rand.Rand, stats *LPStats, opts LPOptions) ([]int, error) {
+	cand = conflictFree(m, in, cache, ib, cand)
 	if len(cand) == 0 {
 		return nil, nil
 	}
@@ -380,7 +423,7 @@ func selectByLP(m sinr.Model, in *problem.Instance, powers []float64, cache sinr
 		}
 		picked = []int{cand[best]}
 	}
-	return repairBudget(m, in, powers, cache, selected, picked), nil
+	return repairBudget(m, in, powers, cache, ib, selected, picked), nil
 }
 
 // repairBudget drops requests from picked until, at every endpoint of every
@@ -388,15 +431,23 @@ func selectByLP(m sinr.Model, in *problem.Instance, powers []float64, cache sinr
 // endpoint's budget (counting the full budget for the combined set, since
 // candidates already pre-passed the half granted to selected). The victim
 // of each round is the picked request exerting the largest total
-// interference on the other picked endpoints.
-func repairBudget(m sinr.Model, in *problem.Instance, powers []float64, cache sinr.Cache, selected, picked []int) []int {
+// interference on the other picked endpoints. With a sparse engine the
+// interference and the offender scores are its conservative bounds, which
+// can only drop more — the surviving set still meets the exact budgets.
+func repairBudget(m sinr.Model, in *problem.Instance, powers []float64, cache sinr.Cache, ib interferenceBounder, selected, picked []int) []int {
+	pb, _ := ib.(pairBounder)
 	for len(picked) > 0 {
 		all := append(append([]int(nil), selected...), picked...)
 		violated := false
 		for _, j := range picked {
 			b := 2 * budget(m, in, j) // full gain-β/2 allowance
-			iu := m.RequestInterferenceU(in, powers, all, j)
-			iv := m.RequestInterferenceV(in, powers, all, j)
+			var iu, iv float64
+			if ib != nil {
+				iu, iv = ib.InterferenceBound(all, j)
+			} else {
+				iu = m.RequestInterferenceU(in, powers, all, j)
+				iv = m.RequestInterferenceV(in, powers, all, j)
+			}
 			if iu > b || iv > b {
 				violated = true
 				break
@@ -417,9 +468,12 @@ func repairBudget(m sinr.Model, in *problem.Instance, powers []float64, cache si
 					continue
 				}
 				var cu, cv float64
-				if fromU != nil {
+				switch {
+				case fromU != nil:
 					cu, cv = fromU[i], fromV[i]
-				} else {
+				case pb != nil:
+					cu, cv = pb.PairBound(i, j)
+				default:
 					cu = powers[j] / m.MinLossToNode(in, j, in.Reqs[i].U)
 					cv = powers[j] / m.MinLossToNode(in, j, in.Reqs[i].V)
 				}

@@ -28,10 +28,14 @@ type Engine struct {
 	in     *problem.Instance
 	powers []float64
 	cache  sinr.Cache
-	lens   []float64 // request lengths, for the power-fit order
+	// provider is non-nil when the model carried a sparse affectance
+	// engine: slots then run on its conservative trackers instead of the
+	// dense row-backed ones, so the engine never needs the n×n matrices.
+	provider sinr.TrackerProvider
+	lens     []float64 // request lengths, for the power-fit order
 
 	slots  []*slot
-	free   []*affect.Tracker // recycled trackers (Reset, not reallocated)
+	free   []sinr.SetTracker // recycled trackers (Reset, not reallocated)
 	slotOf []int             // slotOf[i] = slot of request i, -1 if absent
 	active int
 
@@ -46,7 +50,7 @@ type Engine struct {
 // which the power-fit admission uses to preserve the longest-first
 // discipline per slot (math.Inf(1) when empty).
 type slot struct {
-	tr     *affect.Tracker
+	tr     sinr.SetTracker
 	minLen float64
 }
 
@@ -137,7 +141,13 @@ func New(m sinr.Model, in *problem.Instance, v sinr.Variant, powers []float64, o
 		return nil, fmt.Errorf("online: compaction threshold must be in (0,1], got %g", e.threshold)
 	}
 	e.cache = m.CacheFor(in, e.powers)
-	if e.cache == nil || !cacheHasVariant(e.cache, v) {
+	if tp, ok := e.cache.(sinr.TrackerProvider); ok {
+		if tr := tp.NewSetTracker(m, v); tr != nil {
+			e.provider = tp
+			e.free = append(e.free, tr) // the probe tracker is the first slot's
+		}
+	}
+	if e.provider == nil && (e.cache == nil || !cacheHasVariant(e.cache, v)) {
 		e.cache = affect.New(m, v, in, e.powers)
 	}
 	return e, nil
@@ -419,11 +429,14 @@ func (e *Engine) renumber() {
 
 // --- tracker plumbing (with RowOps accounting) ---
 
-func (e *Engine) newTracker() *affect.Tracker {
+func (e *Engine) newTracker() sinr.SetTracker {
 	if n := len(e.free); n > 0 {
 		tr := e.free[n-1]
 		e.free = e.free[:n-1]
 		return tr
+	}
+	if e.provider != nil {
+		return e.provider.NewSetTracker(e.m, e.v)
 	}
 	return affect.NewTracker(e.m, e.v, e.cache)
 }

@@ -88,6 +88,59 @@ type Cache interface {
 	Losses() []float64
 }
 
+// SetTracker is the incremental set-feasibility engine the schedulers
+// drive: it maintains one simultaneously transmitting set and answers
+// membership, margin and admission queries without re-scanning the set
+// from scratch. Package affect provides the exact dense implementation
+// (affect.Tracker); package affect/sparse provides a conservative
+// grid-bucketed one whose margins are lower bounds on the true margins,
+// so a set it accepts is always truly feasible.
+//
+// Implementations are not safe for concurrent use.
+type SetTracker interface {
+	// Len returns the current set size.
+	Len() int
+	// At returns the k-th member in insertion order, without allocating.
+	At(k int) int
+	// Contains reports whether request i is in the set.
+	Contains(i int) bool
+	// Members returns the current set in insertion order (a copy).
+	Members() []int
+	// Reset empties the tracker without dropping its backing storage.
+	Reset()
+	// Add inserts request i; it panics if i is already a member.
+	Add(i int)
+	// Remove deletes request i; it panics if i is not a member.
+	Remove(i int)
+	// Margin returns the (possibly conservative) SINR margin of member i.
+	Margin(i int) float64
+	// AddMargin returns the margin request i would have if added, without
+	// mutating the tracker.
+	AddMargin(i int) float64
+	// CanAdd reports whether request i can join without violating its own
+	// constraint or any member's.
+	CanAdd(i int) bool
+	// SetFeasible reports whether every member's constraint holds.
+	SetFeasible() bool
+	// WorstMargin returns the minimum margin over the members and the
+	// request attaining it ((+Inf, -1) for an empty set).
+	WorstMargin() (float64, int)
+}
+
+// TrackerProvider is the hook through which an affectance engine that does
+// not materialize full rows (the sparse engine) exposes its incremental
+// feasibility machinery. A cache that implements it is consumed through
+// trackers; its row accessors may return nil, and row-walking query paths
+// must check this interface before streaming rows.
+//
+// NewSetTracker returns a fresh empty tracker for the model's gain and
+// noise under the given variant, or nil when the engine was not built for
+// that variant (or the model's path-loss exponent differs) — callers fall
+// back to the direct computation in that case.
+type TrackerProvider interface {
+	NewSetTracker(m Model, v Variant) SetTracker
+}
+
 // WithCache returns a copy of the model with the affectance cache
 // attached. Interference queries consult the cache only when it Covers
 // their instance and powers, so attaching a cache never changes results —

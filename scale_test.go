@@ -1,49 +1,208 @@
-package oblivious
+// Scale coverage: the evaluation sizes of the seed experiments (512) and
+// the sparse affectance engine's production sizes (2000–50000).
+// BenchmarkSparseScale emits BENCH_scale.json through the shared
+// internal/benchio recorder flushed by TestMain in bench_test.go.
+package oblivious_test
 
 import (
+	"context"
+	"fmt"
+	"math"
 	"math/rand"
+	"os"
+	"runtime"
+	"runtime/debug"
 	"testing"
 
+	oblivious "repro"
+	"repro/internal/affect"
+	"repro/internal/affect/sparse"
+	"repro/internal/benchio"
+	"repro/internal/coloring"
 	"repro/internal/instance"
+	"repro/internal/power"
+	"repro/internal/sinr"
 )
 
-// TestScale512 exercises the schedulers at the largest size the evaluation
-// uses (512 requests / 1024 nodes) and validates every schedule. Skipped
-// under -short.
+// TestScale512 exercises the schedulers at the largest size the seed
+// evaluation uses (512 requests / 1024 nodes) and validates every
+// schedule. Skipped under -short.
 func TestScale512(t *testing.T) {
 	if testing.Short() {
 		t.Skip("scale test skipped in short mode")
 	}
-	m := DefaultModel()
+	m := oblivious.DefaultModel()
 	in, err := instance.UniformRandom(rand.New(rand.NewSource(512)), 512, 600, 1, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
 
-	g, err := ScheduleGreedy(m, in, Bidirectional, Sqrt())
+	g, err := oblivious.ScheduleGreedy(m, in, oblivious.Bidirectional, oblivious.Sqrt())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := Validate(m, in, Bidirectional, g); err != nil {
+	if err := oblivious.Validate(m, in, oblivious.Bidirectional, g); err != nil {
 		t.Errorf("greedy@512 invalid: %v", err)
 	}
 
-	lp, _, err := ScheduleLP(m, in, 1)
+	lp, _, err := oblivious.ScheduleLP(m, in, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := Validate(m, in, Bidirectional, lp); err != nil {
+	if err := oblivious.Validate(m, in, oblivious.Bidirectional, lp); err != nil {
 		t.Errorf("LP@512 invalid: %v", err)
 	}
 	if lp.NumColors() > 3*g.NumColors()+2 {
 		t.Errorf("LP colors %d far above greedy %d at scale", lp.NumColors(), g.NumColors())
 	}
 
-	d, err := ScheduleGreedy(m, in, Directed, Sqrt())
+	d, err := oblivious.ScheduleGreedy(m, in, oblivious.Directed, oblivious.Sqrt())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := Validate(m, in, Directed, d); err != nil {
+	if err := oblivious.Validate(m, in, oblivious.Directed, d); err != nil {
 		t.Errorf("directed greedy@512 invalid: %v", err)
+	}
+}
+
+// scaleInstance grows the deployment area with √n so the request density
+// — and with it the per-slot contention — stays constant across sizes,
+// which is how a production deployment actually scales.
+func scaleInstance(tb testing.TB, n int) *oblivious.Instance {
+	tb.Helper()
+	side := 300 * math.Sqrt(float64(n)/2000)
+	in, err := instance.UniformRandom(rand.New(rand.NewSource(int64(n))), n, side, 1, 8)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return in
+}
+
+// TestSparseSolveScale runs the public solver API with the sparse engine
+// forced at n=2000 for both variants and the online solver, validating
+// every schedule against the exact constraints (WithValidation uses the
+// uncached oracle), and pins the memory story: the sparse engine must
+// store well under a tenth of the dense entry count. Skipped under
+// -short.
+func TestSparseSolveScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale test skipped in short mode")
+	}
+	const n = 2000
+	m := oblivious.DefaultModel()
+	in := scaleInstance(t, n)
+
+	for _, v := range []oblivious.Variant{oblivious.Bidirectional, oblivious.Directed} {
+		res, err := oblivious.Lookup("greedy").Solve(context.Background(), m, in,
+			oblivious.WithVariant(v),
+			oblivious.WithAffectanceMode(oblivious.AffectSparse),
+			oblivious.WithValidation(true))
+		if err != nil {
+			t.Fatalf("sparse greedy %s: %v", v, err)
+		}
+		dense, err := oblivious.Lookup("greedy").Solve(context.Background(), m, in,
+			oblivious.WithVariant(v),
+			oblivious.WithAffectanceMode(oblivious.AffectDense),
+			oblivious.WithValidation(true))
+		if err != nil {
+			t.Fatalf("dense greedy %s: %v", v, err)
+		}
+		t.Logf("%s: sparse %d colors, dense %d colors", v, res.Stats.Colors, dense.Stats.Colors)
+		// Conservative margins cost schedule length; the bound here is a
+		// regression tripwire, not a theorem.
+		if res.Stats.Colors > 4*dense.Stats.Colors+4 {
+			t.Errorf("%s: sparse colors %d far above dense %d", v, res.Stats.Colors, dense.Stats.Colors)
+		}
+	}
+
+	res, err := oblivious.Lookup("online").Solve(context.Background(), m, in,
+		oblivious.WithAffectanceMode(oblivious.AffectSparse),
+		oblivious.WithValidation(true))
+	if err != nil {
+		t.Fatalf("sparse online: %v", err)
+	}
+	if res.Stats.Online == nil || res.Stats.Online.PeakSlots < res.Stats.Colors {
+		t.Errorf("online stats implausible: %+v", res.Stats.Online)
+	}
+
+	powers := power.Powers(m, in, power.Sqrt())
+	eng, err := sparse.New(m, sinr.Bidirectional, in, powers, sparse.Options{Epsilon: sparse.DefaultEpsilon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if denseEntries := n * n; eng.Entries()*10 > denseEntries {
+		t.Errorf("sparse stores %d entries, not sparse against %d dense", eng.Entries(), denseEntries)
+	}
+}
+
+// scaleRow is one row of BENCH_scale.json: a greedy solve (engine build
+// + coloring) at one size and engine mode, with the schedule length the
+// conservative margins cost.
+type scaleRow struct {
+	Benchmark string `json:"benchmark"`
+	N         int    `json:"n"`
+	Mode      string `json:"mode"`
+	Colors    int    `json:"peak_slots"`
+	benchio.Metrics
+}
+
+var scaleRec = benchio.NewRecorder("BENCH_scale.json")
+
+// BenchmarkSparseScale is the acceptance benchmark of the sparse engine:
+// an end-to-end greedy solve (engine build included) at n ∈ {2000,
+// 10000, 50000}. Dense runs only at 2000 — at 10000 its matrices already
+// need ≈3 GB and at 50000 ≈120 GB, which is the point of the sparse
+// engine; n=50000 itself is opt-in via OBLIVIOUS_SCALE_FULL=1 (minutes
+// of runtime). Every sparse schedule is cross-checked against the dense
+// oracle untimed.
+func BenchmarkSparseScale(b *testing.B) {
+	m := sinr.Default()
+	for _, n := range []int{2000, 10000, 50000} {
+		if n == 50000 && os.Getenv("OBLIVIOUS_SCALE_FULL") == "" {
+			continue
+		}
+		in := scaleInstance(b, n)
+		powers := power.Powers(m, in, power.Sqrt())
+		modes := []string{"sparse"}
+		if n <= 2000 {
+			modes = append(modes, "dense")
+		}
+		for _, mode := range modes {
+			b.Run(fmt.Sprintf("n=%d/mode=%s", n, mode), func(b *testing.B) {
+				b.ReportAllocs()
+				runtime.GC()
+				defer debug.SetGCPercent(debug.SetGCPercent(-1))
+				var sched *oblivious.Schedule
+				cp := benchio.Begin()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					mm := m
+					if mode == "sparse" {
+						c, err := sparse.New(m, sinr.Bidirectional, in, powers, sparse.Options{Epsilon: sparse.DefaultEpsilon})
+						if err != nil {
+							b.Fatal(err)
+						}
+						mm = m.WithCache(c)
+					} else {
+						mm = m.WithCache(affect.New(m, sinr.Bidirectional, in, powers))
+					}
+					s, err := coloring.GreedyFirstFit(mm, in, sinr.Bidirectional, powers, nil)
+					if err != nil {
+						b.Fatal(err)
+					}
+					sched = s
+				}
+				b.StopTimer()
+				met := cp.End(b)
+				// Dense-oracle cross-check of the produced schedule, untimed:
+				// the model carries no cache here, so every margin is the
+				// direct exact computation.
+				if err := m.CheckSchedule(in, sinr.Bidirectional, sched); err != nil {
+					b.Fatalf("%s schedule fails the dense oracle: %v", mode, err)
+				}
+				scaleRec.Record(fmt.Sprintf("SparseScale/%07d/%s", n, mode),
+					scaleRow{Benchmark: "SparseScale", N: n, Mode: mode, Colors: sched.NumColors(), Metrics: met})
+			})
+		}
 	}
 }

@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/affect"
+	"repro/internal/affect/sparse"
 	"repro/internal/coloring"
 	"repro/internal/distributed"
 	"repro/internal/online"
@@ -93,6 +94,16 @@ type Options struct {
 	// WithAffectanceCache(false) to run every interference query through
 	// the direct oracle computation.
 	Affectance bool
+	// Mode selects between the dense n×n affectance engine, the sparse
+	// spatially-bucketed one, and automatic selection by instance size
+	// (the default; see WithAffectanceMode).
+	Mode AffectanceMode
+	// Epsilon is the sparse engine's far-field error budget: every
+	// stored-or-bounded entry overestimates the true affectance by at
+	// most a factor 1+ε, so sparse-accepted schedules stay exactly
+	// feasible. 0 degenerates to the dense path bitwise (see
+	// WithEpsilon).
+	Epsilon float64
 	// Admission names the slot-admission policy of the online engine:
 	// "first-fit", "best-fit", or "power-fit" (online solver only).
 	Admission string
@@ -108,13 +119,82 @@ type Options struct {
 
 // DefaultOptions returns the settings a bare Solve call runs with:
 // bidirectional constraints, square root powers, seed 1, no
-// re-validation, GOMAXPROCS batch parallelism, affectance cache on,
-// first-fit admission with lazy repair for the online engine.
+// re-validation, GOMAXPROCS batch parallelism, affectance cache on in
+// auto mode with the default sparse error budget, first-fit admission
+// with lazy repair for the online engine.
 func DefaultOptions() Options {
 	return Options{
 		Variant: Bidirectional, Assignment: Sqrt(), Seed: 1, Affectance: true,
+		Mode: AffectAuto, Epsilon: DefaultSparseEpsilon,
 		Admission: online.FirstFit.String(), Repair: online.LazyRepair.String(),
 	}
+}
+
+// AffectanceMode selects how the affectance engine on the SINR hot path
+// is realized.
+type AffectanceMode int
+
+const (
+	// AffectAuto picks the engine by instance size: dense below
+	// sparse.AutoThreshold requests (bitwise-exact, ≤ ~½ GB of
+	// matrices), sparse above it when the metric carries coordinates
+	// and the epsilon budget is positive, dense otherwise.
+	AffectAuto AffectanceMode = iota
+	// AffectDense forces the dense n×n engine regardless of size.
+	AffectDense
+	// AffectSparse forces the grid-bucketed sparse engine; solving fails
+	// if the instance metric carries no coordinates (explicit distance
+	// matrices, tree or star metrics).
+	AffectSparse
+)
+
+// String names the mode as the CLI flags spell it.
+func (mode AffectanceMode) String() string {
+	switch mode {
+	case AffectAuto:
+		return "auto"
+	case AffectDense:
+		return "dense"
+	case AffectSparse:
+		return "sparse"
+	default:
+		return fmt.Sprintf("AffectanceMode(%d)", int(mode))
+	}
+}
+
+// ParseAffectanceMode parses the textual mode syntax of the CLIs:
+// "auto", "dense", or "sparse".
+func ParseAffectanceMode(s string) (AffectanceMode, error) {
+	switch s {
+	case "auto":
+		return AffectAuto, nil
+	case "dense":
+		return AffectDense, nil
+	case "sparse":
+		return AffectSparse, nil
+	default:
+		return 0, fmt.Errorf("unknown affectance mode %q (want auto, dense, or sparse)", s)
+	}
+}
+
+// DefaultSparseEpsilon is the default far-field error budget of the
+// sparse affectance engine (see internal/affect/sparse).
+const DefaultSparseEpsilon = sparse.DefaultEpsilon
+
+// Resolve collapses AffectAuto to the engine a solve would actually use
+// for the instance under the given epsilon budget: sparse at
+// n ≥ sparse.AutoThreshold when the metric carries grid coordinates and
+// the budget is positive, dense otherwise. Explicit modes resolve to
+// themselves. It is the single selection predicate — attachCache and the
+// CLI trace path both consult it, so the rule cannot drift.
+func (mode AffectanceMode) Resolve(in *Instance, eps float64) AffectanceMode {
+	if mode != AffectAuto {
+		return mode
+	}
+	if eps != 0 && in.N() >= sparse.AutoThreshold && sparse.Supported(in.Space) {
+		return AffectSparse
+	}
+	return AffectDense
 }
 
 // Option mutates Options. Pass any number of them to Solve or SolveAll.
@@ -146,6 +226,23 @@ func WithParallelism(n int) Option { return func(o *Options) { o.Parallelism = n
 // SolveAll batch store.
 func WithAffectanceCache(on bool) Option { return func(o *Options) { o.Affectance = on } }
 
+// WithAffectanceMode selects the affectance engine: AffectDense for the
+// exact n×n matrices, AffectSparse for the grid-bucketed conservative
+// engine that scales to n≈50000, AffectAuto (the default) to switch on
+// instance size. The sparse engine never produces an infeasible
+// schedule — its margins are lower bounds on the exact ones — but it may
+// use more colors; WithEpsilon tunes that trade.
+func WithAffectanceMode(mode AffectanceMode) Option {
+	return func(o *Options) { o.Mode = mode }
+}
+
+// WithEpsilon sets the sparse engine's far-field error budget (default
+// DefaultSparseEpsilon): each far-pair affectance bound overestimates the
+// true value by at most a factor 1+ε. Smaller ε keeps more exact entries
+// (more memory, tighter margins, fewer colors); ε = 0 degenerates to the
+// dense engine bitwise. Negative values fail the solve.
+func WithEpsilon(eps float64) Option { return func(o *Options) { o.Epsilon = eps } }
+
 // WithAdmission selects the online engine's slot-admission policy by name:
 // "first-fit" (default), "best-fit", or "power-fit". Only the online
 // solver consults it.
@@ -160,17 +257,34 @@ func WithRepair(name string) Option { return func(o *Options) { o.Repair = name 
 // per-instance cache store.
 func withCacheStore(s *affect.Store) Option { return func(o *Options) { o.caches = s } }
 
-// attachCache returns m with the affectance cache for (variant, instance,
-// powers) attached, honoring WithAffectanceCache and reusing the batch
-// store when SolveAll provides one.
-func (o Options) attachCache(m Model, in *Instance, v Variant, powers []float64) Model {
+// attachCache returns m with the affectance engine for (variant,
+// instance, powers) attached, honoring WithAffectanceCache,
+// WithAffectanceMode and WithEpsilon, and reusing the batch store when
+// SolveAll provides one. It fails when the sparse engine is forced on a
+// metric without coordinates or the epsilon budget is invalid.
+func (o Options) attachCache(m Model, in *Instance, v Variant, powers []float64) (Model, error) {
+	if o.Epsilon < 0 || math.IsNaN(o.Epsilon) {
+		// Rejected up front, regardless of which engine the mode resolves
+		// to — the same option must not validate size-dependently.
+		return m, fmt.Errorf("epsilon must be ≥ 0, got %g", o.Epsilon)
+	}
 	if !o.Affectance {
-		return m
+		return m, nil
+	}
+	if mode := o.Mode.Resolve(in, o.Epsilon); mode == AffectSparse {
+		// The batch store dedupes dense matrices only; a sparse engine is
+		// cheap relative to the solves that select it, so each build is
+		// per-solve.
+		c, err := sparse.For(m, v, in, powers, sparse.Options{Epsilon: o.Epsilon})
+		if err != nil {
+			return m, err
+		}
+		return m.WithCache(c), nil
 	}
 	if o.caches != nil {
-		return m.WithCache(o.caches.For(m, v, in, powers))
+		return m.WithCache(o.caches.For(m, v, in, powers)), nil
 	}
-	return m.WithCache(affect.New(m, v, in, powers))
+	return m.WithCache(affect.New(m, v, in, powers)), nil
 }
 
 func buildOptions(opts []Option) Options {
@@ -242,6 +356,12 @@ func (s solverFunc) Solve(ctx context.Context, m Model, in *Instance, opts ...Op
 	o := buildOptions(opts)
 	if o.Assignment == nil {
 		return nil, fmt.Errorf("%s: nil power assignment", s.name)
+	}
+	if o.Epsilon < 0 || math.IsNaN(o.Epsilon) {
+		// Every solver rejects an invalid budget here, uniformly — not
+		// just the ones whose engine selection happens to reach the
+		// sparse constructor.
+		return nil, fmt.Errorf("%s: epsilon must be ≥ 0, got %g", s.name, o.Epsilon)
 	}
 	start := time.Now()
 	res, err := s.fn(ctx, m, in, o)
@@ -337,7 +457,10 @@ func init() {
 // the only solver that supports both variants and every assignment.
 func solveGreedy(_ context.Context, m Model, in *Instance, o Options) (*Result, error) {
 	powers := power.Powers(m, in, o.Assignment)
-	m = o.attachCache(m, in, o.Variant, powers)
+	m, err := o.attachCache(m, in, o.Variant, powers)
+	if err != nil {
+		return nil, err
+	}
 	s, err := coloring.GreedyFirstFit(m, in, o.Variant, powers, nil)
 	if err != nil {
 		return nil, err
@@ -364,7 +487,10 @@ func solveOnline(ctx context.Context, m Model, in *Instance, o Options) (*Result
 		return nil, err
 	}
 	powers := power.Powers(m, in, o.Assignment)
-	m = o.attachCache(m, in, o.Variant, powers)
+	m, err = o.attachCache(m, in, o.Variant, powers)
+	if err != nil {
+		return nil, err
+	}
 	eng, err := online.New(m, in, o.Variant, powers, online.WithAdmission(adm), online.WithRepair(rep))
 	if err != nil {
 		return nil, err
@@ -408,6 +534,22 @@ func solveOnline(ctx context.Context, m Model, in *Instance, o Options) (*Result
 	return &Result{Schedule: eng.Snapshot(), Stats: Stats{Online: &st}}, nil
 }
 
+// requireDenseEngine guards the solvers whose cores have no sparse path
+// — the treestar pipeline and the distributed simulator build and walk
+// dense rows internally. Forcing the sparse engine on them must fail
+// loudly instead of silently allocating the dense matrices anyway (or
+// silently degrading every probe to the uncached direct computation),
+// and auto mode must resolve to dense for them regardless of size.
+func requireDenseEngine(o *Options, in *Instance, name string) error {
+	if o.Affectance && o.Mode.Resolve(in, o.Epsilon) == AffectSparse {
+		if o.Mode == AffectSparse {
+			return fmt.Errorf("the %s solver runs on the dense affectance engine; use WithAffectanceMode(dense or auto)", name)
+		}
+		o.Mode = AffectDense // auto: this core has no sparse path
+	}
+	return nil
+}
+
 // requireSqrtBidirectional guards the Theorem 2/15 algorithms, which are
 // defined for bidirectional requests under the square root assignment.
 // The assignment is checked by behavior, not by name: any implementation
@@ -436,7 +578,10 @@ func solveLP(ctx context.Context, m Model, in *Instance, o Options) (*Result, er
 	// Attach the cache here (rather than letting the coloring build its
 	// own) so a SolveAll batch store can share it; the coloring recognizes
 	// the covering cache on its internally derived powers by value.
-	m = o.attachCache(m, in, Bidirectional, power.Powers(m, in, power.Sqrt()))
+	m, err := o.attachCache(m, in, Bidirectional, power.Powers(m, in, power.Sqrt()))
+	if err != nil {
+		return nil, err
+	}
 	s, stats, err := coloring.SqrtLPColoringCtx(ctx, m, in, rand.New(rand.NewSource(o.Seed)), coloring.LPOptions{NoCache: !o.Affectance})
 	if err != nil {
 		return nil, err
@@ -448,6 +593,9 @@ func solveLP(ctx context.Context, m Model, in *Instance, o Options) (*Result, er
 // centroid stars, thinning).
 func solvePipeline(ctx context.Context, m Model, in *Instance, o Options) (*Result, error) {
 	if err := requireSqrtBidirectional(o); err != nil {
+		return nil, err
+	}
+	if err := requireDenseEngine(&o, in, "pipeline"); err != nil {
 		return nil, err
 	}
 	s, stats, err := treestar.Pipeline{NoCache: !o.Affectance}.ColoringWithStats(ctx, m, in, rand.New(rand.NewSource(o.Seed)))
@@ -463,6 +611,9 @@ func solveDistributed(ctx context.Context, m Model, in *Instance, o Options) (*R
 	if o.Variant != Bidirectional {
 		return nil, errors.New("requires the bidirectional variant")
 	}
+	if err := requireDenseEngine(&o, in, "distributed"); err != nil {
+		return nil, err
+	}
 	p := distributed.Default()
 	p.Assignment = o.Assignment
 	p.NoCache = !o.Affectance
@@ -470,7 +621,11 @@ func solveDistributed(ctx context.Context, m Model, in *Instance, o Options) (*R
 		// Pre-attach from the batch store so repeated simulations of one
 		// instance share the matrices; RunContext skips its own build when
 		// the model already carries a covering cache.
-		m = o.attachCache(m, in, Bidirectional, power.Powers(m, in, o.Assignment))
+		var err error
+		m, err = o.attachCache(m, in, Bidirectional, power.Powers(m, in, o.Assignment))
+		if err != nil {
+			return nil, err
+		}
 	}
 	res, err := p.RunContext(ctx, m, in, rand.New(rand.NewSource(o.Seed)))
 	if err != nil {

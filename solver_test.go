@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/affect/sparse"
 	"repro/internal/coloring"
 	"repro/internal/distributed"
 	"repro/internal/instance"
@@ -479,5 +480,134 @@ func TestSolveAllSharedCache(t *testing.T) {
 				t.Fatalf("batch result %d diverged from single solve at request %d", k, i)
 			}
 		}
+	}
+}
+
+// TestAffectanceModeSelection pins the engine-selection matrix of
+// attachCache: auto switches to sparse only above the threshold, on a
+// coordinate metric, with a positive epsilon; explicit modes override;
+// forcing sparse on a matrix metric fails the solve.
+func TestAffectanceModeSelection(t *testing.T) {
+	m := DefaultModel()
+	small, err := instance.UniformRandom(rand.New(rand.NewSource(2)), 30, 150, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	powers := PowersFor(m, small, Sqrt())
+
+	engineType := func(o Options) string {
+		t.Helper()
+		mm, err := o.attachCache(m, small, Bidirectional, powers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := mm.CacheFor(small, powers)
+		switch {
+		case c == nil:
+			return "none"
+		case c.IntoU(0) != nil:
+			return "dense"
+		default:
+			return "sparse"
+		}
+	}
+
+	base := DefaultOptions()
+	if got := engineType(base); got != "dense" {
+		t.Errorf("auto below threshold: engine = %s, want dense", got)
+	}
+	forced := base
+	forced.Mode = AffectSparse
+	if got := engineType(forced); got != "sparse" {
+		t.Errorf("forced sparse: engine = %s, want sparse", got)
+	}
+	forced.Epsilon = 0
+	if got := engineType(forced); got != "dense" {
+		t.Errorf("sparse with ε=0: engine = %s, want dense (bitwise degeneration)", got)
+	}
+	off := base
+	off.Affectance = false
+	if got := engineType(off); got != "none" {
+		t.Errorf("affectance off: engine = %s, want none", got)
+	}
+
+	// Auto above the threshold selects sparse without touching the dense
+	// matrices (this would be a multi-GB allocation if it picked dense at
+	// a production size; here the threshold boundary is what's pinned).
+	big, err := instance.UniformRandom(rand.New(rand.NewSource(3)), sparse.AutoThreshold, 700, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigPowers := PowersFor(m, big, Sqrt())
+	mm, err := DefaultOptions().attachCache(m, big, Bidirectional, bigPowers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := mm.CacheFor(big, bigPowers); c == nil || c.IntoU(0) != nil {
+		t.Errorf("auto at threshold: want the sparse engine")
+	}
+
+	// Metrics without coordinates cannot be bucketed: auto falls back to
+	// dense, forcing sparse errors out.
+	line, err := instance.LineChain(8, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sparse.Supported(line.Space) {
+		t.Fatal("line metrics should support the grid")
+	}
+	dm := make([][]float64, 3)
+	for i := range dm {
+		dm[i] = make([]float64, 3)
+		for j := range dm[i] {
+			if i != j {
+				dm[i][j] = float64(1 + (i+j)%2)
+			}
+		}
+	}
+	matIn, err := NewMatrixInstance(dm, []Request{{U: 0, V: 1}, {U: 1, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	matPowers := PowersFor(m, matIn, Sqrt())
+	forcedMat := DefaultOptions()
+	forcedMat.Mode = AffectSparse
+	if _, err := forcedMat.attachCache(m, matIn, Bidirectional, matPowers); err == nil {
+		t.Error("forcing sparse on a matrix metric should fail")
+	}
+	if _, err := Lookup("greedy").Solve(context.Background(), m, matIn,
+		WithAffectanceMode(AffectSparse)); err == nil {
+		t.Error("solve with forced sparse on a matrix metric should fail")
+	}
+	if _, err := Lookup("greedy").Solve(context.Background(), m, matIn, WithValidation(true)); err != nil {
+		t.Errorf("auto on a matrix metric should fall back to dense: %v", err)
+	}
+
+	// A negative budget fails every solver uniformly, not only the ones
+	// whose engine selection reaches the sparse constructor.
+	for _, name := range []string{"greedy", "pipeline"} {
+		if _, err := Lookup(name).Solve(context.Background(), m, small, WithEpsilon(-1)); err == nil {
+			t.Errorf("%s with negative epsilon should fail", name)
+		}
+	}
+
+	// Solvers whose cores have no sparse path reject forced sparse
+	// instead of silently building (or degrading to) something else.
+	for _, name := range []string{"pipeline", "distributed"} {
+		if _, err := Lookup(name).Solve(context.Background(), m, small,
+			WithAffectanceMode(AffectSparse)); err == nil {
+			t.Errorf("%s with forced sparse should fail", name)
+		}
+	}
+
+	// Mode and parse round-trips.
+	for _, mode := range []AffectanceMode{AffectAuto, AffectDense, AffectSparse} {
+		got, err := ParseAffectanceMode(mode.String())
+		if err != nil || got != mode {
+			t.Errorf("ParseAffectanceMode(%q) = %v, %v", mode.String(), got, err)
+		}
+	}
+	if _, err := ParseAffectanceMode("octree"); err == nil {
+		t.Error("unknown mode should fail to parse")
 	}
 }
