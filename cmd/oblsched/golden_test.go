@@ -1,0 +1,113 @@
+package main
+
+import (
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	oblivious "repro"
+)
+
+// -update regenerates the golden files from the current output:
+//
+//	go test ./cmd/oblsched -run Golden -update
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// writeLineInstance64 writes the deterministic 64-request line-chain
+// instance the golden runs schedule: requests of length 10 spaced 25
+// apart, the same shape as the conformance corpus's line entry. It is
+// generated rather than committed so the golden directory holds outputs
+// only.
+func writeLineInstance64(t *testing.T) string {
+	t.Helper()
+	const n = 64
+	coords := make([]float64, 0, 2*n)
+	reqs := make([]oblivious.Request, 0, n)
+	for i := 0; i < n; i++ {
+		u := float64(i) * 35
+		coords = append(coords, u, u+10)
+		reqs = append(reqs, oblivious.Request{U: 2 * i, V: 2*i + 1})
+	}
+	in, err := oblivious.NewLineInstance(coords, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := oblivious.MarshalInstance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "line64.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output diverges from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenSparseSolvers pins the CLI output of the two solver cores that
+// gained a sparse path when the dense-engine gate fell: pipeline and
+// distributed under -affect sparse were hard errors before and are now a
+// scheduling run on the grid engine, reporting it in the engine line.
+func TestGoldenSparseSolvers(t *testing.T) {
+	path := writeLineInstance64(t)
+	for _, algo := range []string{"pipeline", "distributed"} {
+		cfg := baseConfig(path)
+		cfg.algo = algo
+		cfg.affect = "sparse"
+		var sb strings.Builder
+		if err := run(&sb, cfg); err != nil {
+			t.Errorf("%s -affect sparse: %v", algo, err)
+			continue
+		}
+		checkGolden(t, algo+"_sparse", sb.String())
+	}
+}
+
+// TestGoldenSparseMatrixMetricError pins the failure path: forcing the
+// sparse engine over a metric that carries no grid coordinates must stay
+// a loud, stable error for both cores (auto mode on the same instance
+// falls back to dense and solves; that path is covered by the root
+// conformance suite).
+func TestGoldenSparseMatrixMetricError(t *testing.T) {
+	data := []byte(`{"matrix":[[0,2,9,9],[2,0,9,9],[9,9,0,3],[9,9,3,0]],"requests":[{"u":0,"v":1},{"u":2,"v":3}]}`)
+	path := filepath.Join(t.TempDir(), "matrix.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, algo := range []string{"pipeline", "distributed"} {
+		cfg := baseConfig(path)
+		cfg.algo = algo
+		cfg.affect = "sparse"
+		err := run(io.Discard, cfg)
+		if err == nil {
+			t.Errorf("%s -affect sparse on a matrix metric should fail", algo)
+			continue
+		}
+		checkGolden(t, algo+"_sparse_matrix_err", err.Error()+"\n")
+	}
+}

@@ -200,8 +200,8 @@ func run(w io.Writer, cfg config) error {
 		return err
 	}
 	s := res.Schedule
-	fmt.Fprintf(w, "requests: %d\ncolors:   %d\nenergy:   %.4g\nvalid:    yes\n",
-		in.N(), s.NumColors(), s.TotalEnergy())
+	fmt.Fprintf(w, "requests: %d\ncolors:   %d\nenergy:   %.4g\nengine:   %s\nvalid:    yes\n",
+		in.N(), s.NumColors(), s.TotalEnergy(), res.Stats.Engine)
 	if res.Stats.Slots > 0 {
 		fmt.Fprintf(w, "slots:    %d contention slots\n", res.Stats.Slots)
 	}

@@ -1,0 +1,182 @@
+// Cross-solver conformance: every registry solver, run under every
+// affectance engine and every oblivious assignment it supports, over a
+// shared corpus of instance shapes, must produce a schedule the dense
+// exact oracle accepts — and the engines must agree with each other up to
+// the sparse ε-budget's documented cost in schedule length. This suite is
+// what pins "the system scales" to "the system stays correct": a solver
+// whose sparse path accepted an infeasible set, or whose auto mode drifted
+// from the dense result below the threshold, fails here.
+package oblivious_test
+
+import (
+	"context"
+	"math/rand"
+	"strings"
+	"testing"
+
+	oblivious "repro"
+	"repro/internal/instance"
+)
+
+// conformanceCorpus returns the shared instance shapes: uniform spread
+// (the benign regime), clustered (dense local contention), and a line
+// chain (1-D metric, exercising the grid's line support).
+func conformanceCorpus(t *testing.T) map[string]*oblivious.Instance {
+	t.Helper()
+	uniform, err := instance.UniformRandom(rand.New(rand.NewSource(41)), 96, 150, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clustered, err := instance.Clustered(rand.New(rand.NewSource(42)), 90, 5, 12, 240, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	line, err := instance.LineChain(64, 10, 25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*oblivious.Instance{
+		"uniform": uniform, "clustered": clustered, "line": line,
+	}
+}
+
+// sqrtOnly names the solvers defined only for the square root assignment
+// (Theorems 2 and 15); any other -power must be rejected, not ignored.
+func sqrtOnly(solver string) bool { return solver == "lp" || solver == "pipeline" }
+
+// TestCrossSolverConformance runs every registry solver × {dense, sparse,
+// auto} × {uniform, sqrt, linear} over the corpus. Every produced schedule
+// must pass the exact dense oracle (oblivious.Validate runs the uncached
+// direct computation), auto must agree with dense bitwise below the auto
+// threshold, and the sparse color count must stay within the ε-budget's
+// slack of the dense one.
+func TestCrossSolverConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance suite skipped in short mode")
+	}
+	m := oblivious.DefaultModel()
+	modes := []oblivious.AffectanceMode{
+		oblivious.AffectDense, oblivious.AffectSparse, oblivious.AffectAuto,
+	}
+	assignments := map[string]oblivious.Assignment{
+		"uniform": oblivious.Uniform(1), "sqrt": oblivious.Sqrt(), "linear": oblivious.Linear(),
+	}
+	for shape, in := range conformanceCorpus(t) {
+		for _, solver := range oblivious.Solvers() {
+			for powName, a := range assignments {
+				if sqrtOnly(solver) && powName != "sqrt" {
+					// The guard is behavioral; conformance includes the
+					// rejection being uniform across engines.
+					for _, mode := range modes {
+						if _, err := oblivious.Lookup(solver).Solve(context.Background(), m, in,
+							oblivious.WithAssignment(a), oblivious.WithAffectanceMode(mode)); err == nil {
+							t.Errorf("%s/%s/%s/%s: non-sqrt assignment accepted", shape, solver, mode, powName)
+						}
+					}
+					continue
+				}
+				colors := map[oblivious.AffectanceMode]int{}
+				for _, mode := range modes {
+					res, err := oblivious.Lookup(solver).Solve(context.Background(), m, in,
+						oblivious.WithAssignment(a),
+						oblivious.WithAffectanceMode(mode),
+						oblivious.WithSeed(7))
+					if err != nil {
+						t.Errorf("%s/%s/%s/%s: %v", shape, solver, mode, powName, err)
+						continue
+					}
+					// The dense exact oracle is the arbiter for every engine.
+					if err := oblivious.Validate(m, in, oblivious.Bidirectional, res.Schedule); err != nil {
+						t.Errorf("%s/%s/%s/%s: schedule fails the dense oracle: %v", shape, solver, mode, powName, err)
+					}
+					want := mode
+					if mode == oblivious.AffectAuto {
+						want = oblivious.AffectDense // corpus sizes sit below the auto threshold
+					}
+					if res.Stats.Engine != want.String() {
+						t.Errorf("%s/%s/%s/%s: Stats.Engine = %q, want %q", shape, solver, mode, powName, res.Stats.Engine, want)
+					}
+					colors[mode] = res.Stats.Colors
+				}
+				if len(colors) != len(modes) {
+					continue
+				}
+				// Below the threshold auto IS dense: same engine, same seed,
+				// bitwise the same schedule length.
+				if colors[oblivious.AffectAuto] != colors[oblivious.AffectDense] {
+					t.Errorf("%s/%s/%s: auto %d colors, dense %d — auto must match dense below the threshold",
+						shape, solver, powName, colors[oblivious.AffectAuto], colors[oblivious.AffectDense])
+				}
+				// The conservative margins may cost colors, bounded by the
+				// ε-budget slack; a sparse run far off the dense one means a
+				// tracker bug, not a loose bound. The band is two-sided:
+				// sparse dramatically *under* dense would mean it accepted
+				// sets the exact margins reject.
+				ds, sp := colors[oblivious.AffectDense], colors[oblivious.AffectSparse]
+				if sp > 4*ds+8 || ds > 4*sp+8 {
+					t.Errorf("%s/%s/%s: sparse %d colors vs dense %d outside the ε-budget slack",
+						shape, solver, powName, sp, ds)
+				}
+			}
+		}
+	}
+}
+
+// TestConformanceDirectedGreedy extends the suite to the directed variant
+// for the one solver that supports it, across all three engines.
+func TestConformanceDirectedGreedy(t *testing.T) {
+	if testing.Short() {
+		t.Skip("conformance suite skipped in short mode")
+	}
+	m := oblivious.DefaultModel()
+	for shape, in := range conformanceCorpus(t) {
+		for _, mode := range []oblivious.AffectanceMode{
+			oblivious.AffectDense, oblivious.AffectSparse, oblivious.AffectAuto,
+		} {
+			res, err := oblivious.Lookup("greedy").Solve(context.Background(), m, in,
+				oblivious.WithVariant(oblivious.Directed),
+				oblivious.WithAffectanceMode(mode))
+			if err != nil {
+				t.Errorf("%s/%s: %v", shape, mode, err)
+				continue
+			}
+			if err := oblivious.Validate(m, in, oblivious.Directed, res.Schedule); err != nil {
+				t.Errorf("%s/%s: directed schedule fails the dense oracle: %v", shape, mode, err)
+			}
+		}
+	}
+}
+
+// TestConformanceUnsupportedMetric pins the failure side: a metric without
+// grid coordinates rejects a forced sparse engine with the same loud error
+// for every solver, while auto degrades to dense and still solves.
+func TestConformanceUnsupportedMetric(t *testing.T) {
+	m := oblivious.DefaultModel()
+	// Node-disjoint requests: the pipeline's node-loss split rejects
+	// shared endpoints, and this suite is about engines, not that guard.
+	dm := [][]float64{
+		{0, 2, 9, 9},
+		{2, 0, 9, 9},
+		{9, 9, 0, 3},
+		{9, 9, 3, 0},
+	}
+	in, err := oblivious.NewMatrixInstance(dm, []oblivious.Request{{U: 0, V: 1}, {U: 2, V: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, solver := range oblivious.Solvers() {
+		_, err := oblivious.Lookup(solver).Solve(context.Background(), m, in,
+			oblivious.WithAffectanceMode(oblivious.AffectSparse))
+		if err == nil {
+			t.Errorf("%s: forced sparse on a matrix metric should fail", solver)
+		} else if !strings.Contains(err.Error(), "grid coordinates") {
+			t.Errorf("%s: forced-sparse error does not name the metric gap: %v", solver, err)
+		}
+		if res, err := oblivious.Lookup(solver).Solve(context.Background(), m, in,
+			oblivious.WithValidation(true)); err != nil {
+			t.Errorf("%s: auto on a matrix metric should fall back to dense: %v", solver, err)
+		} else if res.Stats.Engine != "dense" {
+			t.Errorf("%s: auto on a matrix metric reports engine %q, want dense", solver, res.Stats.Engine)
+		}
+	}
+}

@@ -118,6 +118,12 @@ type sliceKey struct {
 	n int
 }
 
+// ErrUnsupportedMetric is returned when the sparse engine is requested
+// over a metric that carries no grid coordinates. The solver layer
+// returns it verbatim wherever it pre-validates a forced sparse mode, so
+// the message cannot drift between solvers.
+var ErrUnsupportedMetric = errors.New("sparse: metric space carries no grid coordinates (need Euclidean dim ≤ 3 or a line)")
+
 // For returns the affectance engine for the options: the dense cache when
 // Epsilon is zero — the documented bitwise degeneration — and the sparse
 // engine otherwise. It fails when Epsilon is negative or the sparse
@@ -144,7 +150,7 @@ func New(m sinr.Model, v sinr.Variant, in *problem.Instance, powers []float64, o
 	}
 	fn, dim, ok := points(in.Space)
 	if !ok {
-		return nil, errors.New("sparse: metric space carries no grid coordinates (need Euclidean dim ≤ 3 or a line)")
+		return nil, ErrUnsupportedMetric
 	}
 	occ := o.CellOccupancy
 	if occ <= 0 {

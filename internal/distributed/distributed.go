@@ -94,10 +94,23 @@ func (p Protocol) RunContext(ctx context.Context, m sinr.Model, in *problem.Inst
 	}
 
 	powers := power.Powers(m, in, p.Assignment)
-	// Every slot probes RequestFeasible against the active set; precompute
-	// the affectance matrices once so those probes are row sums.
+	// Every slot probes feasibility against the active set; precompute the
+	// affectance matrices once so those probes are row sums. A caller that
+	// pre-attached a covering engine (possibly the sparse grid one) wins.
 	if !p.NoCache && m.CacheFor(in, powers) == nil {
 		m = m.WithCache(affect.New(m, sinr.Bidirectional, in, powers))
+	}
+	// When the attached engine exposes trackers instead of rows (the
+	// sparse engine materializes none), the per-slot success checks run on
+	// one recycled sinr.SetTracker: add the slot's active set, read each
+	// member's margin, Reset. Sparse margins are lower bounds on the exact
+	// ones, so a declared success is always a true success — the protocol
+	// stays correct, at worst a failed attempt is re-contended.
+	var tracker sinr.SetTracker
+	if c := m.CacheFor(in, powers); c != nil {
+		if tp, ok := c.(sinr.TrackerProvider); ok {
+			tracker = tp.NewSetTracker(m, sinr.Bidirectional)
+		}
 	}
 	s := problem.NewSchedule(in.N())
 	copy(s.Powers, powers)
@@ -133,9 +146,21 @@ func (p Protocol) RunContext(ctx context.Context, m sinr.Model, in *problem.Inst
 		// the full active set (success is a local property: each endpoint
 		// decodes or it does not).
 		var succeeded []int
-		for _, i := range active {
-			if m.RequestFeasible(in, sinr.Bidirectional, powers, active, i) {
-				succeeded = append(succeeded, i)
+		if tracker != nil {
+			tracker.Reset()
+			for _, i := range active {
+				tracker.Add(i)
+			}
+			for _, i := range active {
+				if tracker.Margin(i) >= -sinr.Tol {
+					succeeded = append(succeeded, i)
+				}
+			}
+		} else {
+			for _, i := range active {
+				if m.RequestFeasible(in, sinr.Bidirectional, powers, active, i) {
+					succeeded = append(succeeded, i)
+				}
 			}
 		}
 		res.Failures += len(active) - len(succeeded)

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"repro/internal/affect/sparse"
 	"repro/internal/instance"
 	"repro/internal/power"
 	"repro/internal/sinr"
@@ -157,5 +158,93 @@ func TestProtocolValidityProperty(t *testing.T) {
 	cfg := &quick.Config{MaxCount: 25, Rand: rand.New(rand.NewSource(91))}
 	if err := quick.Check(f, cfg); err != nil {
 		t.Error(err)
+	}
+}
+
+// countingProvider wraps a tracker-providing cache and records whether
+// the simulator asked it for a tracker and got one.
+type countingProvider struct {
+	sinr.Cache
+	calls      int
+	gotTracker bool
+}
+
+func (c *countingProvider) NewSetTracker(m sinr.Model, v sinr.Variant) sinr.SetTracker {
+	c.calls++
+	tr := c.Cache.(sinr.TrackerProvider).NewSetTracker(m, v)
+	if tr != nil {
+		c.gotTracker = true
+	}
+	return tr
+}
+
+// TestTrackerPathMatchesOracle runs the protocol with a pre-attached
+// sparse engine (the tracker-backed per-slot success checks) and pins the
+// contract of the conservative margins: the run drains, the schedule
+// passes the exact dense oracle, and with ε=0 — where the sparse builder
+// degenerates to the dense cache bitwise — the run reproduces the
+// row-path schedule exactly, seed for seed.
+func TestTrackerPathMatchesOracle(t *testing.T) {
+	m := sinr.Default()
+	in, err := instance.UniformRandom(rand.New(rand.NewSource(7)), 60, 220, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Default()
+	powers := power.Powers(m, in, p.Assignment)
+
+	eng, err := sparse.New(m, sinr.Bidirectional, in, powers, sparse.Options{Epsilon: sparse.DefaultEpsilon})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The counting wrapper gives a positive signal that the tracker path
+	// actually engaged — a silent regression to the row/direct fallback
+	// would still drain and still pass the oracle, so without this the
+	// test could not tell the feature from its absence.
+	counting := &countingProvider{Cache: eng}
+	res, err := p.Run(m.WithCache(counting), in, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counting.calls == 0 || !counting.gotTracker {
+		t.Fatalf("per-slot checks did not run on a provider tracker (calls=%d, tracker=%v)",
+			counting.calls, counting.gotTracker)
+	}
+	if !res.Schedule.Complete() {
+		t.Fatal("tracker path left an incomplete schedule")
+	}
+	// The oracle model carries no cache: every margin is the direct exact
+	// computation.
+	if err := m.CheckSchedule(in, sinr.Bidirectional, res.Schedule); err != nil {
+		t.Errorf("tracker-path schedule fails the dense oracle: %v", err)
+	}
+
+	// ε=0 degenerates to the dense cache, which provides no trackers —
+	// the protocol must route such a run through the row path, where it
+	// is the plain cached run bitwise. (This pins the routing contract of
+	// the degeneration; it is NOT a tracker-vs-row equivalence — the
+	// conservative tracker may legitimately demote successes.)
+	zero, err := sparse.For(m, sinr.Bidirectional, in, powers, sparse.Options{Epsilon: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := zero.(sinr.TrackerProvider); ok {
+		t.Fatal("eps=0 engine provides trackers; the degeneration contract moved")
+	}
+	a, err := p.Run(m.WithCache(zero), in, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Run(m, in, rand.New(rand.NewSource(11)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Slots != b.Slots || a.Attempts != b.Attempts || a.Failures != b.Failures {
+		t.Errorf("eps=0 run diverged: %+v vs %+v", a, b)
+	}
+	for i := range a.Schedule.Colors {
+		if a.Schedule.Colors[i] != b.Schedule.Colors[i] {
+			t.Fatalf("eps=0 colors diverge at request %d", i)
+		}
 	}
 }

@@ -20,6 +20,8 @@
 //   - Protocol.Run / RunContext simulate the protocol and report the
 //     induced Schedule plus Slots/Attempts/Failures counters. The
 //     simulator precomputes the affectance matrices (package affect) so
-//     each slot's SINR success checks are row sums; NoCache restores the
-//     direct computation.
+//     each slot's SINR success checks are row sums; with a pre-attached
+//     sparse engine (sinr.TrackerProvider) the checks instead run on one
+//     recycled conservative tracker, so the protocol scales past the
+//     dense memory wall; NoCache restores the direct computation.
 package distributed

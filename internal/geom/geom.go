@@ -332,13 +332,72 @@ func (s *Sub) Base(i int) int { return s.nodes[i] }
 // Dist returns the base-metric distance between the mapped nodes.
 func (s *Sub) Dist(i, j int) float64 { return s.base.Dist(s.nodes[i], s.nodes[j]) }
 
+// DistFunc returns a direct evaluator of m.Dist with the interface
+// indirection peeled off: concrete metrics resolve to a bound method
+// (a static call instead of a dynamic dispatch per pair), and a Sub view
+// resolves its base once instead of re-dispatching on every query. The
+// returned function computes exactly m.Dist — same operations in the
+// same order, bitwise-equal results — it is only cheaper to call inside
+// the O(n²) loops of the HST builds and stretch scans.
+func DistFunc(m Metric) func(i, j int) float64 {
+	switch t := m.(type) {
+	case *Sub:
+		// Coordinate bases flatten the selected points into one
+		// contiguous array: the evaluator then runs the base's exact
+		// distance formula (same operations on the same float values)
+		// without the per-query node translation or pointer chases.
+		switch base := t.base.(type) {
+		case *Euclidean:
+			dim := base.dim
+			flat := make([]float64, len(t.nodes)*dim)
+			for i, nd := range t.nodes {
+				copy(flat[i*dim:(i+1)*dim], base.pts[nd])
+			}
+			return func(i, j int) float64 {
+				if i == j {
+					return 0
+				}
+				var s float64
+				pi, pj := flat[i*dim:(i+1)*dim], flat[j*dim:(j+1)*dim]
+				for k := 0; k < dim; k++ {
+					d := pi[k] - pj[k]
+					s += d * d
+				}
+				return math.Sqrt(s)
+			}
+		case *Line:
+			xs := make([]float64, len(t.nodes))
+			for i, nd := range t.nodes {
+				xs[i] = base.xs[nd]
+			}
+			return func(i, j int) float64 { return math.Abs(xs[i] - xs[j]) }
+		}
+		inner := DistFunc(t.base)
+		nodes := t.nodes
+		return func(i, j int) float64 { return inner(nodes[i], nodes[j]) }
+	case *Euclidean:
+		return t.Dist
+	case *Line:
+		return t.Dist
+	case *Matrix:
+		return t.Dist
+	case *Star:
+		return t.Dist
+	case *Tree:
+		return t.Dist
+	default:
+		return m.Dist
+	}
+}
+
 // MinDist returns the minimum distance over all distinct node pairs.
 func MinDist(m Metric) float64 {
 	n := m.N()
+	dist := DistFunc(m)
 	best := math.Inf(1)
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			if d := m.Dist(i, j); d < best {
+			if d := dist(i, j); d < best {
 				best = d
 			}
 		}
@@ -349,10 +408,11 @@ func MinDist(m Metric) float64 {
 // MaxDist returns the maximum distance (diameter) over all node pairs.
 func MaxDist(m Metric) float64 {
 	n := m.N()
+	dist := DistFunc(m)
 	var best float64
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
-			if d := m.Dist(i, j); d > best {
+			if d := dist(i, j); d > best {
 				best = d
 			}
 		}

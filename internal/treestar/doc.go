@@ -17,6 +17,9 @@
 //     ThinToGain back in the original metric (Proposition 3). Run
 //     extracts one color class with per-stage PipelineStats;
 //     Coloring/ColoringWithStats iterate it into a complete schedule.
-//     The final thinning stage precomputes an affectance cache for large
-//     kept sets (disable with Pipeline.NoCache).
+//     The final thinning stage precomputes an affectance engine for
+//     large kept sets (disable with Pipeline.NoCache); Pipeline.Engine
+//     chooses how it is built — the exact dense cache by default, the
+//     sparse grid engine via the solver layer — and the thinning
+//     consumes either transparently through sinr.SetTracker.
 package treestar

@@ -16,6 +16,23 @@ import (
 	"repro/internal/sinr"
 )
 
+// CacheBuilder constructs the affectance engine stage 5 thins over. The
+// pipeline re-invokes it for every restricted instance it extracts a color
+// class from, so the caller decides dense vs sparse per sub-instance (auto
+// mode shrinks back to dense once the remaining set is small). The
+// returned cache must cover (in, powers) under m's path-loss exponent for
+// the bidirectional variant.
+type CacheBuilder func(m sinr.Model, in *problem.Instance, powers []float64) (sinr.Cache, error)
+
+// engineFor resolves the stage-5 affectance engine: the Engine hook when
+// set, the dense cache otherwise.
+func (p Pipeline) engineFor(m sinr.Model, in *problem.Instance, powers []float64) (sinr.Cache, error) {
+	if p.Engine != nil {
+		return p.Engine(m, in, powers)
+	}
+	return affect.New(m, sinr.Bidirectional, in, powers), nil
+}
+
 // Run executes the Theorem 2 pipeline on the instance and returns one color
 // class of request indices that is feasible in the original metric under
 // the square root power assignment with gain m.Beta (bidirectional SINR
@@ -105,12 +122,18 @@ func (p Pipeline) Run(m sinr.Model, in *problem.Instance, rng *rand.Rand) ([]int
 	// Stage 5 (Lemma 8 / Proposition 3): thin to the full bidirectional
 	// gain in the original metric under the square root assignment. For
 	// kept sets large enough that the O(|pairs|²)-per-round thinning
-	// dominates the O(n²) matrix fill, precompute the affectance cache so
-	// the thinning runs on the incremental tracker.
+	// dominates the engine build, precompute the affectance engine so the
+	// thinning runs on the incremental tracker — the Engine hook picks
+	// dense rows or the sparse grid per restricted instance; the thinning
+	// consumes either transparently through sinr.SetTracker.
 	powers := power.Powers(m, in, power.Sqrt())
 	mThin := m
 	if !p.NoCache && len(pairs) >= 32 {
-		mThin = m.WithCache(affect.New(m, sinr.Bidirectional, in, powers))
+		c, err := p.engineFor(m, in, powers)
+		if err != nil {
+			return nil, nil, err
+		}
+		mThin = m.WithCache(c)
 	}
 	final, err := coloring.ThinToGain(mThin, in, sinr.Bidirectional, powers, pairs, m.Beta)
 	if err != nil {

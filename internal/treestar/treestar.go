@@ -368,4 +368,9 @@ type Pipeline struct {
 	// NoCache disables the affectance cache the final thinning stage
 	// otherwise builds for large kept sets.
 	NoCache bool
+	// Engine overrides how that stage-5 affectance engine is built (see
+	// CacheBuilder); nil selects the exact dense cache. Solvers route the
+	// sparse grid engine through it so the pipeline scales past the dense
+	// O(n²) memory wall.
+	Engine CacheBuilder
 }

@@ -1,14 +1,17 @@
 package treestar
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/affect/sparse"
 	"repro/internal/geom"
 	"repro/internal/instance"
 	"repro/internal/power"
+	"repro/internal/problem"
 	"repro/internal/sinr"
 )
 
@@ -310,5 +313,42 @@ func TestSelectOnTreeFaithfulPostcondition(t *testing.T) {
 		if 1/math.Sqrt(loss[u]) < 0.02*interf*(1-1e-9) {
 			t.Errorf("terminal %d violates the target gain", u)
 		}
+	}
+}
+
+// TestPipelineEngineHook pins the stage-5 CacheBuilder contract: the hook
+// is consulted for every restricted instance whose kept set is large
+// enough, receives (sub-)instances it must cover, and its errors abort
+// the run. A sparse-engine hook must still yield schedules the exact
+// oracle accepts.
+func TestPipelineEngineHook(t *testing.T) {
+	m := sinr.Default()
+	in, err := instance.UniformRandom(rand.New(rand.NewSource(5)), 80, 200, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var calls int
+	sparseHook := func(mm sinr.Model, sub *problem.Instance, powers []float64) (sinr.Cache, error) {
+		calls++
+		return sparse.New(mm, sinr.Bidirectional, sub, powers, sparse.Options{Epsilon: sparse.DefaultEpsilon})
+	}
+	s, err := Pipeline{Engine: sparseHook}.Coloring(m, in, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls == 0 {
+		t.Fatal("engine hook never consulted at n=80")
+	}
+	if err := m.CheckSchedule(in, sinr.Bidirectional, s); err != nil {
+		t.Errorf("sparse-hook schedule fails the exact oracle: %v", err)
+	}
+
+	wantErr := errors.New("engine build failed")
+	_, err = Pipeline{Engine: func(sinr.Model, *problem.Instance, []float64) (sinr.Cache, error) {
+		return nil, wantErr
+	}}.Coloring(m, in, rand.New(rand.NewSource(2)))
+	if !errors.Is(err, wantErr) {
+		t.Errorf("hook error not propagated: %v", err)
 	}
 }

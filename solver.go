@@ -22,6 +22,7 @@ import (
 	"repro/internal/distributed"
 	"repro/internal/online"
 	"repro/internal/power"
+	"repro/internal/sinr"
 	"repro/internal/treestar"
 )
 
@@ -48,6 +49,19 @@ type Stats struct {
 	Energy float64
 	// Elapsed is the wall-clock time of the Solve call.
 	Elapsed time.Duration
+	// Engine names the affectance engine the solve's mode resolved to for
+	// the instance — "dense" or "sparse" — or "off" when the cache was
+	// disabled with WithAffectanceCache(false). It reports the resolved
+	// selection, not the mode requested: an auto mode that resolved to
+	// dense (small instance, coordinate-free metric, ε = 0) says so here.
+	// Two solvers qualify the scalar: the online solver, whose trackers
+	// require an engine, reports "dense" even with the cache option off
+	// because that is what it builds; and the pipeline re-resolves the
+	// mode per restricted instance it extracts a class from (and thins
+	// kept sets below 32 directly), so "sparse" there means the selection
+	// at the full instance, with the shrinking tail free to drop to
+	// dense under auto.
+	Engine string
 	// LP carries the LP-based coloring diagnostics (lp solver only).
 	LP *LPStats
 	// Pipeline carries the Theorem 2 pipeline diagnostics (pipeline
@@ -181,13 +195,24 @@ func ParseAffectanceMode(s string) (AffectanceMode, error) {
 // sparse affectance engine (see internal/affect/sparse).
 const DefaultSparseEpsilon = sparse.DefaultEpsilon
 
-// Resolve collapses AffectAuto to the engine a solve would actually use
-// for the instance under the given epsilon budget: sparse at
+// Resolve collapses the mode to the engine a solve would actually use
+// for the instance under the given epsilon budget: auto picks sparse at
 // n ≥ sparse.AutoThreshold when the metric carries grid coordinates and
-// the budget is positive, dense otherwise. Explicit modes resolve to
-// themselves. It is the single selection predicate — attachCache and the
-// CLI trace path both consult it, so the rule cannot drift.
+// the budget is positive, dense otherwise; forced sparse with ε = 0
+// resolves to dense (the documented bitwise degeneration); everything
+// else resolves to itself. It is the single selection predicate — attachCache, the
+// pipeline's per-sub-instance stage-5 builder, Stats.Engine reporting and
+// the CLI trace path all consult it, so the rule cannot drift.
 func (mode AffectanceMode) Resolve(in *Instance, eps float64) AffectanceMode {
+	if mode == AffectSparse {
+		if eps == 0 {
+			// The documented degeneration: ε = 0 keeps every pair exact,
+			// which is the dense engine bitwise — resolve (and report) it
+			// as such so the run can share the dense batch store.
+			return AffectDense
+		}
+		return mode
+	}
 	if mode != AffectAuto {
 		return mode
 	}
@@ -257,6 +282,22 @@ func WithRepair(name string) Option { return func(o *Options) { o.Repair = name 
 // per-instance cache store.
 func withCacheStore(s *affect.Store) Option { return func(o *Options) { o.caches = s } }
 
+// buildEngine constructs the affectance engine the resolved mode selects
+// for (instance, variant, powers). It is the single mode→constructor
+// mapping: attachCache and the pipeline's per-sub-instance stage-5
+// builder both go through it, so the two cannot diverge. The batch store
+// dedupes dense matrices only; a sparse engine is cheap relative to the
+// solves that select it, so each build is per-solve.
+func (o Options) buildEngine(m Model, in *Instance, v Variant, powers []float64) (sinr.Cache, error) {
+	if o.Mode.Resolve(in, o.Epsilon) == AffectSparse {
+		return sparse.For(m, v, in, powers, sparse.Options{Epsilon: o.Epsilon})
+	}
+	if o.caches != nil {
+		return o.caches.For(m, v, in, powers), nil
+	}
+	return affect.New(m, v, in, powers), nil
+}
+
 // attachCache returns m with the affectance engine for (variant,
 // instance, powers) attached, honoring WithAffectanceCache,
 // WithAffectanceMode and WithEpsilon, and reusing the batch store when
@@ -271,20 +312,11 @@ func (o Options) attachCache(m Model, in *Instance, v Variant, powers []float64)
 	if !o.Affectance {
 		return m, nil
 	}
-	if mode := o.Mode.Resolve(in, o.Epsilon); mode == AffectSparse {
-		// The batch store dedupes dense matrices only; a sparse engine is
-		// cheap relative to the solves that select it, so each build is
-		// per-solve.
-		c, err := sparse.For(m, v, in, powers, sparse.Options{Epsilon: o.Epsilon})
-		if err != nil {
-			return m, err
-		}
-		return m.WithCache(c), nil
+	c, err := o.buildEngine(m, in, v, powers)
+	if err != nil {
+		return m, err
 	}
-	if o.caches != nil {
-		return m.WithCache(o.caches.For(m, v, in, powers)), nil
-	}
-	return m.WithCache(affect.New(m, v, in, powers)), nil
+	return m.WithCache(c), nil
 }
 
 func buildOptions(opts []Option) Options {
@@ -377,6 +409,18 @@ func (s solverFunc) Solve(ctx context.Context, m Model, in *Instance, opts ...Op
 	res.Solver = s.name
 	res.Stats.Colors = res.Schedule.NumColors()
 	res.Stats.Energy = res.Schedule.TotalEnergy()
+	if res.Stats.Engine == "" {
+		// Report the engine the solve ran on, not the one requested: the
+		// single Resolve predicate keeps this in lockstep with attachCache,
+		// so an auto→dense resolution is visible instead of silent. Cores
+		// that build an engine regardless of the option (online) have
+		// already filled the field themselves.
+		if o.Affectance {
+			res.Stats.Engine = o.Mode.Resolve(in, o.Epsilon).String()
+		} else {
+			res.Stats.Engine = "off"
+		}
+	}
 	if o.Validate {
 		if err := Validate(m, in, o.Variant, res.Schedule); err != nil {
 			return nil, fmt.Errorf("%s: produced schedule failed validation: %w", s.name, err)
@@ -531,23 +575,13 @@ func solveOnline(ctx context.Context, m Model, in *Instance, o Options) (*Result
 		}
 	}
 	st := eng.Stats()
-	return &Result{Schedule: eng.Snapshot(), Stats: Stats{Online: &st}}, nil
-}
-
-// requireDenseEngine guards the solvers whose cores have no sparse path
-// — the treestar pipeline and the distributed simulator build and walk
-// dense rows internally. Forcing the sparse engine on them must fail
-// loudly instead of silently allocating the dense matrices anyway (or
-// silently degrading every probe to the uncached direct computation),
-// and auto mode must resolve to dense for them regardless of size.
-func requireDenseEngine(o *Options, in *Instance, name string) error {
-	if o.Affectance && o.Mode.Resolve(in, o.Epsilon) == AffectSparse {
-		if o.Mode == AffectSparse {
-			return fmt.Errorf("the %s solver runs on the dense affectance engine; use WithAffectanceMode(dense or auto)", name)
-		}
-		o.Mode = AffectDense // auto: this core has no sparse path
+	res := &Result{Schedule: eng.Snapshot(), Stats: Stats{Online: &st}}
+	if !o.Affectance {
+		// The engine's trackers need the matrices even with the cache
+		// option off, so the solve really ran dense; say so.
+		res.Stats.Engine = AffectDense.String()
 	}
-	return nil
+	return res, nil
 }
 
 // requireSqrtBidirectional guards the Theorem 2/15 algorithms, which are
@@ -590,15 +624,31 @@ func solveLP(ctx context.Context, m Model, in *Instance, o Options) (*Result, er
 }
 
 // solvePipeline runs the constructive Theorem 2 pipeline (tree embeddings,
-// centroid stars, thinning).
+// centroid stars, thinning). Its stage-5 thinning engine follows the
+// affectance options: the pipeline re-resolves the mode per restricted
+// instance it extracts a class from, so under auto a large instance thins
+// on the sparse grid and the shrinking tail drops back to dense rows.
 func solvePipeline(ctx context.Context, m Model, in *Instance, o Options) (*Result, error) {
 	if err := requireSqrtBidirectional(o); err != nil {
 		return nil, err
 	}
-	if err := requireDenseEngine(&o, in, "pipeline"); err != nil {
-		return nil, err
+	pipe := treestar.Pipeline{NoCache: !o.Affectance}
+	if o.Affectance {
+		// Forcing sparse on a metric without coordinates must fail loudly
+		// up front — the stage-5 builder only runs for kept sets of 32+, so
+		// a small instance would otherwise slip through the forced mode.
+		if o.Mode.Resolve(in, o.Epsilon) == AffectSparse && !sparse.Supported(in.Space) {
+			return nil, sparse.ErrUnsupportedMetric
+		}
+		// The sub-instances are fresh per solve, so routing them through
+		// the SolveAll batch store would only accumulate dead entries.
+		sub := o
+		sub.caches = nil
+		pipe.Engine = func(mm sinr.Model, subIn *Instance, powers []float64) (sinr.Cache, error) {
+			return sub.buildEngine(mm, subIn, Bidirectional, powers)
+		}
 	}
-	s, stats, err := treestar.Pipeline{NoCache: !o.Affectance}.ColoringWithStats(ctx, m, in, rand.New(rand.NewSource(o.Seed)))
+	s, stats, err := pipe.ColoringWithStats(ctx, m, in, rand.New(rand.NewSource(o.Seed)))
 	if err != nil {
 		return nil, err
 	}
@@ -610,9 +660,6 @@ func solvePipeline(ctx context.Context, m Model, in *Instance, o Options) (*Resu
 func solveDistributed(ctx context.Context, m Model, in *Instance, o Options) (*Result, error) {
 	if o.Variant != Bidirectional {
 		return nil, errors.New("requires the bidirectional variant")
-	}
-	if err := requireDenseEngine(&o, in, "distributed"); err != nil {
-		return nil, err
 	}
 	p := distributed.Default()
 	p.Assignment = o.Assignment

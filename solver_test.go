@@ -591,12 +591,20 @@ func TestAffectanceModeSelection(t *testing.T) {
 		}
 	}
 
-	// Solvers whose cores have no sparse path reject forced sparse
-	// instead of silently building (or degrading to) something else.
+	// Every solver core rides the tracker interfaces now: forced sparse
+	// succeeds on a coordinate metric and the schedule passes the exact
+	// oracle, while a coordinate-free metric still fails loudly.
 	for _, name := range []string{"pipeline", "distributed"} {
-		if _, err := Lookup(name).Solve(context.Background(), m, small,
+		res, err := Lookup(name).Solve(context.Background(), m, small,
+			WithAffectanceMode(AffectSparse), WithValidation(true))
+		if err != nil {
+			t.Errorf("%s with forced sparse: %v", name, err)
+		} else if res.Stats.Engine != "sparse" {
+			t.Errorf("%s with forced sparse reports engine %q", name, res.Stats.Engine)
+		}
+		if _, err := Lookup(name).Solve(context.Background(), m, matIn,
 			WithAffectanceMode(AffectSparse)); err == nil {
-			t.Errorf("%s with forced sparse should fail", name)
+			t.Errorf("%s with forced sparse on a matrix metric should fail", name)
 		}
 	}
 
@@ -610,4 +618,76 @@ func TestAffectanceModeSelection(t *testing.T) {
 	if _, err := ParseAffectanceMode("octree"); err == nil {
 		t.Error("unknown mode should fail to parse")
 	}
+}
+
+// TestStatsReportsEngineUsed is the regression test for the silent
+// engine-mismatch bug: Stats must report the engine a solve actually ran
+// on, not the one requested. Before the fix an auto mode that resolved to
+// dense (small instance, coordinate-free metric) was indistinguishable
+// from a sparse run.
+func TestStatsReportsEngineUsed(t *testing.T) {
+	m := DefaultModel()
+	small, err := instance.UniformRandom(rand.New(rand.NewSource(9)), 24, 120, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	engine := func(opts ...Option) string {
+		t.Helper()
+		res, err := Lookup("greedy").Solve(context.Background(), m, small, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Stats.Engine
+	}
+	// Auto below the threshold resolves — and must report — dense.
+	if got := engine(); got != "dense" {
+		t.Errorf("auto below threshold: Stats.Engine = %q, want dense", got)
+	}
+	if got := engine(WithAffectanceMode(AffectSparse)); got != "sparse" {
+		t.Errorf("forced sparse: Stats.Engine = %q, want sparse", got)
+	}
+	// Forced sparse with ε = 0 is the documented dense degeneration: the
+	// run is bitwise dense and must say so.
+	if got := engine(WithAffectanceMode(AffectSparse), WithEpsilon(0)); got != "dense" {
+		t.Errorf("sparse with eps=0: Stats.Engine = %q, want dense", got)
+	}
+	if got := engine(WithAffectanceCache(false)); got != "off" {
+		t.Errorf("cache off: Stats.Engine = %q, want off", got)
+	}
+	// A coordinate-free metric downgrades auto to dense; the downgrade
+	// must be visible.
+	dm := [][]float64{{0, 2, 5}, {2, 0, 4}, {5, 4, 0}}
+	matIn, err := NewMatrixInstance(dm, []Request{{U: 0, V: 1}, {U: 1, V: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Lookup("greedy").Solve(context.Background(), m, matIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.Engine != "dense" {
+		t.Errorf("auto on a matrix metric: Stats.Engine = %q, want dense", res.Stats.Engine)
+	}
+	// The online solver builds its engine regardless of the cache option
+	// and reports what it built.
+	online, err := Lookup("online").Solve(context.Background(), m, small, WithAffectanceCache(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if online.Stats.Engine != "dense" {
+		t.Errorf("online with cache off: Stats.Engine = %q, want dense", online.Stats.Engine)
+	}
+	if res := mustSolve(t, "online", m, small, WithAffectanceMode(AffectSparse)); res.Stats.Engine != "sparse" {
+		t.Errorf("online forced sparse: Stats.Engine = %q, want sparse", res.Stats.Engine)
+	}
+}
+
+// mustSolve is a tiny helper for engine-reporting assertions.
+func mustSolve(t *testing.T, name string, m Model, in *Instance, opts ...Option) *Result {
+	t.Helper()
+	res, err := Lookup(name).Solve(context.Background(), m, in, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
 }
