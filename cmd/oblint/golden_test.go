@@ -1,0 +1,79 @@
+package main
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the golden files from the current output:
+//
+//	go test ./cmd/oblint -run Golden -update
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// checkGolden compares got against testdata/<name>.golden, rewriting the
+// file under -update.
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("output diverges from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestGoldenDiagnostics pins the diagnostic line format — one finding per
+// line as path:line:col: [analyzer] message, sorted, paths relative to
+// the working directory — against the demo fixture package, which holds
+// exactly one hotpath and one ctxloop violation. CI and editor
+// integrations parse this format; changing it is a breaking change that
+// must show up here.
+func TestGoldenDiagnostics(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run(&stdout, &stderr, []string{"-dir", "testdata", "./demo"})
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (findings)\nstderr: %s", code, stderr.String())
+	}
+	if stderr.Len() != 0 {
+		t.Errorf("unexpected stderr: %s", stderr.String())
+	}
+	checkGolden(t, "demo", stdout.String())
+}
+
+// TestGoldenList pins the -list inventory: the analyzer names are part of
+// the -only flag's interface and of the CI job definition.
+func TestGoldenList(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run(&stdout, &stderr, []string{"-list"})
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0\nstderr: %s", code, stderr.String())
+	}
+	checkGolden(t, "list", stdout.String())
+}
+
+// TestUnknownAnalyzer pins the -only error path: an unrecognized name is
+// a usage error (exit 2), not an empty clean run.
+func TestUnknownAnalyzer(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := run(&stdout, &stderr, []string{"-only", "nosuch", "./demo"})
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), `unknown analyzer "nosuch"`) {
+		t.Errorf("stderr = %q, want unknown-analyzer mention", stderr.String())
+	}
+	if stdout.Len() != 0 {
+		t.Errorf("unexpected stdout: %s", stdout.String())
+	}
+}

@@ -1,0 +1,112 @@
+// Command oblint runs the project's invariant analyzers (hotpath,
+// ctxloop, trackerreset, registryhygiene, benchguard — see internal/lint)
+// over the packages matched by the given patterns.
+//
+// Usage:
+//
+//	go run ./cmd/oblint ./...
+//	go run ./cmd/oblint -only hotpath,ctxloop ./internal/affect/...
+//	go run ./cmd/oblint -list
+//
+// Diagnostics are printed one per line as
+//
+//	path/to/file.go:line:col: [analyzer] message
+//
+// with paths relative to the working directory. The exit status is 0
+// when the tree is clean, 1 when any diagnostic is reported, and 2 when
+// loading or analysis itself fails. Unlike a stock go/analysis checker,
+// oblint loads and type-checks packages through the standard library's
+// source importer, so it works without golang.org/x/tools and without
+// network access; the trade-off is that it cannot run under
+// `go vet -vettool`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Stdout, os.Stderr, os.Args[1:]))
+}
+
+func run(stdout, stderr io.Writer, args []string) int {
+	fs := flag.NewFlagSet("oblint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	dir := fs.String("dir", ".", "directory to resolve package patterns in")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	all := lint.Analyzers()
+	if *list {
+		for _, a := range all {
+			fmt.Fprintf(stdout, "%s: %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := all
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer, len(all))
+		for _, a := range all {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "oblint: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	pkgs, err := analysis.Load(*dir, patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "oblint: %v\n", err)
+		return 2
+	}
+	diags, err := analysis.RunAnalyzers(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "oblint: %v\n", err)
+		return 2
+	}
+	cwd, _ := os.Getwd()
+	for _, d := range diags {
+		d.Pos.Filename = relPath(cwd, d.Pos.Filename)
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// relPath renders name relative to base when that is shorter, keeping
+// diagnostics stable and readable regardless of checkout location.
+func relPath(base, name string) string {
+	if base == "" {
+		return name
+	}
+	rel, err := filepath.Rel(base, name)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return name
+	}
+	return rel
+}

@@ -1,0 +1,28 @@
+// Package demo is the fixture behind cmd/oblint's golden CLI test: a
+// tiny package carrying one hotpath violation and one ctxloop violation,
+// so the test can pin the exact diagnostic line format the CI gate and
+// editors parse.
+package demo
+
+import (
+	"context"
+	"math"
+)
+
+// Loss is annotated hot and calls math.Pow, the canonical hotpath
+// finding.
+//
+//oblint:hotpath
+func Loss(d, alpha float64) float64 {
+	return math.Pow(d, alpha)
+}
+
+// Sweep is an exported context-taking entry point whose loop never polls
+// ctx, the canonical ctxloop finding.
+func Sweep(ctx context.Context, xs []float64) float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += Loss(x, 2)
+	}
+	return sum
+}

@@ -38,6 +38,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -98,9 +99,9 @@ func main() {
 	}
 }
 
-func run(w io.Writer, cfg config) error {
+func run(w io.Writer, cfg config) (err error) {
 	if cfg.in == "" {
-		return fmt.Errorf("missing -in")
+		return errors.New("missing -in")
 	}
 	data, err := os.ReadFile(cfg.in)
 	if err != nil {
@@ -137,28 +138,30 @@ func run(w io.Writer, cfg config) error {
 		return fmt.Errorf("-eps must be ≥ 0, got %g", cfg.eps)
 	}
 
+	// Profile failures are run's failures: a silently truncated or missing
+	// profile after a half-hour run wastes the whole run, so Close and
+	// write errors propagate through the named return instead of going to
+	// stderr as advisory noise.
 	if cfg.cpuProfile != "" {
-		f, err := os.Create(cfg.cpuProfile)
-		if err != nil {
-			return err
+		f, cerr := os.Create(cfg.cpuProfile)
+		if cerr != nil {
+			return fmt.Errorf("cpuprofile: %w", cerr)
 		}
-		defer f.Close()
-		if err := pprof.StartCPUProfile(f); err != nil {
-			return err
+		if cerr := pprof.StartCPUProfile(f); cerr != nil {
+			f.Close()
+			return fmt.Errorf("cpuprofile: %w", cerr)
 		}
-		defer pprof.StopCPUProfile()
+		defer func() {
+			pprof.StopCPUProfile()
+			if cerr := f.Close(); cerr != nil && err == nil {
+				err = fmt.Errorf("cpuprofile: %w", cerr)
+			}
+		}()
 	}
 	if cfg.memProfile != "" {
 		defer func() {
-			f, err := os.Create(cfg.memProfile)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, "oblsched: memprofile:", err)
-				return
-			}
-			defer f.Close()
-			runtime.GC() // materialize the retained set before sampling
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, "oblsched: memprofile:", err)
+			if werr := writeMemProfile(cfg.memProfile); werr != nil && err == nil {
+				err = fmt.Errorf("memprofile: %w", werr)
 			}
 		}()
 	}
@@ -228,6 +231,22 @@ func run(w io.Writer, cfg config) error {
 		}
 	}
 	return nil
+}
+
+// writeMemProfile snapshots the retained heap to path, reporting create,
+// write, and close failures alike — a heap profile cut short by a full
+// disk must not look like a small heap.
+func writeMemProfile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	runtime.GC() // materialize the retained set before sampling
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // runTrace replays the instance as a churn trace through the online

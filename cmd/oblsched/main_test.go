@@ -147,6 +147,49 @@ func TestRunErrors(t *testing.T) {
 	}
 }
 
+// Profile plumbing: a -memprofile path that cannot be created must fail
+// the run (it used to print to stderr and exit 0, leaving callers
+// believing they had a profile), and a -cpuprofile failure must carry
+// its own prefix. The success paths must leave non-empty profiles.
+func TestRunProfileErrors(t *testing.T) {
+	path := writeInstance(t)
+
+	cfg := baseConfig(path)
+	cfg.memProfile = filepath.Join(t.TempDir(), "no-such-dir", "mem.pb.gz")
+	err := run(io.Discard, cfg)
+	if err == nil || !strings.Contains(err.Error(), "memprofile") {
+		t.Errorf("unwritable -memprofile: err = %v, want a memprofile error", err)
+	}
+
+	cfg = baseConfig(path)
+	cfg.cpuProfile = filepath.Join(t.TempDir(), "no-such-dir", "cpu.pb.gz")
+	err = run(io.Discard, cfg)
+	if err == nil || !strings.Contains(err.Error(), "cpuprofile") {
+		t.Errorf("unwritable -cpuprofile: err = %v, want a cpuprofile error", err)
+	}
+}
+
+func TestRunProfilesWritten(t *testing.T) {
+	path := writeInstance(t)
+	dir := t.TempDir()
+	cfg := baseConfig(path)
+	cfg.cpuProfile = filepath.Join(dir, "cpu.pb.gz")
+	cfg.memProfile = filepath.Join(dir, "mem.pb.gz")
+	if err := run(io.Discard, cfg); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cfg.cpuProfile, cfg.memProfile} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile not written: %v", err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
+	}
+}
+
 // The assignment syntax itself is covered by the root package's
 // ParseAssignment tests; here we only check the CLI surfaces its errors.
 func TestRunBadPowerForLP(t *testing.T) {

@@ -194,7 +194,7 @@ func TestTrackerConservative(t *testing.T) {
 					placed := false
 					for k, tr := range trackers {
 						if tr.CanAdd(i) {
-							tr.Add(i)
+							tr.Add(i) //oblint:fresh extending a live class the tracker already holds
 							classes[k] = append(classes[k], i)
 							placed = true
 							break

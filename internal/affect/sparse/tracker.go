@@ -107,6 +107,8 @@ func (t *Tracker) Reset() {
 
 // markNear stamps the active near partners of request j for this
 // operation; nearEntry answers in O(1) afterwards.
+//
+//oblint:hotpath
 func (t *Tracker) markNear(j int) {
 	t.epoch++
 	if t.epoch == 0 {
@@ -124,6 +126,8 @@ func (t *Tracker) markNear(j int) {
 
 // nearEntry returns the CSR entry of active near partner k in the marked
 // request's row, or -1 when the pair is far (valid until the next mark).
+//
+//oblint:hotpath
 func (t *Tracker) nearEntry(k int) int32 {
 	if t.scratchEpoch[k] == t.epoch {
 		return t.scratchEntry[k]
@@ -133,6 +137,7 @@ func (t *Tracker) nearEntry(k int) int32 {
 
 // --- per-cell far-field accumulators ---
 
+//oblint:hotpath
 func (t *Tracker) bumpCell(c int32, p float64) {
 	if idx, ok := t.cellIndex[c]; ok {
 		t.cellPow[idx] += p
@@ -145,6 +150,7 @@ func (t *Tracker) bumpCell(c int32, p float64) {
 	t.cellCnt = append(t.cellCnt, 1)
 }
 
+//oblint:hotpath
 func (t *Tracker) dropCell(c int32, p float64) {
 	idx := t.cellIndex[c]
 	if t.cellCnt[idx]--; t.cellCnt[idx] > 0 {
@@ -164,6 +170,7 @@ func (t *Tracker) dropCell(c int32, p float64) {
 	t.cellCnt = t.cellCnt[:last]
 }
 
+//oblint:hotpath
 func (t *Tracker) cellAdd(j int) {
 	e := t.e
 	t.bumpCell(e.cellU[j], e.powers[j])
@@ -172,6 +179,7 @@ func (t *Tracker) cellAdd(j int) {
 	}
 }
 
+//oblint:hotpath
 func (t *Tracker) cellRemove(j int) {
 	e := t.e
 	t.dropCell(e.cellU[j], e.powers[j])
@@ -183,6 +191,8 @@ func (t *Tracker) cellRemove(j int) {
 // farCells sums the far-field bound the occupied cells add at target cell
 // tgt, skipping cells within the near radius — their members' exact
 // contributions are accounted separately.
+//
+//oblint:hotpath
 func (t *Tracker) farCells(tgt int32) float64 {
 	e := t.e
 	var s float64
@@ -199,6 +209,8 @@ func (t *Tracker) farCells(tgt int32) float64 {
 // margin converts an interference bound into the normalized margin of the
 // sinr package. Because the bound overestimates the true interference,
 // the result is a lower bound on the exact margin.
+//
+//oblint:hotpath
 func (t *Tracker) margin(i int, i1, i2 float64) float64 {
 	signal := t.e.signals[i]
 	if signal == 0 {
@@ -214,6 +226,8 @@ func (t *Tracker) margin(i int, i1, i2 float64) float64 {
 }
 
 // Margin returns the conservative SINR margin of member i in O(1).
+//
+//oblint:hotpath
 func (t *Tracker) Margin(i int) float64 {
 	p := t.pos[i]
 	if p < 0 {
@@ -225,6 +239,8 @@ func (t *Tracker) Margin(i int) float64 {
 // AddMargin returns the conservative margin request i would have if it
 // were added, without mutating the tracker: exact near entries from i's
 // row plus the per-cell far-field accumulators — O(k_near + #cells).
+//
+//oblint:hotpath
 func (t *Tracker) AddMargin(i int) float64 {
 	if t.pos[i] >= 0 {
 		return t.Margin(i)
@@ -250,6 +266,8 @@ func (t *Tracker) AddMargin(i int) float64 {
 
 // CanAdd reports whether request i can join without violating its own
 // conservative constraint or any member's.
+//
+//oblint:hotpath
 func (t *Tracker) CanAdd(i int) bool {
 	if t.pos[i] >= 0 {
 		return false
@@ -286,6 +304,8 @@ func (t *Tracker) CanAdd(i int) bool {
 // contribution (exact when near, cell-granular when far) and accumulating
 // i's own bound the same way, so a later Remove cancels entry for entry.
 // It panics if i is already a member.
+//
+//oblint:hotpath
 func (t *Tracker) Add(i int) {
 	if t.pos[i] >= 0 {
 		panic(fmt.Sprintf("sparse: Add(%d): already a member", i))
@@ -324,6 +344,8 @@ func (t *Tracker) Add(i int) {
 // non-finite near entry (zero-distance pair) cannot be subtracted without
 // corrupting the accumulator, so such members are recomputed from
 // scratch, mirroring the dense tracker. It panics if i is not a member.
+//
+//oblint:hotpath
 func (t *Tracker) Remove(i int) {
 	p := t.pos[i]
 	if p < 0 {
@@ -370,6 +392,8 @@ func (t *Tracker) Remove(i int) {
 // recompute rebuilds member k's interference bound from scratch against
 // the current members: exact entries over k's near row, pairwise far
 // bounds for the rest — O(k_near + |set|·log k_near).
+//
+//oblint:hotpath
 func (t *Tracker) recompute(k int) (b1, b2 float64) {
 	e := t.e
 	for ee := e.start[k]; ee < e.start[k+1]; ee++ {
@@ -397,6 +421,8 @@ func (t *Tracker) recompute(k int) (b1, b2 float64) {
 
 // SetFeasible reports whether every member's conservative constraint
 // holds, in O(|set|). True implies the set passes the dense oracle.
+//
+//oblint:hotpath
 func (t *Tracker) SetFeasible() bool {
 	for p, i := range t.members {
 		if t.margin(i, t.acc1[p], t.acc2[p]) < -sinr.Tol {
@@ -408,6 +434,8 @@ func (t *Tracker) SetFeasible() bool {
 
 // WorstMargin returns the minimum conservative margin over the members
 // and the request attaining it ((+Inf, -1) for an empty set).
+//
+//oblint:hotpath
 func (t *Tracker) WorstMargin() (float64, int) {
 	worst, arg := math.Inf(1), -1
 	for p, i := range t.members {

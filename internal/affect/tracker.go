@@ -96,6 +96,8 @@ func (t *Tracker) Reset() {
 // Add inserts request i, updating every member's accumulators with i's
 // contribution and computing i's own accumulated interference — O(|set|)
 // row operations. It panics if i is already a member.
+//
+//oblint:hotpath
 func (t *Tracker) Add(i int) {
 	if t.pos[i] >= 0 {
 		panic(fmt.Sprintf("affect: Add(%d): already a member", i))
@@ -130,6 +132,8 @@ func (t *Tracker) Add(i int) {
 // Remove deletes request i, subtracting its contribution from every
 // remaining member's accumulators — O(|set|). The insertion order of the
 // remaining members is preserved. It panics if i is not a member.
+//
+//oblint:hotpath
 func (t *Tracker) Remove(i int) {
 	p := t.pos[i]
 	if p < 0 {
@@ -181,6 +185,8 @@ func isFinite(f float64) bool {
 // rowSum recomputes a member's accumulated interference exactly: the sum
 // of the given Into row over the current members (the diagonal entry is
 // stored as zero, so the member itself contributes nothing).
+//
+//oblint:hotpath
 func (t *Tracker) rowSum(row []float64) float64 {
 	var sum float64
 	for _, j := range t.members {
@@ -191,6 +197,8 @@ func (t *Tracker) rowSum(row []float64) float64 {
 
 // margin converts accumulated interference into the normalized margin of
 // the sinr package: (signal - β·(interference + noise)) / signal.
+//
+//oblint:hotpath
 func (t *Tracker) margin(i int, interf1, interf2 float64) float64 {
 	signal := t.c.Signals()[i]
 	if signal == 0 {
@@ -209,6 +217,8 @@ func (t *Tracker) margin(i int, interf1, interf2 float64) float64 {
 // sinr.Model.Margin over the tracked set up to the accumulated
 // floating-point drift of the incremental updates (≈ machine epsilon per
 // insert/remove, far below the feasibility tolerance).
+//
+//oblint:hotpath
 func (t *Tracker) Margin(i int) float64 {
 	if t.pos[i] < 0 {
 		panic(fmt.Sprintf("affect: Margin(%d): not a member", i))
@@ -218,6 +228,8 @@ func (t *Tracker) Margin(i int) float64 {
 
 // AddMargin returns the margin request i would have if it were added to
 // the current set, without mutating the tracker — O(|set|).
+//
+//oblint:hotpath
 func (t *Tracker) AddMargin(i int) float64 {
 	if t.pos[i] >= 0 {
 		return t.Margin(i)
@@ -241,6 +253,8 @@ func (t *Tracker) AddMargin(i int) float64 {
 
 // CanAdd reports whether request i can join the set without violating its
 // own SINR constraint or any member's — O(|set|).
+//
+//oblint:hotpath
 func (t *Tracker) CanAdd(i int) bool {
 	if t.pos[i] >= 0 {
 		return false
@@ -269,6 +283,8 @@ func (t *Tracker) CanAdd(i int) bool {
 
 // SetFeasible reports whether every member's SINR constraint holds, in
 // O(|set|).
+//
+//oblint:hotpath
 func (t *Tracker) SetFeasible() bool {
 	for _, i := range t.members {
 		if t.margin(i, t.acc1[i], t.acc2[i]) < -sinr.Tol {
@@ -281,6 +297,8 @@ func (t *Tracker) SetFeasible() bool {
 // WorstMargin returns the minimum margin over the members and the request
 // attaining it (the earliest member on ties, matching the scan order of
 // sinr.Model.WorstMargin). It returns (+Inf, -1) for an empty set.
+//
+//oblint:hotpath
 func (t *Tracker) WorstMargin() (float64, int) {
 	worst, arg := math.Inf(1), -1
 	for _, i := range t.members {

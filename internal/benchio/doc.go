@@ -1,0 +1,8 @@
+// Package benchio is the shared emission layer of the BENCH_*.json
+// benchmark trajectory files: a keyed recorder that deduplicates the
+// calibration reruns of the testing framework, sorts rows for stable
+// diffs, and flushes one indented JSON array per file from TestMain —
+// machinery that used to be copied per trajectory in bench_test.go. It
+// also standardizes the measured quantities: wall time plus allocator
+// pressure (bytes and allocations per operation).
+package benchio

@@ -179,6 +179,11 @@ func thinTrackedSparse(v sinr.Variant, tr sinr.SetTracker, pb pairBounder, set [
 // sparse tracked paths: the set lives in the tracker, whose accumulators
 // answer feasibility in O(|set|), and the worst-offender scores are
 // maintained incrementally through tot.
+// Both callers hand in a tracker they just built, so the initial Add
+// sweep needs no Reset.
+//
+//oblint:fresh callers pass a freshly constructed tracker
+//oblint:hotpath
 func thinWithTracker(tr sinr.SetTracker, signals []float64, tot func(i, j int) float64, set []int, strat ThinStrategy, rng *rand.Rand) ([]int, error) {
 	for _, j := range set {
 		tr.Add(j)
@@ -236,7 +241,7 @@ func thinWithTracker(tr sinr.SetTracker, signals []float64, tot func(i, j int) f
 				if d := tot(victim, j) * inv; isFinite(d) && isFinite(score[j]) {
 					score[j] -= d
 				} else {
-					redo = append(redo, j)
+					redo = append(redo, j) //oblint:ignore cold path, hit only on non-finite scores
 				}
 			}
 			score[victim] = 0

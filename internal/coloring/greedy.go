@@ -68,9 +68,12 @@ type classState struct {
 // contribution returns the interference request j adds at the constraint
 // node(s) of request i: for Directed, the single value at i's receiver;
 // for Bidirectional, the values at i's two endpoints.
+//
+//oblint:hotpath
 func contribution(m sinr.Model, in *problem.Instance, v sinr.Variant, powers []float64, j, i int) [2]float64 {
 	switch v {
 	case sinr.Directed:
+		//oblint:ignore direct-oracle fallback; cached engines bypass contribution entirely
 		return [2]float64{powers[j] / m.Loss(in.Space.Dist(in.Reqs[j].U, in.Reqs[i].V)), 0}
 	case sinr.Bidirectional:
 		return [2]float64{
@@ -87,6 +90,8 @@ func contribution(m sinr.Model, in *problem.Instance, v sinr.Variant, powers []f
 // interference j would receive and the contributions j would add. With a
 // covering affectance cache (cache may be nil) the per-pair contributions
 // become row lookups; both paths compute bitwise-identical values.
+//
+//oblint:hotpath
 func (cs *classState) fits(m sinr.Model, in *problem.Instance, v sinr.Variant, powers []float64, cache sinr.Cache, j int) (own [2]float64, adds [][2]float64, ok bool) {
 	if cache != nil {
 		return cs.fitsCached(m, v, cache, j)
@@ -119,6 +124,8 @@ func (cs *classState) fits(m sinr.Model, in *problem.Instance, v sinr.Variant, p
 // incoming interference streams through the Into rows of j and its
 // contributions to the members through the From rows of j, so the loop
 // touches two contiguous rows instead of recomputing distances and losses.
+//
+//oblint:hotpath
 func (cs *classState) fitsCached(m sinr.Model, v sinr.Variant, cache sinr.Cache, j int) (own [2]float64, adds [][2]float64, ok bool) {
 	signals := cache.Signals()
 	signalJ := signals[j]
@@ -166,6 +173,8 @@ func (cs *classState) fitsCached(m sinr.Model, v sinr.Variant, cache sinr.Cache,
 }
 
 // add inserts request j with the precomputed interference values.
+//
+//oblint:hotpath
 func (cs *classState) add(j int, own [2]float64, adds [][2]float64) {
 	for k := range cs.members {
 		cs.interf[k][0] += adds[k][0]
@@ -252,14 +261,14 @@ func greedyTracked(m sinr.Model, in *problem.Instance, v sinr.Variant, powers []
 		placed := false
 		for c, tr := range classes {
 			if tr.CanAdd(j) {
-				tr.Add(j)
+				tr.Add(j) //oblint:fresh extending a live class the tracker already holds
 				s.Colors[j] = c
 				placed = true
 				break
 			}
 		}
 		if !placed {
-			tr := newTracker()
+			tr := newTracker() //oblint:fresh engineFor's probe or a brand-new provider tracker
 			if !tr.CanAdd(j) {
 				return nil, fmt.Errorf("%w: request %d", ErrUnschedulable, j)
 			}
@@ -282,7 +291,7 @@ func MaxFeasibleSubsetGreedy(m sinr.Model, in *problem.Instance, v sinr.Variant,
 	tp, probe, cache := engineFor(m, in, v, powers)
 	var members []int
 	if tp != nil {
-		tr := probe
+		tr := probe //oblint:fresh the probe is freshly built by engineFor
 		for _, j := range order {
 			if tr.CanAdd(j) {
 				tr.Add(j)

@@ -196,7 +196,7 @@ func algorithmA(m sinr.Model, in *problem.Instance, powers []float64, remaining 
 		// feasible; augmentation only admits requests whose conservative
 		// margins hold, which implies exact feasibility of the grown
 		// class.
-		tr := probe
+		tr := probe //oblint:fresh the probe is freshly built by engineFor
 		for _, j := range final {
 			tr.Add(j)
 		}

@@ -57,6 +57,8 @@ func (e *Embedding) finish() {
 // rows agree — the separation level — or the top level if only the root
 // cluster is shared. It is the one copy of the scan behind sepLevel,
 // StretchWithin and violatedMask.
+//
+//oblint:hotpath
 func sep(lu, lv []int32) int {
 	for i := range lu {
 		if lu[i] == lv[i] {
@@ -67,6 +69,8 @@ func sep(lu, lv []int32) int {
 }
 
 // sepLevel returns the smallest level at which u and v share a cluster.
+//
+//oblint:hotpath
 func (e *Embedding) sepLevel(u, v int) int {
 	depth := len(e.level)
 	return sep(e.byNode[u*depth:(u+1)*depth], e.byNode[v*depth:(v+1)*depth])
@@ -76,6 +80,8 @@ func (e *Embedding) sepLevel(u, v int) int {
 // equal to the separation level below their lowest common cluster, with
 // edge weight equal to the cluster radius at each level, so
 // T(u,v) = 2·Σ_{j=1..sep} b·2^{j-1} = 2b·(2^sep − 1).
+//
+//oblint:hotpath
 func (e *Embedding) Dist(u, v int) float64 {
 	if u == v {
 		return 0
@@ -183,8 +189,10 @@ func build(base geom.Metric, rng *rand.Rand, minD, maxD float64) (*Embedding, er
 }
 
 // Stretch returns max over u ≠ v of T(v,u)/d(v,u) for the given node v.
+//
+//oblint:hotpath
 func (e *Embedding) Stretch(v int) float64 {
-	n := e.base.N()
+	n := e.base.N() //oblint:ignore one O(1) metadata call per scan, not per pair
 	var worst float64
 	for u := 0; u < n; u++ {
 		if u == v {
@@ -206,8 +214,10 @@ func (e *Embedding) Stretch(v int) float64 {
 // but returning false at the first violating partner instead of always
 // paying the full O(n) scan. The ensemble's core computations run on it;
 // Stretch remains for callers that need the value itself.
+//
+//oblint:hotpath
 func (e *Embedding) StretchWithin(v int, bound float64) bool {
-	n := e.base.N()
+	n := e.base.N() //oblint:ignore one O(1) metadata call per scan, not per pair
 	depth := len(e.level)
 	lv := e.byNode[v*depth : (v+1)*depth]
 	for u := 0; u < n; u++ {
@@ -232,8 +242,10 @@ func (e *Embedding) StretchWithin(v int, bound float64) bool {
 // n StretchWithin scans — with the same arithmetic and hence the same
 // verdicts; pairs whose endpoints are both already violated are skipped
 // (their ratio can no longer change any verdict).
+//
+//oblint:hotpath
 func (e *Embedding) violatedMask(bound float64) []bool {
-	n := e.base.N()
+	n := e.base.N() //oblint:ignore one O(1) metadata call per scan, not per pair
 	depth := len(e.level)
 	out := make([]bool, n)
 	for v := 0; v < n; v++ {

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one analysis pass and how to run it. The shape
+// mirrors golang.org/x/tools/go/analysis.Analyzer so analyzers written
+// against it port mechanically.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -only filters. It
+	// must be a valid Go identifier.
+	Name string
+
+	// Doc is a one-paragraph description of what the analyzer checks,
+	// shown by cmd/oblint -list.
+	Doc string
+
+	// Run applies the analyzer to a single package unit. Diagnostics are
+	// reported through the pass; a non-nil error aborts the whole run
+	// (reserve it for internal failures, not findings).
+	Run func(*Pass) error
+}
+
+// A Pass provides one analyzer with the parsed, type-checked view of one
+// package unit plus the report sink. A "unit" is either a package
+// together with its in-package test files, or the external test package
+// (pkg_test) on its own.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Fset maps token.Pos values in Files to file positions. It is shared
+	// by every unit of a load, so positions from imported packages resolve
+	// too.
+	Fset *token.FileSet
+
+	// Files are the parsed source files of the unit, with comments.
+	Files []*ast.File
+
+	// Pkg and Info are the type-checked package and the associated
+	// use/def/selection tables for Files.
+	Pkg  *types.Package
+	Info *types.Info
+
+	// PkgPath is the import path of the unit ("repro/internal/affect",
+	// or "repro/internal/affect_test" for an external test unit).
+	PkgPath string
+
+	// Dir is the package directory on disk.
+	Dir string
+
+	// FileNames are the base names of the files in Files, index-aligned.
+	FileNames []string
+
+	// IsTest reports whether this unit is an external test package.
+	IsTest bool
+
+	report func(Diagnostic)
+}
+
+// Reportf records a diagnostic at pos with a Sprintf-formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding: a resolved source position, the analyzer
+// that produced it, and the message.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the diagnostic in oblint's canonical output format,
+// pinned by cmd/oblint's golden test:
+//
+//	path/to/file.go:12:3: [hotpath] message
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}

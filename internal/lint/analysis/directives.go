@@ -1,0 +1,59 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// A Directive is one //oblint:NAME [arg...] comment, located by the line
+// it appears on.
+type Directive struct {
+	Pos  token.Pos
+	Line int
+	Name string
+	Arg  string
+}
+
+const directivePrefix = "//oblint:"
+
+// Directives scans every comment of f for oblint directives. A trailing
+// "// want" clause (the analysistest expectation syntax, which shares the
+// line comment) is not part of the directive argument and is stripped.
+func Directives(fset *token.FileSet, f *ast.File) []Directive {
+	var out []Directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text, ok := strings.CutPrefix(c.Text, directivePrefix)
+			if !ok {
+				continue
+			}
+			if i := strings.Index(text, "// want"); i >= 0 {
+				text = text[:i]
+			}
+			name, arg, _ := strings.Cut(text, " ")
+			out = append(out, Directive{
+				Pos:  c.Slash,
+				Line: fset.Position(c.Slash).Line,
+				Name: name,
+				Arg:  strings.TrimSpace(arg),
+			})
+		}
+	}
+	return out
+}
+
+// HasDirective reports whether the comment group (typically a declaration
+// doc comment) carries //oblint:name.
+func HasDirective(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, directivePrefix+name)
+		if ok && (rest == "" || strings.HasPrefix(rest, " ")) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,27 @@
+// Package analysis is a minimal, dependency-free re-implementation of the
+// golang.org/x/tools/go/analysis vocabulary — Analyzer, Pass, Diagnostic —
+// plus a loader that type-checks module packages offline through the
+// standard library's source importer.
+//
+// The project's invariant analyzers (package internal/lint) are written
+// against this API on purpose: it mirrors go/analysis closely enough that
+// migrating to the real framework (and go vet -vettool) is a mechanical
+// search-and-replace once golang.org/x/tools is available to the build,
+// while keeping the linter runnable in hermetic environments where it is
+// not.
+//
+// Beyond the x/tools shape, the package owns the oblint directive
+// conventions shared by every analyzer:
+//
+//	//oblint:hotpath        — marks a function as allocation/dispatch
+//	                          sensitive (consumed by the hotpath analyzer)
+//	//oblint:ignore reason  — suppresses any oblint diagnostic reported on
+//	                          the directive's line or the line below; the
+//	                          reason is mandatory
+//	//oblint:fresh reason   — trackerreset-specific: asserts a tracker is
+//	                          known fresh (or intentionally extended) at
+//	                          this acquisition or Add site
+//
+// Suppression is applied centrally by RunAnalyzers, so the driver
+// (cmd/oblint) and the analysistest harness agree on it by construction.
+package analysis

@@ -1,0 +1,201 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed, type-checked unit produced by Load: a package
+// with its in-package test files, or an external test package.
+type Package struct {
+	Path      string
+	Dir       string
+	Fset      *token.FileSet
+	Files     []*ast.File
+	FileNames []string
+	Types     *types.Package
+	Info      *types.Info
+	IsTest    bool
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir          string
+	ImportPath   string
+	Name         string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Deps         []string
+	Error        *struct{ Err string }
+}
+
+// Load resolves patterns with `go list` run in dir and type-checks every
+// matched package offline through the standard library's source importer
+// (which shells out to go/build for path resolution, so module-local
+// import paths work without a network or a populated module cache). Each
+// package yields one unit covering its GoFiles and TestGoFiles, plus a
+// second unit for its external test package when present.
+//
+// Checking runs in two phases, mirroring how the go tool builds test
+// variants. Phase one checks every listed package's non-test files in
+// dependency order and registers the result in a shared import table, so
+// listed packages always resolve each other to the same *types.Package
+// (test-file imports are not part of `go list`'s Deps order, so a
+// single-phase load would let the source importer shadow listed packages
+// with private copies and break type identity). Phase two re-checks each
+// package together with its in-package test files as the unit analyzers
+// see, and checks the external test unit against that test variant.
+// Unlisted dependencies are resolved by the source importer; analyzers
+// must therefore compare types by package path and name, never by object
+// identity across packages.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, patterns...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, strings.TrimSpace(stderr.String()))
+	}
+	var listed []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		var lp listPkg
+		if err := dec.Decode(&lp); err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("go list %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("package %s uses cgo, which the offline loader does not support", lp.ImportPath)
+		}
+		listed = append(listed, lp)
+	}
+	// If A imports B then Deps(A) strictly contains Deps(B) ∪ {B}, so
+	// ordering by dependency count is a valid topological order.
+	sort.SliceStable(listed, func(i, j int) bool { return len(listed[i].Deps) < len(listed[j].Deps) })
+
+	fset := token.NewFileSet()
+	src, ok := importer.ForCompiler(fset, "source", nil).(types.ImporterFrom)
+	if !ok {
+		return nil, errors.New("source importer does not implement types.ImporterFrom")
+	}
+	imp := &tableImporter{table: make(map[string]*types.Package), fallback: src}
+
+	// Phase one: non-test files only, dependency order, into the table.
+	baseUnits := make(map[string]*Package, len(listed))
+	for _, lp := range listed {
+		base, err := checkUnit(fset, imp, lp.Dir, lp.ImportPath, lp.GoFiles, false)
+		if err != nil {
+			return nil, err
+		}
+		imp.table[lp.ImportPath] = base.Types
+		baseUnits[lp.ImportPath] = base
+	}
+
+	// Phase two: the analyzed units. The table is complete, so order no
+	// longer matters; test-variant units are kept out of the table (a
+	// package's test files are invisible to other packages), except that
+	// the external test unit must see its own package's test variant.
+	var pkgs []*Package
+	for _, lp := range listed {
+		unit := baseUnits[lp.ImportPath]
+		if len(lp.TestGoFiles) > 0 {
+			withTests := append(append([]string{}, lp.GoFiles...), lp.TestGoFiles...)
+			var err error
+			unit, err = checkUnit(fset, imp, lp.Dir, lp.ImportPath, withTests, false)
+			if err != nil {
+				return nil, err
+			}
+		}
+		pkgs = append(pkgs, unit)
+		if len(lp.XTestGoFiles) > 0 {
+			ximp := &tableImporter{
+				table:    map[string]*types.Package{lp.ImportPath: unit.Types},
+				fallback: imp,
+			}
+			xt, err := checkUnit(fset, ximp, lp.Dir, lp.ImportPath+"_test", lp.XTestGoFiles, true)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, xt)
+		}
+	}
+	return pkgs, nil
+}
+
+// checkUnit parses and type-checks one file set as the package at path.
+func checkUnit(fset *token.FileSet, imp types.Importer, dir, path string, fileNames []string, isTest bool) (*Package, error) {
+	files := make([]*ast.File, 0, len(fileNames))
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	var typeErrs []error
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tpkg, _ := conf.Check(path, fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking %s: %w", path, errors.Join(typeErrs...))
+	}
+	return &Package{
+		Path:      path,
+		Dir:       dir,
+		Fset:      fset,
+		Files:     files,
+		FileNames: fileNames,
+		Types:     tpkg,
+		Info:      info,
+		IsTest:    isTest,
+	}, nil
+}
+
+// NewInfo allocates a types.Info with every table analyzers consume.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// tableImporter resolves already-checked units from the shared table and
+// delegates everything else to the source importer.
+type tableImporter struct {
+	table    map[string]*types.Package
+	fallback types.ImporterFrom
+}
+
+func (t *tableImporter) Import(path string) (*types.Package, error) {
+	return t.ImportFrom(path, "", 0)
+}
+
+func (t *tableImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := t.table[path]; ok {
+		return pkg, nil
+	}
+	return t.fallback.ImportFrom(path, dir, mode)
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"fmt"
+	"sort"
+)
+
+// RunAnalyzers applies every analyzer to every package unit, applies the
+// //oblint:ignore suppression rules, and returns the surviving
+// diagnostics sorted by position.
+//
+// Suppression is positional: an ignore directive cancels any diagnostic
+// reported on its own line or on the line directly below (so the
+// directive can sit at the end of the offending line or on its own line
+// above it). An ignore without a reason suppresses nothing and is itself
+// reported, as is a directive with an unknown name — typos must not
+// silently disable the lint.
+func RunAnalyzers(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	sink := func(d Diagnostic) { diags = append(diags, d) }
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				Info:      pkg.Info,
+				PkgPath:   pkg.Path,
+				Dir:       pkg.Dir,
+				FileNames: pkg.FileNames,
+				IsTest:    pkg.IsTest,
+				report:    sink,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+
+	type lineKey struct {
+		file string
+		line int
+	}
+	suppressed := make(map[lineKey]bool)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, d := range Directives(pkg.Fset, f) {
+				pos := pkg.Fset.Position(d.Pos)
+				switch d.Name {
+				case "ignore":
+					if d.Arg == "" {
+						diags = append(diags, Diagnostic{Pos: pos, Analyzer: "oblint",
+							Message: "//oblint:ignore requires a reason"})
+						continue
+					}
+					suppressed[lineKey{pos.Filename, pos.Line}] = true
+					suppressed[lineKey{pos.Filename, pos.Line + 1}] = true
+				case "hotpath", "fresh":
+					// Consumed by individual analyzers.
+				default:
+					diags = append(diags, Diagnostic{Pos: pos, Analyzer: "oblint",
+						Message: fmt.Sprintf("unknown directive //oblint:%s", d.Name)})
+				}
+			}
+		}
+	}
+
+	kept := diags[:0]
+	for _, d := range diags {
+		if d.Analyzer != "oblint" && suppressed[lineKey{d.Pos.Filename, d.Pos.Line}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	sort.Slice(kept, func(i, j int) bool {
+		a, b := kept[i], kept[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return kept, nil
+}

@@ -1,0 +1,199 @@
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// Run loads each fixture package under filepath.Join(testdata, "src"),
+// applies the analyzer, and reports every mismatch between its
+// diagnostics and the fixtures' // want expectations as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	ld := newLoader(filepath.Join(testdata, "src"))
+	for _, path := range pkgPaths {
+		pkg, err := ld.load(path)
+		if err != nil {
+			t.Errorf("loading fixture %s: %v", path, err)
+			continue
+		}
+		diags, err := analysis.RunAnalyzers([]*analysis.Package{pkg}, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Errorf("running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		checkWants(t, pkg, diags)
+	}
+}
+
+// loader resolves fixture packages GOPATH-style under srcDir, falling
+// back to the standard library importer for everything else.
+type loader struct {
+	srcDir string
+	fset   *token.FileSet
+	table  map[string]*types.Package
+	std    types.ImporterFrom
+}
+
+func newLoader(srcDir string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		srcDir: srcDir,
+		fset:   fset,
+		table:  make(map[string]*types.Package),
+		std:    importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+	}
+}
+
+// load parses and type-checks the fixture package at the import path.
+func (ld *loader) load(path string) (*analysis.Package, error) {
+	dir := filepath.Join(ld.srcDir, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var fileNames []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			fileNames = append(fileNames, e.Name())
+		}
+	}
+	sort.Strings(fileNames)
+	if len(fileNames) == 0 {
+		return nil, fmt.Errorf("no Go files in fixture %s", dir)
+	}
+	files := make([]*ast.File, 0, len(fileNames))
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := analysis.NewInfo()
+	var typeErrs []string
+	conf := types.Config{
+		Importer: ld,
+		Error:    func(err error) { typeErrs = append(typeErrs, err.Error()) },
+	}
+	tpkg, _ := conf.Check(path, ld.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("type-checking fixture %s:\n%s", path, strings.Join(typeErrs, "\n"))
+	}
+	return &analysis.Package{
+		Path:      path,
+		Dir:       dir,
+		Fset:      ld.fset,
+		Files:     files,
+		FileNames: fileNames,
+		Types:     tpkg,
+		Info:      info,
+	}, nil
+}
+
+func (ld *loader) Import(path string) (*types.Package, error) {
+	return ld.ImportFrom(path, "", 0)
+}
+
+func (ld *loader) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if pkg, ok := ld.table[path]; ok {
+		return pkg, nil
+	}
+	if fi, err := os.Stat(filepath.Join(ld.srcDir, filepath.FromSlash(path))); err == nil && fi.IsDir() {
+		pkg, err := ld.load(path)
+		if err != nil {
+			return nil, err
+		}
+		ld.table[path] = pkg.Types
+		return pkg.Types, nil
+	}
+	return ld.std.ImportFrom(path, dir, mode)
+}
+
+// want is one parsed expectation: a regexp the diagnostic message on the
+// expectation's line must match.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// checkWants matches diagnostics against expectations one-to-one.
+func checkWants(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				for _, raw := range parseQuoted(c.Text[idx+len("// want "):]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Errorf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, raw, err)
+						continue
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.met && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// parseQuoted extracts the sequence of Go string literals ("..." or
+// `...`) that follows a want marker.
+func parseQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" || (s[0] != '"' && s[0] != '`') {
+			return out
+		}
+		lit, err := strconv.QuotedPrefix(s)
+		if err != nil {
+			return out
+		}
+		unq, err := strconv.Unquote(lit)
+		if err != nil {
+			return out
+		}
+		out = append(out, unq)
+		s = s[len(lit):]
+	}
+}

@@ -1,0 +1,17 @@
+// Package analysistest runs an internal/lint/analysis analyzer over
+// fixture packages and checks its diagnostics against // want comments,
+// mirroring golang.org/x/tools/go/analysis/analysistest.
+//
+// Fixtures live under testdata/src/<importpath>/ and are resolved
+// GOPATH-style: an import inside a fixture first looks for another
+// fixture directory of that path (so fixtures can stub project packages
+// such as repro/internal/sinr), then falls back to the standard library.
+// An expectation is a comment of the form
+//
+//	x := f() // want "regexp" "another regexp"
+//
+// attached to the line the diagnostic must appear on. Every diagnostic
+// must be matched by an expectation and vice versa. Diagnostics pass
+// through the same //oblint:ignore suppression as cmd/oblint, so
+// fixtures can demonstrate the suppression path itself.
+package analysistest

@@ -1,0 +1,29 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.HotPath, "hotpath")
+}
+
+func TestCtxLoop(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.CtxLoop, "ctxloop")
+}
+
+func TestTrackerReset(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.TrackerReset, "trackerreset")
+}
+
+func TestRegistryHygiene(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.RegistryHygiene,
+		"reg", "repro/internal/nodoc", "repro/internal/withdoc")
+}
+
+func TestBenchGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.BenchGuard, "benchguard")
+}

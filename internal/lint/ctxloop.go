@@ -1,0 +1,201 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// CtxLoop enforces the cancellation contract of exported context-aware
+// entry points (the PR-1 post-review fix): every top-level loop that can
+// scale with the instance size must poll the context — directly, through
+// a select on ctx.Done(), by passing ctx to a callee, or via a local
+// closure that does.
+//
+// Loops bounded by a constant are exempt (they cannot scale with n), as
+// are loops containing no calls and no nested loops (a bare O(n) sweep
+// finishes fast). Nested loops are covered by their outermost ancestor:
+// one poll per outer iteration is the project's granularity.
+var CtxLoop = &analysis.Analyzer{
+	Name: "ctxloop",
+	Doc: "require exported functions taking a context.Context to poll the context " +
+		"inside every non-constant top-level loop that does real work",
+	Run: runCtxLoop,
+}
+
+func runCtxLoop(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !fd.Name.IsExported() || !hasContextParam(pass, fd) {
+				continue
+			}
+			closures := localClosures(pass, fd)
+			for _, loop := range topLevelLoops(fd.Body) {
+				if constantBound(pass, loop) || !loopDoesWork(pass, loop) {
+					continue
+				}
+				if loopTouchesContext(pass, loop, closures) {
+					continue
+				}
+				pass.Reportf(loop.Pos(),
+					"loop in exported context-aware function %s never polls ctx (check ctx.Err or select on ctx.Done each iteration)",
+					funcName(fd))
+			}
+		}
+	}
+	return nil
+}
+
+func hasContextParam(pass *analysis.Pass, fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		if tv, ok := pass.Info.Types[field.Type]; ok && isContext(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// localClosures maps local variables to the function literals bound to
+// them, so a loop that delegates its ctx poll to a helper closure (the
+// solveOnline tick() pattern) is recognized one level deep.
+func localClosures(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]*ast.FuncLit {
+	out := make(map[types.Object]*ast.FuncLit)
+	bind := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		lit, ok := rhs.(*ast.FuncLit)
+		if !ok {
+			return
+		}
+		if obj := pass.Info.Defs[id]; obj != nil {
+			out[obj] = lit
+		} else if obj := pass.Info.Uses[id]; obj != nil {
+			out[obj] = lit
+		}
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) == len(st.Rhs) {
+				for i := range st.Lhs {
+					bind(st.Lhs[i], st.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			if len(st.Names) == len(st.Values) {
+				for i := range st.Names {
+					bind(st.Names[i], st.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// topLevelLoops collects the outermost for/range statements of body,
+// descending through every non-loop construct including function
+// literals, but never into a loop body.
+func topLevelLoops(body *ast.BlockStmt) []ast.Stmt {
+	var loops []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, n.(ast.Stmt))
+			return false
+		}
+		return true
+	})
+	return loops
+}
+
+// constantBound reports loops whose trip count is a compile-time
+// constant: for i := 0; i < 8; i++ and for range k with constant k. The
+// non-constant side must be a plain identifier (the induction variable) —
+// a condition like len(remaining) > 0 compares against a constant but
+// its trip count scales with the instance, so it is not exempt.
+func constantBound(pass *analysis.Pass, loop ast.Stmt) bool {
+	isConst := func(e ast.Expr) bool {
+		tv, ok := pass.Info.Types[ast.Unparen(e)]
+		return ok && tv.Value != nil
+	}
+	isIdent := func(e ast.Expr) bool {
+		_, ok := ast.Unparen(e).(*ast.Ident)
+		return ok
+	}
+	switch l := loop.(type) {
+	case *ast.ForStmt:
+		cond, ok := ast.Unparen(l.Cond).(*ast.BinaryExpr)
+		if !ok {
+			return false
+		}
+		switch cond.Op {
+		case token.LSS, token.LEQ, token.GTR, token.GEQ, token.NEQ:
+			return (isConst(cond.X) && isIdent(cond.Y)) || (isConst(cond.Y) && isIdent(cond.X))
+		}
+	case *ast.RangeStmt:
+		return isConst(l.X)
+	}
+	return false
+}
+
+// loopDoesWork reports whether the loop contains a non-builtin call or a
+// nested loop — the shapes whose per-iteration cost can be unbounded.
+func loopDoesWork(pass *analysis.Pass, loop ast.Stmt) bool {
+	work := false
+	ast.Inspect(loop, func(n ast.Node) bool {
+		if work {
+			return false
+		}
+		switch nn := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			if n != loop {
+				work = true
+			}
+		case *ast.CallExpr:
+			if obj := calleeObj(pass.Info, nn); obj == nil || !isBuiltin(obj) {
+				work = true
+			}
+		}
+		return !work
+	})
+	return work
+}
+
+// loopTouchesContext reports whether the loop subtree references any
+// context.Context-typed value, or calls a local closure that does.
+func loopTouchesContext(pass *analysis.Pass, loop ast.Stmt, closures map[types.Object]*ast.FuncLit) bool {
+	found := false
+	visited := make(map[*ast.FuncLit]bool)
+	var visit func(n ast.Node) bool
+	visit = func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch nn := n.(type) {
+		case *ast.Ident:
+			if obj := pass.Info.Uses[nn]; obj != nil && isContext(obj.Type()) {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if tv, ok := pass.Info.Types[nn]; ok && isContext(tv.Type) {
+				found = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(nn.Fun).(*ast.Ident); ok {
+				if lit, ok := closures[pass.Info.Uses[id]]; ok && !visited[lit] {
+					visited[lit] = true
+					ast.Inspect(lit, visit)
+				}
+			}
+		}
+		return !found
+	}
+	ast.Inspect(loop, visit)
+	return found
+}

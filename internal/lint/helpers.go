@@ -1,0 +1,105 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzers returns every oblint analyzer in the order cmd/oblint runs
+// them.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		HotPath,
+		CtxLoop,
+		TrackerReset,
+		RegistryHygiene,
+		BenchGuard,
+	}
+}
+
+// typeIs reports whether t (behind any pointers and aliases) is the named
+// type path.name. Matching is by path and name, never object identity, so
+// it holds across independently type-checked units and fixture stubs.
+func typeIs(t types.Type, path, name string) bool {
+	if t == nil {
+		return false
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj != nil && obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == path
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool { return typeIs(t, "context", "Context") }
+
+// calleeObj resolves the object a call invokes: the function or method
+// for ident and selector callees, nil for indirect calls through
+// expressions.
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+// isPkgFunc reports whether obj is the package-level function path.name.
+func isPkgFunc(obj types.Object, path, name string) bool {
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Name() != name {
+		return false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return false
+	}
+	return fn.Pkg() != nil && fn.Pkg().Path() == path
+}
+
+// isBuiltin reports whether obj is a language builtin (append, len, ...).
+func isBuiltin(obj types.Object) bool {
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+// funcName renders a FuncDecl's name with its receiver type for
+// diagnostics, e.g. "Engine.place".
+func funcName(decl *ast.FuncDecl) string {
+	if decl.Recv == nil || len(decl.Recv.List) == 0 {
+		return decl.Name.Name
+	}
+	t := decl.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + decl.Name.Name
+	}
+	return decl.Name.Name
+}
+
+// directiveOnLines reports whether the file carries an //oblint:<name>
+// directive on any of the given lines.
+func directiveOnLines(pass *analysis.Pass, file *ast.File, name string, lines ...int) bool {
+	for _, d := range analysis.Directives(pass.Fset, file) {
+		if d.Name != name {
+			continue
+		}
+		for _, l := range lines {
+			if d.Line == l {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// devirtIfaces are interfaces with a known devirtualization path:
+// dispatching through them inside a hot pair loop is a regression the
+// project has already paid for once (PR 5 removed geom.Metric dispatch
+// from the HST pair scans for a 14× build speedup via geom.DistFunc).
+var devirtIfaces = []struct{ path, name, hint string }{
+	{"repro/internal/geom", "Metric", "geom.DistFunc"},
+}
+
+// HotPath flags per-pair-loop performance regressions inside functions
+// annotated //oblint:hotpath: math.Pow calls, fmt.Sprint*-family
+// allocations (except as the direct argument of panic), appends that grow
+// a local slice declared without capacity, and interface method dispatch
+// on devirtualizable types.
+var HotPath = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc: "flag math.Pow, fmt.Sprint*, capacity-less append growth, and devirtualizable " +
+		"interface dispatch inside functions annotated //oblint:hotpath",
+	Run: runHotPath,
+}
+
+func runHotPath(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !analysis.HasDirective(fd.Doc, "hotpath") {
+				continue
+			}
+			checkHotBody(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotBody(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// Calls that are the direct argument of panic are exempt from the
+	// fmt rule: the formatting runs once, on the way out.
+	panicArg := make(map[ast.Expr]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if ok && len(call.Args) == 1 && isBuiltin(calleeObj(pass.Info, call)) {
+			if id, isID := ast.Unparen(call.Fun).(*ast.Ident); isID && id.Name == "panic" {
+				panicArg[ast.Unparen(call.Args[0])] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		obj := calleeObj(pass.Info, call)
+		switch {
+		case isPkgFunc(obj, "math", "Pow"):
+			pass.Reportf(call.Pos(), "math.Pow in hot path (use the integer-exponent fast paths or a precomputed table)")
+		case isFmtAlloc(obj) && !panicArg[call]:
+			pass.Reportf(call.Pos(), "fmt.%s allocates in hot path (format outside the loop, or panic directly)", obj.Name())
+		case isBuiltin(obj) && obj.Name() == "append":
+			checkHotAppend(pass, fd, call)
+		}
+		checkDevirt(pass, call)
+		return true
+	})
+}
+
+func isFmtAlloc(obj types.Object) bool {
+	for _, name := range []string{"Sprintf", "Sprint", "Sprintln", "Errorf"} {
+		if isPkgFunc(obj, "fmt", name) {
+			return true
+		}
+	}
+	return false
+}
+
+// checkDevirt reports method calls whose receiver's static type is a
+// known-devirtualizable interface.
+func checkDevirt(pass *analysis.Pass, call *ast.CallExpr) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	s := pass.Info.Selections[sel]
+	if s == nil || s.Kind() != types.MethodVal {
+		return
+	}
+	recv := s.Recv()
+	if _, isIface := types.Unalias(recv).Underlying().(*types.Interface); !isIface {
+		return
+	}
+	for _, d := range devirtIfaces {
+		if typeIs(recv, d.path, d.name) {
+			pass.Reportf(call.Pos(), "interface dispatch of %s.%s on %s in hot path (devirtualize with %s)",
+				d.name, sel.Sel.Name, d.name, d.hint)
+		}
+	}
+}
+
+// checkHotAppend reports append calls that grow a local slice whose
+// declaration provides no capacity. Fields, parameters, and slices whose
+// declaration we cannot classify are exempt — the analyzer only fires on
+// positive evidence.
+func checkHotAppend(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil {
+		return
+	}
+	if decl, found := localSliceDecl(pass, fd, obj); found && !declHasCapacity(pass, decl) {
+		pass.Reportf(call.Pos(), "append grows %s, declared without capacity, in hot path (preallocate with make(_, 0, n))", id.Name)
+	}
+}
+
+// localSliceDecl finds the expression (or nil for a bare var) that
+// initializes obj inside fd. found is false when obj is not declared in
+// fd's body (a parameter, field, or package variable).
+func localSliceDecl(pass *analysis.Pass, fd *ast.FuncDecl, obj types.Object) (init ast.Expr, found bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if st.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				if lid, ok := lhs.(*ast.Ident); ok && pass.Info.Defs[lid] == obj {
+					if len(st.Rhs) == len(st.Lhs) {
+						init, found = st.Rhs[i], true
+					} else {
+						// Multi-value assignment: capacity unknowable here.
+						init, found = nil, false
+					}
+					return false
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range st.Names {
+				if pass.Info.Defs[name] == obj {
+					if i < len(st.Values) {
+						init, found = st.Values[i], true
+					} else {
+						init, found = nil, true // var x []T — zero value, no capacity
+					}
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return init, found
+}
+
+// declHasCapacity classifies the initializer: make with an explicit
+// capacity or a non-empty literal counts as capacity; anything we cannot
+// prove capacity-less (other calls, conversions) also passes.
+func declHasCapacity(pass *analysis.Pass, init ast.Expr) bool {
+	switch e := ast.Unparen(init).(type) {
+	case nil:
+		return false // var x []T
+	case *ast.CompositeLit:
+		return len(e.Elts) > 0
+	case *ast.CallExpr:
+		if obj := calleeObj(pass.Info, e); isBuiltin(obj) && obj.Name() == "make" {
+			return len(e.Args) >= 3
+		}
+		return true
+	default:
+		return true
+	}
+}

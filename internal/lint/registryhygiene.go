@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// RegistryHygiene pins two packaging conventions. First, every solver
+// handed to Register must be constructed by NewSolver with the same name
+// literal: the NewSolver wrapper is what backfills Stats.Engine from the
+// resolved affectance mode, so a hand-rolled Solver registered directly
+// would report an empty engine in every result (and the name literal is
+// what Lookup and the CLI -solver flag key on). Second, every internal
+// package carries a doc.go, so `go doc` explains a package before a
+// reader has to reverse-engineer it.
+var RegistryHygiene = &analysis.Analyzer{
+	Name: "registryhygiene",
+	Doc: "require Register calls to wrap solvers in NewSolver with a matching name, " +
+		"and internal packages to carry a doc.go",
+	Run: runRegistryHygiene,
+}
+
+func runRegistryHygiene(pass *analysis.Pass) error {
+	checkDocFile(pass)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkRegisterCall(pass, call)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkDocFile reports internal packages without a doc.go. External test
+// units are skipped: the doc belongs to the package proper.
+func checkDocFile(pass *analysis.Pass) {
+	if pass.IsTest || len(pass.Files) == 0 || pass.Pkg == nil || pass.Pkg.Name() == "main" {
+		return
+	}
+	path := pass.PkgPath
+	if !strings.HasPrefix(path, "internal/") && !strings.Contains(path, "/internal/") {
+		return
+	}
+	for _, name := range pass.FileNames {
+		if name == "doc.go" {
+			return
+		}
+	}
+	pass.Reportf(pass.Files[0].Name.Pos(), "internal package %s has no doc.go", path)
+}
+
+// checkRegisterCall applies the NewSolver discipline to calls of a
+// package-level function named Register whose first argument is a string.
+func checkRegisterCall(pass *analysis.Pass, call *ast.CallExpr) {
+	callee := calleeObj(pass.Info, call)
+	if callee == nil || callee.Name() != "Register" || len(call.Args) < 2 {
+		return
+	}
+	if tv, ok := pass.Info.Types[call.Args[0]]; !ok || !isStringType(tv.Type) {
+		return
+	}
+	inner, ok := ast.Unparen(call.Args[1]).(*ast.CallExpr)
+	if !ok {
+		pass.Reportf(call.Args[1].Pos(),
+			"solver registered without NewSolver: Stats.Engine stays empty on every result (wrap the solve func in NewSolver)")
+		return
+	}
+	if callee := calleeObj(pass.Info, inner); callee == nil || callee.Name() != "NewSolver" {
+		pass.Reportf(call.Args[1].Pos(),
+			"solver registered without NewSolver: Stats.Engine stays empty on every result (wrap the solve func in NewSolver)")
+		return
+	}
+	if len(inner.Args) == 0 {
+		return
+	}
+	regName, ok1 := stringLit(call.Args[0])
+	solName, ok2 := stringLit(inner.Args[0])
+	if ok1 && ok2 && regName != solName {
+		pass.Reportf(call.Args[0].Pos(),
+			"Register(%q) wraps NewSolver(%q): the registry key and the solver name must match", regName, solName)
+	}
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+// stringLit extracts the value of a string basic literal.
+func stringLit(e ast.Expr) (string, bool) {
+	lit, ok := ast.Unparen(e).(*ast.BasicLit)
+	if !ok || lit.Kind != token.STRING {
+		return "", false
+	}
+	s, err := strconv.Unquote(lit.Value)
+	if err != nil {
+		return "", false
+	}
+	return s, true
+}

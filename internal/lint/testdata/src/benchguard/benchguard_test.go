@@ -1,0 +1,80 @@
+// Package benchguard exercises the benchguard analyzer: setup before the
+// timed b.N loop must be neutralized by b.ResetTimer or a stopped timer,
+// for b.Loop is self-timing, and benchmarks without a b.N loop are
+// delegators.
+package benchguard
+
+import "testing"
+
+func expensiveSetup() []int {
+	return make([]int, 1024)
+}
+
+func work(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+// BenchmarkBad times its own setup.
+func BenchmarkBad(b *testing.B) {
+	xs := expensiveSetup()
+	for i := 0; i < b.N; i++ { // want "without b.ResetTimer"
+		work(xs)
+	}
+}
+
+// BenchmarkRange ranges over b.N and times its setup too.
+func BenchmarkRange(b *testing.B) {
+	xs := expensiveSetup()
+	for range b.N { // want "without b.ResetTimer"
+		work(xs)
+	}
+}
+
+// BenchmarkReset neutralizes the setup.
+func BenchmarkReset(b *testing.B) {
+	xs := expensiveSetup()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work(xs)
+	}
+}
+
+// BenchmarkStopStart brackets the setup in a stopped timer.
+func BenchmarkStopStart(b *testing.B) {
+	b.StopTimer()
+	xs := expensiveSetup()
+	b.StartTimer()
+	for i := 0; i < b.N; i++ {
+		work(xs)
+	}
+}
+
+// BenchmarkLoop uses the self-timing loop helper.
+func BenchmarkLoop(b *testing.B) {
+	xs := expensiveSetup()
+	for b.Loop() {
+		work(xs)
+	}
+}
+
+// BenchmarkDelegate has no timed loop of its own; its sub-benchmark
+// literals are checked individually.
+func BenchmarkDelegate(b *testing.B) {
+	xs := expensiveSetup()
+	b.Run("clean", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			work(xs)
+		}
+	})
+	b.Run("dirty", func(b *testing.B) {
+		ys := expensiveSetup()
+		for i := 0; i < b.N; i++ { // want "sub-benchmark does setup"
+			work(ys)
+		}
+	})
+}

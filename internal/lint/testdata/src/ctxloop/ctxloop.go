@@ -1,0 +1,104 @@
+// Package ctxloop exercises the ctxloop analyzer. SqrtLPColoringCtx
+// reproduces the PR-1 regression verbatim: the outer color loop ran LP
+// rounds without ever polling ctx, and the post-review fix added the
+// ctx.Err check at the top of every round.
+package ctxloop
+
+import "context"
+
+type instance struct{ lens []float64 }
+
+func (in *instance) n() int { return len(in.lens) }
+
+func algorithmA(in *instance, remaining []int) []int {
+	if len(remaining) == 0 {
+		return nil
+	}
+	return remaining[:1]
+}
+
+// SqrtLPColoringCtx is the regression: an exported context-aware entry
+// point whose color loop never polls ctx.
+func SqrtLPColoringCtx(ctx context.Context, in *instance) ([][]int, error) {
+	remaining := make([]int, in.n())
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var classes [][]int
+	for color := 0; len(remaining) > 0; color++ { // want "never polls ctx"
+		class := algorithmA(in, remaining)
+		classes = append(classes, class)
+		remaining = remaining[len(class):]
+	}
+	return classes, nil
+}
+
+// SqrtLPColoringCtxFixed is the post-review shape: ctx.Err checked before
+// every round.
+func SqrtLPColoringCtxFixed(ctx context.Context, in *instance) ([][]int, error) {
+	remaining := make([]int, in.n())
+	for i := range remaining {
+		remaining[i] = i
+	}
+	var classes [][]int
+	for color := 0; len(remaining) > 0; color++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		class := algorithmA(in, remaining)
+		classes = append(classes, class)
+		remaining = remaining[len(class):]
+	}
+	return classes, nil
+}
+
+// RunContext delegates the poll to a local closure (the solveOnline tick
+// pattern): resolved one level deep.
+func RunContext(ctx context.Context, in *instance) error {
+	tick := func() error { return ctx.Err() }
+	for i := 0; i < in.n(); i++ {
+		if err := tick(); err != nil {
+			return err
+		}
+		algorithmA(in, nil)
+	}
+	return nil
+}
+
+// Select polls through a select on ctx.Done.
+func Select(ctx context.Context, ch chan int, in *instance) error {
+	for i := 0; i < in.n(); i++ {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case v := <-ch:
+			algorithmA(in, []int{v})
+		}
+	}
+	return nil
+}
+
+// ConstBound loops a fixed number of times: exempt, it cannot scale with
+// the instance.
+func ConstBound(ctx context.Context, in *instance) {
+	for i := 0; i < 8; i++ {
+		algorithmA(in, nil)
+	}
+}
+
+// NoWork sweeps without calling anything: exempt.
+func NoWork(ctx context.Context, xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}
+
+// quietLoop is unexported: entry-point polling is its exported callers'
+// job.
+func quietLoop(ctx context.Context, in *instance) {
+	for i := 0; i < in.n(); i++ {
+		algorithmA(in, nil)
+	}
+}

@@ -1,0 +1,81 @@
+// Package hotpath exercises the hotpath analyzer: math.Pow, fmt
+// allocation, capacity-less append growth, and devirtualizable interface
+// dispatch inside annotated functions, plus the //oblint:ignore
+// suppression path.
+package hotpath
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// pow is annotated hot and misuses math.Pow.
+//
+//oblint:hotpath
+func pow(d, a float64) float64 {
+	return math.Pow(d, a) // want "math.Pow in hot path"
+}
+
+// coldPow is not annotated, so anything goes.
+func coldPow(d, a float64) float64 {
+	return math.Pow(d, a)
+}
+
+// format allocates through fmt per iteration; the panic argument at the
+// end is exempt.
+//
+//oblint:hotpath
+func format(names []string) string {
+	out := ""
+	for _, n := range names {
+		out = fmt.Sprintf("%s,%s", out, n) // want "fmt.Sprintf allocates in hot path"
+	}
+	if out == "" {
+		panic(fmt.Sprintf("empty input %v", names))
+	}
+	return out
+}
+
+// grow demonstrates the append rule: flagged without capacity, clean with
+// one, and suppressible with a reasoned ignore.
+//
+//oblint:hotpath
+func grow(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x) // want "append grows out"
+	}
+	with := make([]int, 0, len(xs))
+	for _, x := range xs {
+		with = append(with, x)
+	}
+	var cold []int
+	for _, x := range xs {
+		cold = append(cold, x) //oblint:ignore fixture: demonstrating the suppression path
+	}
+	_ = cold
+	return append(with, out...)
+}
+
+// dispatch pays interface dispatch per pair; the devirtualized closure is
+// the sanctioned form.
+//
+//oblint:hotpath
+func dispatch(m geom.Metric, n int) float64 {
+	sum := 0.0
+	f := geom.DistFunc(m)
+	for u := 0; u < n; u++ {
+		sum += m.Dist(u, 0) // want "interface dispatch of Metric.Dist"
+		sum += f(u, 0)
+	}
+	return sum
+}
+
+// badDirectives carries a reason-less ignore and a typoed directive, both
+// reported by the runner itself.
+func badDirectives() {
+	//oblint:ignore // want "requires a reason"
+	//oblint:hotpat // want `unknown directive //oblint:hotpat`
+}

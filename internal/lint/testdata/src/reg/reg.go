@@ -1,0 +1,26 @@
+// Package reg exercises the registryhygiene Register discipline against
+// local stubs of the root package's Register/NewSolver pair.
+package reg
+
+// Solver is the registrable interface.
+type Solver interface{ Name() string }
+
+type fnSolver struct{ name string }
+
+func (s fnSolver) Name() string { return s.name }
+
+// NewSolver wraps a solve func; in the real package this wrapper is what
+// backfills Stats.Engine.
+func NewSolver(name string, fn func() int) Solver { return fnSolver{name: name} }
+
+// Register records a solver under name.
+func Register(name string, s Solver) {}
+
+func solveGreedy() int { return 0 }
+
+func init() {
+	Register("greedy", NewSolver("greedy", solveGreedy))
+	Register("lp", NewSolver("lq", solveGreedy)) // want `Register\("lp"\) wraps NewSolver\("lq"\)`
+	Register("raw", fnSolver{name: "raw"})       // want "without NewSolver"
+	Register("quiet", fnSolver{name: "quiet"})   //oblint:ignore fixture: demonstrating suppression on a registry finding
+}

@@ -1,0 +1,15 @@
+// Package geom is a fixture stub of the real metric interface: the
+// analyzers match types by package path and name, so this stub stands in
+// for repro/internal/geom.
+package geom
+
+// Metric is the devirtualizable metric interface.
+type Metric interface {
+	Dist(u, v int) float64
+	N() int
+}
+
+// DistFunc devirtualizes m.
+func DistFunc(m Metric) func(u, v int) float64 {
+	return m.Dist
+}

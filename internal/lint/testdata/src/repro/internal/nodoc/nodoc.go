@@ -1,0 +1,4 @@
+package nodoc // want "internal package repro/internal/nodoc has no doc.go"
+
+// V exists so the package is not empty.
+var V int

@@ -1,0 +1,22 @@
+// Package sinr is a fixture stub of the tracker contract: the analyzers
+// match types by package path and name, so this stub stands in for
+// repro/internal/sinr.
+package sinr
+
+// SetTracker is the incremental feasibility tracker interface.
+type SetTracker interface {
+	Reset()
+	Add(i int)
+	CanAdd(i int) bool
+	Members() []int
+}
+
+type nopTracker struct{}
+
+func (nopTracker) Reset()          {}
+func (nopTracker) Add(int)         {}
+func (nopTracker) CanAdd(int) bool { return true }
+func (nopTracker) Members() []int  { return nil }
+
+// NewSetTracker returns a fresh, empty tracker.
+func NewSetTracker() SetTracker { return nopTracker{} }

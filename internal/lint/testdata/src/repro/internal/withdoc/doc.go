@@ -1,0 +1,2 @@
+// Package withdoc carries a doc.go, so registryhygiene stays quiet.
+package withdoc

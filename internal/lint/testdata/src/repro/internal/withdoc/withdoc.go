@@ -1,0 +1,4 @@
+package withdoc
+
+// V exists so the package is not empty.
+var V int

@@ -1,0 +1,69 @@
+// Package trackerreset exercises the trackerreset analyzer: pooled
+// trackers must be Reset before re-Add, with fresh construction and the
+// //oblint:fresh escape hatch at its three attachment points.
+package trackerreset
+
+import "repro/internal/sinr"
+
+type pool struct{ free []sinr.SetTracker }
+
+func (p *pool) get() sinr.SetTracker {
+	tr := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return tr
+}
+
+// reuseWithoutReset re-populates a pooled tracker raw: the violation.
+func reuseWithoutReset(p *pool, items []int) {
+	tr := p.get()
+	for _, i := range items {
+		tr.Add(i) // want "without Reset"
+	}
+}
+
+// reuseWithReset follows the recycling contract.
+func reuseWithReset(p *pool, items []int) {
+	tr := p.get()
+	tr.Reset()
+	for _, i := range items {
+		tr.Add(i)
+	}
+}
+
+// freshConstructed needs no Reset: the constructor result is empty.
+func freshConstructed(items []int) []int {
+	tr := sinr.NewSetTracker()
+	for _, i := range items {
+		tr.Add(i)
+	}
+	return tr.Members()
+}
+
+// chained constructor calls are fresh by construction.
+func chained(i int) {
+	sinr.NewSetTracker().Add(i)
+}
+
+// freshAtAcquisition annotates the acquisition statement.
+func freshAtAcquisition(p *pool, items []int) {
+	tr := p.get() //oblint:fresh fixture: this pool Resets on put, not on get
+	for _, i := range items {
+		tr.Add(i)
+	}
+}
+
+// freshAtAdd annotates the Add site itself.
+func freshAtAdd(p *pool, i int) {
+	tr := p.get()
+	tr.Add(i) //oblint:fresh fixture: extending a live class
+
+	tr.Add(i + 1) // want "without Reset"
+}
+
+// freshFunc uses the function-level escape hatch.
+//
+//oblint:fresh fixture: every tracker this helper touches is fresh by protocol
+func freshFunc(p *pool, i int) {
+	tr := p.get()
+	tr.Add(i)
+}

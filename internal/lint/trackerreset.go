@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// freshConstructors are the calls whose result is a tracker known to be
+// empty: providers hand trackers out through these, and a freshly
+// constructed tracker needs no Reset.
+var freshConstructors = map[string]bool{
+	"NewSetTracker": true,
+	"NewTracker":    true,
+}
+
+// TrackerReset enforces the tracker recycling contract from the PR 3–5
+// pooling work: a sinr.SetTracker that may come from a provider pool must
+// be Reset before it is re-populated with Add. The analysis is
+// flow-insensitive and per-function: an Add on a tracker is fine if the
+// same function constructs it via NewSetTracker/NewTracker, calls Reset
+// on it, or carries an //oblint:fresh annotation — on the Add line, on
+// the line above it, at the tracker's acquisition site, or on the
+// function's doc comment (asserting every tracker the function touches is
+// fresh or intentionally extended).
+var TrackerReset = &analysis.Analyzer{
+	Name: "trackerreset",
+	Doc: "require sinr.SetTracker values to be freshly constructed, Reset, or annotated " +
+		"//oblint:fresh before Add re-populates them",
+	Run: runTrackerReset,
+}
+
+func runTrackerReset(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if analysis.HasDirective(fd.Doc, "fresh") {
+				continue
+			}
+			checkTrackerFunc(pass, file, fd)
+		}
+	}
+	return nil
+}
+
+// isSetTracker reports whether t is the repro/internal/sinr.SetTracker
+// interface (by path and name, so fixture stubs match too).
+func isSetTracker(t types.Type) bool {
+	return typeIs(t, "repro/internal/sinr", "SetTracker")
+}
+
+// trackerKey resolves a receiver expression to the object standing for
+// the tracker: a local/param variable, or a struct field (which
+// over-approximates across instances — deliberately, the analysis is a
+// may-alias over-approximation).
+func trackerKey(pass *analysis.Pass, recv ast.Expr) types.Object {
+	switch e := ast.Unparen(recv).(type) {
+	case *ast.Ident:
+		return pass.Info.Uses[e]
+	case *ast.SelectorExpr:
+		return pass.Info.Uses[e.Sel]
+	}
+	return nil
+}
+
+func checkTrackerFunc(pass *analysis.Pass, file *ast.File, fd *ast.FuncDecl) {
+	type addSite struct {
+		call *ast.CallExpr
+		recv ast.Expr
+		obj  types.Object
+	}
+	var adds []addSite
+	reset := make(map[types.Object]bool)
+	fresh := make(map[types.Object]bool)
+
+	// recordAcquisition classifies an assignment rhs → lhs object: fresh
+	// constructor results and //oblint:fresh-annotated acquisitions.
+	recordAcquisition := func(lhs ast.Expr, rhs ast.Expr, line int) {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj == nil || !isSetTracker(obj.Type()) {
+			return
+		}
+		if directiveOnLines(pass, file, "fresh", line, line-1) {
+			fresh[obj] = true
+			return
+		}
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+			if callee := calleeObj(pass.Info, call); callee != nil && freshConstructors[callee.Name()] {
+				fresh[obj] = true
+			}
+		}
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) == len(st.Rhs) {
+				line := pass.Fset.Position(st.Pos()).Line
+				for i := range st.Lhs {
+					recordAcquisition(st.Lhs[i], st.Rhs[i], line)
+				}
+			}
+		case *ast.ValueSpec:
+			if len(st.Names) == len(st.Values) {
+				line := pass.Fset.Position(st.Pos()).Line
+				for i := range st.Names {
+					recordAcquisition(st.Names[i], st.Values[i], line)
+				}
+			}
+		case *ast.CallExpr:
+			sel, ok := ast.Unparen(st.Fun).(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			s := pass.Info.Selections[sel]
+			if s == nil || s.Kind() != types.MethodVal || !isSetTracker(s.Recv()) {
+				return true
+			}
+			switch sel.Sel.Name {
+			case "Reset":
+				if obj := trackerKey(pass, sel.X); obj != nil {
+					reset[obj] = true
+				}
+			case "Add":
+				adds = append(adds, addSite{call: st, recv: sel.X, obj: trackerKey(pass, sel.X)})
+			}
+		}
+		return true
+	})
+
+	for _, a := range adds {
+		line := pass.Fset.Position(a.call.Pos()).Line
+		if directiveOnLines(pass, file, "fresh", line, line-1) {
+			continue
+		}
+		// A chained call like provider.NewSetTracker(...).Add(i) is fresh
+		// by construction.
+		if call, ok := ast.Unparen(a.recv).(*ast.CallExpr); ok {
+			if callee := calleeObj(pass.Info, call); callee != nil && freshConstructors[callee.Name()] {
+				continue
+			}
+		}
+		if a.obj != nil && (fresh[a.obj] || reset[a.obj]) {
+			continue
+		}
+		name := "tracker"
+		if a.obj != nil {
+			name = a.obj.Name()
+		}
+		pass.Reportf(a.call.Pos(),
+			"Add on %s, which may be a recycled tracker, without Reset in %s (Reset it, or annotate //oblint:fresh with a reason)",
+			name, funcName(fd))
+	}
+}

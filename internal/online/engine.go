@@ -446,17 +446,24 @@ func (e *Engine) recycle(sl *slot) {
 	e.free = append(e.free, sl.tr)
 }
 
+//oblint:hotpath
 func (e *Engine) canAdd(sl *slot, i int) bool {
 	e.stats.RowOps += int64(sl.tr.Len()) + 1
 	return sl.tr.CanAdd(i)
 }
 
+//oblint:hotpath
 func (e *Engine) addMargin(sl *slot, i int) float64 {
 	e.stats.RowOps += int64(sl.tr.Len()) + 1
 	return sl.tr.AddMargin(i)
 }
 
 // place inserts request i into slot s (which must have passed canAdd).
+// Slot trackers are live classes: they are Reset by recycle on the way
+// into the free pool, never here.
+//
+//oblint:fresh slot trackers are Reset by recycle when pooled
+//oblint:hotpath
 func (e *Engine) place(i, s int) {
 	sl := e.slots[s]
 	e.stats.RowOps += int64(sl.tr.Len()) + 1
@@ -469,6 +476,8 @@ func (e *Engine) place(i, s int) {
 
 // unplace removes request i from slot s, maintaining the slot's minimum
 // member length for the power-fit scan.
+//
+//oblint:hotpath
 func (e *Engine) unplace(i, s int) {
 	sl := e.slots[s]
 	e.stats.RowOps += int64(sl.tr.Len()) + 1

@@ -190,6 +190,8 @@ func (m Model) WithBeta(beta float64) Model {
 // order of magnitude cheaper than math.Pow and agree with it to within a
 // few ulps (the feasibility tolerance absorbs the difference; the affect
 // oracle cross-check pins this down).
+//
+//oblint:hotpath
 func (m Model) Loss(d float64) float64 {
 	switch m.Alpha {
 	case 1:
@@ -214,6 +216,7 @@ func (m Model) Loss(d float64) float64 {
 		}
 		return out
 	}
+	//oblint:ignore non-integer alpha fallback; the integer fast paths above cover production models
 	return math.Pow(d, m.Alpha)
 }
 
@@ -242,10 +245,12 @@ const tol = Tol
 
 // MinLossToNode returns min{ℓ(u_j, w), ℓ(v_j, w)}: the loss from the closer
 // endpoint of request j to node w (used by the bidirectional constraints).
+//
+//oblint:hotpath
 func (m Model) MinLossToNode(in *problem.Instance, j, w int) float64 {
 	r := in.Reqs[j]
-	du := in.Space.Dist(r.U, w)
-	dv := in.Space.Dist(r.V, w)
+	//oblint:ignore direct-oracle fallback; engines devirtualize via geom.DistFunc
+	du, dv := in.Space.Dist(r.U, w), in.Space.Dist(r.V, w)
 	if dv < du {
 		du = dv
 	}
