@@ -9,6 +9,7 @@
 package oblivious_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"os"
@@ -24,6 +25,7 @@ import (
 	"repro/internal/hst"
 	"repro/internal/instance"
 	"repro/internal/lp"
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/online/sim"
 	"repro/internal/power"
@@ -491,6 +493,37 @@ func BenchmarkOnlineChurn(b *testing.B) {
 			}
 			b.StopTimer()
 			recordOnlineBench(b, cp, "OnlineChurn", n, "batch", len(measured))
+		})
+	}
+}
+
+// BenchmarkObsOverhead measures the cost of the observability layer on
+// the greedy solver at n=2000: obs=off is the nil-collector disabled
+// path (every instrument site pays its one branch and nothing else),
+// obs=on attaches a live collector. The acceptance criterion is that
+// the off variant stays within 2% of a build without instrumentation —
+// in practice, within noise of the on variant too, since greedy's cost
+// is dominated by the coloring itself.
+func BenchmarkObsOverhead(b *testing.B) {
+	m := sinr.Default()
+	in := benchInstance(b, 2000)
+	solver := oblivious.Lookup("greedy")
+	for _, observed := range []bool{false, true} {
+		var col *obs.Collector
+		if observed {
+			col = obs.NewCollector()
+		}
+		b.Run(fmt.Sprintf("n=2000/obs=%t", observed), func(b *testing.B) {
+			b.ReportAllocs()
+			runtime.GC()
+			defer debug.SetGCPercent(debug.SetGCPercent(-1))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.Solve(context.Background(), m, in,
+					oblivious.WithSeed(1), oblivious.WithObserver(col)); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

@@ -1,6 +1,6 @@
 // Command oblint runs the project's invariant analyzers (hotpath,
-// ctxloop, trackerreset, registryhygiene, benchguard — see internal/lint)
-// over the packages matched by the given patterns.
+// ctxloop, trackerreset, registryhygiene, benchguard, obsguard — see
+// internal/lint) over the packages matched by the given patterns.
 //
 // Usage:
 //

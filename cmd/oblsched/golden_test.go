@@ -1,10 +1,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
+	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"regexp"
+	"sort"
 	"strings"
 	"testing"
 
@@ -67,6 +71,101 @@ func checkGolden(t *testing.T, name, got string) {
 	if got != string(want) {
 		t.Errorf("output diverges from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
 	}
+}
+
+// latencyField strips the latency_ns field from an event stream: every
+// other field of every event is deterministic for a replay trace, wall
+// clock readings are not.
+var latencyField = regexp.MustCompile(`,"latency_ns":\d+`)
+
+// stableMetrics renders the deterministic projection of a -metrics
+// snapshot: counters and gauges in full (they mirror the engine's event
+// counts and final state) and, per histogram, only the observation
+// count (engine/arrive_ns counts arrivals; its latency values and
+// bucket placement are wall-clock noise).
+func stableMetrics(t *testing.T, raw []byte) string {
+	t.Helper()
+	var snap struct {
+		Counters   map[string]int64   `json:"counters"`
+		Gauges     map[string]float64 `json:"gauges"`
+		Histograms map[string]struct {
+			Count int64 `json:"count"`
+		} `json:"histograms"`
+	}
+	if err := json.Unmarshal(raw, &snap); err != nil {
+		t.Fatalf("metrics snapshot is not valid JSON: %v", err)
+	}
+	var sb strings.Builder
+	section := func(name string, keys []string, line func(k string)) {
+		sort.Strings(keys)
+		fmt.Fprintf(&sb, "[%s]\n", name)
+		for _, k := range keys {
+			line(k)
+		}
+	}
+	ck := make([]string, 0, len(snap.Counters))
+	for k := range snap.Counters {
+		ck = append(ck, k)
+	}
+	section("counters", ck, func(k string) { fmt.Fprintf(&sb, "%s = %d\n", k, snap.Counters[k]) })
+	gk := make([]string, 0, len(snap.Gauges))
+	for k := range snap.Gauges {
+		gk = append(gk, k)
+	}
+	section("gauges", gk, func(k string) { fmt.Fprintf(&sb, "%s = %g\n", k, snap.Gauges[k]) })
+	hk := make([]string, 0, len(snap.Histograms))
+	for k := range snap.Histograms {
+		hk = append(hk, k)
+	}
+	section("histogram counts", hk, func(k string) { fmt.Fprintf(&sb, "%s = %d\n", k, snap.Histograms[k].Count) })
+	return sb.String()
+}
+
+// TestGoldenTraceObservability pins the -events and -metrics outputs of
+// a deterministic replay trace: the full event stream (minus wall-clock
+// latencies) and the deterministic projection of the metrics snapshot.
+// The two goldens cross-check each other — the arrive/depart counters in
+// trace_metrics must equal the arrive/depart line counts in
+// trace_events.
+func TestGoldenTraceObservability(t *testing.T) {
+	path := writeLineInstance64(t)
+	dir := t.TempDir()
+	cfg := baseConfig(path)
+	cfg.trace = "replay"
+	cfg.admission, cfg.repair = "best-fit", "eager"
+	cfg.events = filepath.Join(dir, "events.jsonl")
+	cfg.metrics = filepath.Join(dir, "metrics.json")
+	if err := run(io.Discard, cfg); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(cfg.events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace_events", latencyField.ReplaceAllString(string(raw), ""))
+	mraw, err := os.ReadFile(cfg.metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "trace_metrics", stableMetrics(t, mraw))
+}
+
+// TestGoldenSolveMetrics pins the deterministic projection of a batch
+// solve's -metrics snapshot: the solver counter, the engine build
+// counter/bytes gauge, and the per-stage span counts of the pipeline.
+func TestGoldenSolveMetrics(t *testing.T) {
+	path := writeLineInstance64(t)
+	cfg := baseConfig(path)
+	cfg.algo = "pipeline"
+	cfg.metrics = filepath.Join(t.TempDir(), "metrics.json")
+	if err := run(io.Discard, cfg); err != nil {
+		t.Fatal(err)
+	}
+	mraw, err := os.ReadFile(cfg.metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "solve_metrics", stableMetrics(t, mraw))
 }
 
 // TestGoldenSparseSolvers pins the CLI output of the two solver cores that

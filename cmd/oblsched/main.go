@@ -28,12 +28,27 @@
 // engine, reporting peak/final slot counts, repair work, and per-event
 // latency instead of a schedule:
 //
-//	oblsched -in instance.json -trace poisson [-events 2000]
+//	oblsched -in instance.json -trace poisson [-nevents 2000]
 //	         [-admission power-fit] [-repair threshold]
+//
+// Observability (internal/obs) is wired through three flags:
+//
+//	oblsched -in instance.json -algo pipeline -metrics metrics.json
+//	oblsched -in instance.json -trace poisson -events events.jsonl -metrics m.json
+//	oblsched -in big.json -algo online -http localhost:6060
+//
+// -metrics writes the collector snapshot (counters, gauges, span and
+// latency histograms with p50/p90/p99) as JSON on exit; -events streams
+// the engine's typed events (arrive/depart/admit/evict/compact/repair)
+// as JSON lines during -trace runs; -http serves the live snapshot at
+// /metrics plus the runtime profiling endpoints under /debug/pprof/
+// while the run is in flight.
 //
 // Note: -power is enforced for every algorithm. Earlier versions
 // silently ignored it for lp and pipeline; those algorithms require the
-// sqrt assignment and now reject a conflicting -power instead.
+// sqrt assignment and now reject a conflicting -power instead. The
+// churn event count moved from -events to -nevents when -events became
+// the event-stream path.
 package main
 
 import (
@@ -43,6 +58,8 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -51,6 +68,7 @@ import (
 
 	oblivious "repro"
 	"repro/internal/affect/sparse"
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/online/sim"
 )
@@ -65,10 +83,12 @@ type config struct {
 	out, check               string
 	admission, repair        string
 	trace                    string
-	events                   int
+	nevents                  int
 	affect                   string
 	eps                      float64
 	cpuProfile, memProfile   string
+	metrics, events          string
+	httpAddr                 string
 }
 
 func main() {
@@ -87,11 +107,14 @@ func main() {
 	flag.StringVar(&cfg.admission, "admission", "first-fit", "online admission policy: first-fit, best-fit, or power-fit")
 	flag.StringVar(&cfg.repair, "repair", "lazy", "online repair strategy: lazy, threshold, or eager")
 	flag.StringVar(&cfg.trace, "trace", "", "instead of scheduling, simulate churn: poisson, bursty, or replay")
-	flag.IntVar(&cfg.events, "events", 0, "churn events for -trace poisson/bursty (default 10·n)")
+	flag.IntVar(&cfg.nevents, "nevents", 0, "churn events for -trace poisson/bursty (default 10·n)")
 	flag.StringVar(&cfg.affect, "affect", "auto", "affectance engine: auto, dense, or sparse")
 	flag.Float64Var(&cfg.eps, "eps", oblivious.DefaultSparseEpsilon, "sparse far-field error budget ε (0 = dense bitwise)")
 	flag.StringVar(&cfg.cpuProfile, "cpuprofile", "", "write a CPU profile to this path")
 	flag.StringVar(&cfg.memProfile, "memprofile", "", "write an allocation profile to this path on exit")
+	flag.StringVar(&cfg.metrics, "metrics", "", "write the metrics snapshot JSON to this path on exit")
+	flag.StringVar(&cfg.events, "events", "", "write the engine event stream as JSON lines to this path (-trace only)")
+	flag.StringVar(&cfg.httpAddr, "http", "", "serve live /metrics and /debug/pprof on this address while running")
 	flag.Parse()
 	if err := run(os.Stdout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "oblsched:", err)
@@ -136,6 +159,46 @@ func run(w io.Writer, cfg config) (err error) {
 	}
 	if cfg.eps < 0 {
 		return fmt.Errorf("-eps must be ≥ 0, got %g", cfg.eps)
+	}
+	if cfg.events != "" && cfg.trace == "" {
+		return errors.New("-events streams engine events and needs -trace (the churn event count is -nevents)")
+	}
+
+	// One collector serves all three observability flags; nil when none
+	// is given, which keeps every instrumented path on its disabled
+	// branch.
+	var col *obs.Collector
+	if cfg.metrics != "" || cfg.events != "" || cfg.httpAddr != "" {
+		col = obs.NewCollector()
+	}
+	if cfg.httpAddr != "" {
+		ln, lerr := net.Listen("tcp", cfg.httpAddr)
+		if lerr != nil {
+			return fmt.Errorf("http: %w", lerr)
+		}
+		srv := &http.Server{Handler: col.Mux()}
+		go srv.Serve(ln) //nolint — Serve returns when srv closes below
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "oblsched: serving /metrics and /debug/pprof/ on http://%s\n", ln.Addr())
+	}
+	// The snapshot is written after the solve or trace finished, so it
+	// holds the run's final counters rather than a mid-flight cut.
+	writeMetrics := func() error {
+		if cfg.metrics == "" {
+			return nil
+		}
+		f, ferr := os.Create(cfg.metrics)
+		if ferr != nil {
+			return fmt.Errorf("metrics: %w", ferr)
+		}
+		if ferr := col.WriteJSON(f); ferr != nil {
+			f.Close()
+			return fmt.Errorf("metrics: %w", ferr)
+		}
+		if ferr := f.Close(); ferr != nil {
+			return fmt.Errorf("metrics: %w", ferr)
+		}
+		return nil
 	}
 
 	// Profile failures are run's failures: a silently truncated or missing
@@ -183,14 +246,17 @@ func run(w io.Writer, cfg config) (err error) {
 	}
 
 	if cfg.trace != "" {
-		return runTrace(w, m, in, v, mode, cfg)
+		if err := runTrace(w, m, in, v, mode, col, cfg); err != nil {
+			return err
+		}
+		return writeMetrics()
 	}
 
 	a, err := oblivious.ParseAssignment(cfg.power)
 	if err != nil {
 		return err
 	}
-	res, err := oblivious.Lookup(cfg.algo).Solve(context.Background(), m, in,
+	opts := []oblivious.Option{
 		oblivious.WithVariant(v),
 		oblivious.WithAssignment(a),
 		oblivious.WithSeed(cfg.seed),
@@ -198,7 +264,12 @@ func run(w io.Writer, cfg config) (err error) {
 		oblivious.WithEpsilon(cfg.eps),
 		oblivious.WithAdmission(cfg.admission),
 		oblivious.WithRepair(cfg.repair),
-		oblivious.WithValidation(true))
+		oblivious.WithValidation(true),
+	}
+	if col.Enabled() {
+		opts = append(opts, oblivious.WithObserver(col))
+	}
+	res, err := oblivious.Lookup(cfg.algo).Solve(context.Background(), m, in, opts...)
 	if err != nil {
 		return err
 	}
@@ -230,7 +301,7 @@ func run(w io.Writer, cfg config) (err error) {
 			fmt.Fprintln(w)
 		}
 	}
-	return nil
+	return writeMetrics()
 }
 
 // writeMemProfile snapshots the retained heap to path, reporting create,
@@ -250,8 +321,13 @@ func writeMemProfile(path string) error {
 }
 
 // runTrace replays the instance as a churn trace through the online
-// engine and prints the time-series summary.
-func runTrace(w io.Writer, m oblivious.Model, in *oblivious.Instance, v oblivious.Variant, mode oblivious.AffectanceMode, cfg config) error {
+// engine and prints the time-series summary. It always runs observed:
+// the cost line below needs the gated per-event timing, so when run
+// passed no collector a local one is created here.
+func runTrace(w io.Writer, m oblivious.Model, in *oblivious.Instance, v oblivious.Variant, mode oblivious.AffectanceMode, col *obs.Collector, cfg config) error {
+	if !col.Enabled() {
+		col = obs.NewCollector()
+	}
 	a, err := oblivious.ParseAssignment(cfg.power)
 	if err != nil {
 		return err
@@ -275,12 +351,26 @@ func runTrace(w io.Writer, m oblivious.Model, in *oblivious.Instance, v obliviou
 		}
 		m = m.WithCache(c)
 	}
-	eng, err := online.New(m, in, v, powers, online.WithAdmission(adm), online.WithRepair(rep))
+	eng, err := online.New(m, in, v, powers,
+		online.WithAdmission(adm), online.WithRepair(rep), online.WithObserver(col))
 	if err != nil {
 		return err
 	}
+	var (
+		evFile *os.File
+		sink   *obs.JSONLSink
+	)
+	if cfg.events != "" {
+		evFile, err = os.Create(cfg.events)
+		if err != nil {
+			return fmt.Errorf("events: %w", err)
+		}
+		defer evFile.Close()
+		sink = obs.NewJSONLSink(evFile)
+		col.Attach(sink)
+	}
 	n := in.N()
-	events := cfg.events
+	events := cfg.nevents
 	if events <= 0 {
 		events = 10 * n
 	}
@@ -327,5 +417,15 @@ func runTrace(w io.Writer, m oblivious.Model, in *oblivious.Instance, v obliviou
 		return fmt.Errorf("infeasible slot after %d events", res.Events)
 	}
 	fmt.Fprintf(w, "feasible:  yes (oracle-checked)\n")
+	if sink != nil {
+		// Flushed (and closed, surfacing write errors) only on the success
+		// path; the deferred Close covers the error returns above.
+		if ferr := sink.Flush(); ferr != nil {
+			return fmt.Errorf("events: %w", ferr)
+		}
+		if cerr := evFile.Close(); cerr != nil {
+			return fmt.Errorf("events: %w", cerr)
+		}
+	}
 	return nil
 }

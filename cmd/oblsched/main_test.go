@@ -50,10 +50,10 @@ func sched(w io.Writer, inPath, variant, powerFn, algo string, alpha, beta, nois
 }
 
 // churn runs the CLI with explicit online/trace knobs.
-func churn(w io.Writer, inPath, algo, admission, repair, trace string, events int) error {
+func churn(w io.Writer, inPath, algo, admission, repair, trace string, nevents int) error {
 	cfg := baseConfig(inPath)
 	cfg.algo, cfg.admission, cfg.repair = algo, admission, repair
-	cfg.trace, cfg.events = trace, events
+	cfg.trace, cfg.nevents = trace, nevents
 	return run(w, cfg)
 }
 

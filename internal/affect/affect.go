@@ -60,6 +60,11 @@ type Cache struct {
 	// snapshot, as an immutable copy-on-write list of slice identities.
 	accepted atomic.Value // []sliceKey
 	memoMu   sync.Mutex
+
+	// bytes tracks the float64 payload held by the cache. Atomic because
+	// the lazy From transposes grow it concurrently with Bytes readers
+	// (SolveAll workers share a cache through the Store).
+	bytes atomic.Int64
 }
 
 var _ sinr.Cache = (*Cache)(nil)
@@ -136,6 +141,8 @@ func New(m sinr.Model, v sinr.Variant, in *problem.Instance, powers []float64) *
 	// lazily on first access (see DirectedFrom/FromU/FromV), so a solve
 	// that never walks them — every pure Into consumer — pays half the
 	// dense memory.
+	c.bytes.Store(8 * int64(len(c.powers)+len(c.signals)+len(c.losses)+
+		len(c.dInto)+len(c.uInto)+len(c.vInto)))
 	return c
 }
 
@@ -259,7 +266,10 @@ func (c *Cache) DirectedFrom(j int) []float64 {
 	if c.dInto == nil {
 		return nil
 	}
-	c.dFromOnce.Do(func() { c.dFrom = transpose(c.dInto, c.n) })
+	c.dFromOnce.Do(func() {
+		c.dFrom = transpose(c.dInto, c.n)
+		c.bytes.Add(8 * int64(len(c.dFrom)))
+	})
 	return c.row(c.dFrom, j)
 }
 
@@ -276,7 +286,10 @@ func (c *Cache) FromU(j int) []float64 {
 	if c.uInto == nil {
 		return nil
 	}
-	c.uFromOnce.Do(func() { c.uFrom = transpose(c.uInto, c.n) })
+	c.uFromOnce.Do(func() {
+		c.uFrom = transpose(c.uInto, c.n)
+		c.bytes.Add(8 * int64(len(c.uFrom)))
+	})
 	return c.row(c.uFrom, j)
 }
 
@@ -286,9 +299,17 @@ func (c *Cache) FromV(j int) []float64 {
 	if c.vInto == nil {
 		return nil
 	}
-	c.vFromOnce.Do(func() { c.vFrom = transpose(c.vInto, c.n) })
+	c.vFromOnce.Do(func() {
+		c.vFrom = transpose(c.vInto, c.n)
+		c.bytes.Add(8 * int64(len(c.vFrom)))
+	})
 	return c.row(c.vFrom, j)
 }
+
+// Bytes returns the float64 payload currently held by the cache, in
+// bytes. It grows when a lazy From transpose materializes, so it
+// reports what the cache holds now, not its eventual worst case.
+func (c *Cache) Bytes() int64 { return c.bytes.Load() }
 
 // Signals returns the per-request signal strengths p_i/ℓ_i.
 func (c *Cache) Signals() []float64 { return c.signals }

@@ -398,6 +398,21 @@ func (e *Engine) Epsilon() float64 { return e.eps }
 // Cells returns the number of occupied grid cells.
 func (e *Engine) Cells() int { return len(e.g.coords) }
 
+// Bytes returns the approximate resident payload of the engine in
+// bytes: the near-pair CSR, the per-request vectors and the grid
+// buckets. Map bucket overhead of the cell index is not counted, so
+// the figure is a floor — good for the memory gauges and the sparse
+// vs dense comparison, not an allocator-exact accounting.
+func (e *Engine) Bytes() int64 {
+	b := 8 * int64(len(e.powers)+len(e.signals)+len(e.losses)+len(e.a1)+len(e.a2))
+	b += 4 * int64(len(e.cellU)+len(e.cellV)+len(e.start)+len(e.adj)+len(e.mirror))
+	b += int64(len(e.g.coords)) * int64(3*4) // cellCoord payload
+	for _, rs := range e.g.reqs {
+		b += 4 * int64(len(rs))
+	}
+	return b
+}
+
 // N returns the number of requests the engine was built for.
 func (e *Engine) N() int { return e.n }
 

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // Embedding is one random HST over the nodes of a base metric.
@@ -300,6 +301,15 @@ type Ensemble struct {
 // seed per tree from rng up front, so equal rng states yield equal
 // ensembles regardless of scheduling.
 func BuildEnsemble(base geom.Metric, r int, stretchBound float64, rng *rand.Rand) (*Ensemble, error) {
+	return BuildEnsembleObserved(base, r, stretchBound, rng, nil)
+}
+
+// BuildEnsembleObserved is BuildEnsemble reporting each tree build as a
+// span "pipeline/hst-build" on the collector, so the r concurrent
+// builds aggregate into one per-tree latency distribution. It takes the
+// collector directly rather than a context: the per-tree goroutines are
+// the instrumented unit, and a nil collector keeps them span-free.
+func BuildEnsembleObserved(base geom.Metric, r int, stretchBound float64, rng *rand.Rand, col *obs.Collector) (*Ensemble, error) {
 	if r <= 0 {
 		return nil, fmt.Errorf("hst: need r ≥ 1 trees, got %d", r)
 	}
@@ -323,6 +333,8 @@ func BuildEnsemble(base geom.Metric, r int, stretchBound float64, rng *rand.Rand
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			sp := col.StartSpan("pipeline/hst-build")
+			defer sp.End()
 			trees[i], errs[i] = build(base, rand.New(rand.NewSource(seeds[i])), minD, maxD)
 		}(i)
 	}

@@ -27,3 +27,7 @@ func TestRegistryHygiene(t *testing.T) {
 func TestBenchGuard(t *testing.T) {
 	analysistest.Run(t, "testdata", lint.BenchGuard, "benchguard")
 }
+
+func TestObsGuard(t *testing.T) {
+	analysistest.Run(t, "testdata", lint.ObsGuard, "obsguard")
+}

@@ -16,6 +16,7 @@ func Analyzers() []*analysis.Analyzer {
 		TrackerReset,
 		RegistryHygiene,
 		BenchGuard,
+		ObsGuard,
 	}
 }
 

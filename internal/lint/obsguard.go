@@ -1,0 +1,434 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// obsPath is the package the guard contracts are defined against.
+// Matching is by path and name (typeIs), so the analyzer works against
+// both the real package and the fixture stub.
+const obsPath = "repro/internal/obs"
+
+// ObsGuard enforces the two usage contracts of internal/obs:
+//
+//   - Every span acquired with obs.Start or Collector.StartSpan must be
+//     Ended on every path that leaves the function — defer the End, or
+//     call it before each return. A leaked span never observes, so the
+//     phase silently vanishes from the latency histograms.
+//   - Inside //oblint:hotpath kernels, Collector.Emit must sit behind an
+//     Enabled() or Tracing() guard: the guard is the single predictable
+//     branch the disabled path is allowed to cost, and an unguarded Emit
+//     pays the event construction even with no sink attached.
+//
+// The span check is structured and conservative: a deferred End (direct
+// or via a deferred closure) satisfies it globally; otherwise the
+// statement paths from the acquisition are walked, and every return —
+// or the function's fall-through — reachable with a live span is
+// reported. Spans that escape the function (stored, passed on, or
+// captured by a non-deferred closure) are the next owner's problem and
+// are skipped.
+var ObsGuard = &analysis.Analyzer{
+	Name: "obsguard",
+	Doc: "require acquired obs spans to be Ended on every return path (defer or " +
+		"all-paths call) and Collector.Emit in //oblint:hotpath functions to sit " +
+		"behind an Enabled/Tracing guard",
+	Run: runObsGuard,
+}
+
+func runObsGuard(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			for _, scope := range spanScopes(fd.Body) {
+				checkScopeSpans(pass, scope)
+			}
+			if analysis.HasDirective(fd.Doc, "hotpath") {
+				checkGuardedEmit(pass, fd)
+			}
+		}
+	}
+	return nil
+}
+
+// spanScopes returns the function body plus the body of every function
+// literal inside it; each is analyzed as an independent scope, because
+// a literal has its own return paths.
+func spanScopes(body *ast.BlockStmt) []*ast.BlockStmt {
+	scopes := []*ast.BlockStmt{body}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			scopes = append(scopes, lit.Body)
+		}
+		return true
+	})
+	return scopes
+}
+
+// walkScope visits the nodes of one scope without descending into
+// nested function literals (they are scopes of their own).
+func walkScope(root ast.Node, f func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		return f(n)
+	})
+}
+
+// spanAcq is one span acquisition in a scope: the assignment statement
+// and the object the span is bound to (nil for the blank identifier).
+type spanAcq struct {
+	stmt ast.Stmt
+	obj  types.Object
+	pos  token.Pos
+}
+
+// checkScopeSpans finds the span acquisitions of one scope and verifies
+// the End contract for each.
+func checkScopeSpans(pass *analysis.Pass, scope *ast.BlockStmt) {
+	var acqs []spanAcq
+	walkScope(scope, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Rhs) != 1 {
+			return true
+		}
+		call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var spanLhs ast.Expr
+		switch {
+		case isPkgFunc(calleeObj(pass.Info, call), obsPath, "Start") && len(as.Lhs) == 2:
+			spanLhs = as.Lhs[1]
+		case isMethodOn(pass.Info, call, obsPath, "Collector", "StartSpan") && len(as.Lhs) == 1:
+			spanLhs = as.Lhs[0]
+		default:
+			return true
+		}
+		id, ok := ast.Unparen(spanLhs).(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if id.Name == "_" {
+			pass.Reportf(call.Pos(), "span acquired and discarded — it can never be Ended and will not observe")
+			return true
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj != nil {
+			acqs = append(acqs, spanAcq{stmt: as, obj: obj, pos: call.Pos()})
+		}
+		return true
+	})
+	for _, acq := range acqs {
+		checkSpanEnds(pass, scope, acq)
+	}
+}
+
+// checkSpanEnds verifies one acquisition: a deferred End anywhere in the
+// scope settles it; an escaping span is skipped; otherwise the paths
+// from the acquisition are walked and live returns reported.
+func checkSpanEnds(pass *analysis.Pass, scope *ast.BlockStmt, acq spanAcq) {
+	if hasDeferredEnd(pass, scope, acq.obj) {
+		return
+	}
+	if spanEscapes(pass, scope, acq) {
+		return
+	}
+	c := &spanChecker{pass: pass, acq: acq}
+	live := c.block(scope.List, false)
+	if live && !terminates(scope.List) {
+		pass.Reportf(acq.pos, "span %s is not Ended before the function falls through (defer %s.End() at acquisition)",
+			acq.obj.Name(), acq.obj.Name())
+	}
+}
+
+// isEndCall reports whether expr is obj.End().
+func isEndCall(pass *analysis.Pass, expr ast.Expr, obj types.Object) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || !isMethodOn(pass.Info, call, obsPath, "Span", "End") {
+		return false
+	}
+	sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && pass.Info.Uses[id] == obj
+}
+
+// hasDeferredEnd reports whether the scope defers obj.End(), directly
+// or through a deferred function literal that calls it.
+func hasDeferredEnd(pass *analysis.Pass, scope *ast.BlockStmt, obj types.Object) bool {
+	found := false
+	walkScope(scope, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		d, ok := n.(*ast.DeferStmt)
+		if !ok {
+			return true
+		}
+		if isEndCall(pass, d.Call, obj) {
+			found = true
+			return false
+		}
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if found {
+					return false
+				}
+				if es, ok := m.(*ast.ExprStmt); ok && isEndCall(pass, es.X, obj) {
+					found = true
+				}
+				return !found
+			})
+		}
+		return !found
+	})
+	return found
+}
+
+// spanEscapes reports whether the span object is used for anything
+// other than being acquired or Ended: passed to a call, assigned on,
+// returned, or captured by a (non-deferred) closure. Responsibility for
+// an escaping span lies with whoever receives it.
+func spanEscapes(pass *analysis.Pass, scope *ast.BlockStmt, acq spanAcq) bool {
+	endReceivers := make(map[*ast.Ident]bool)
+	walkScope(scope, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isMethodOn(pass.Info, call, obsPath, "Span", "End") {
+			return true
+		}
+		if id, ok := ast.Unparen(ast.Unparen(call.Fun).(*ast.SelectorExpr).X).(*ast.Ident); ok {
+			endReceivers[id] = true
+		}
+		return true
+	})
+	defIdent := func() *ast.Ident {
+		as := acq.stmt.(*ast.AssignStmt)
+		for _, lhs := range as.Lhs {
+			if id, ok := ast.Unparen(lhs).(*ast.Ident); ok && (pass.Info.Defs[id] == acq.obj || pass.Info.Uses[id] == acq.obj) {
+				return id
+			}
+		}
+		return nil
+	}()
+	escapes := false
+	ast.Inspect(scope, func(n ast.Node) bool {
+		if escapes {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || pass.Info.Uses[id] != acq.obj || id == defIdent || endReceivers[id] {
+			return true
+		}
+		escapes = true
+		return false
+	})
+	return escapes
+}
+
+// terminates reports whether a statement list ends in a return or a
+// panic — the approximation under which a branch contributes nothing to
+// its parent's fall-through state.
+func terminates(stmts []ast.Stmt) bool {
+	if len(stmts) == 0 {
+		return false
+	}
+	switch last := stmts[len(stmts)-1].(type) {
+	case *ast.ReturnStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(last.X).(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				return true
+			}
+		}
+	case *ast.BlockStmt:
+		return terminates(last.List)
+	}
+	return false
+}
+
+// spanChecker walks the statement paths of one scope tracking whether
+// the acquired span is live (acquired, not yet Ended) and reports every
+// return reachable in that state.
+type spanChecker struct {
+	pass *analysis.Pass
+	acq  spanAcq
+}
+
+func (c *spanChecker) block(stmts []ast.Stmt, live bool) bool {
+	for _, st := range stmts {
+		live = c.stmt(st, live)
+	}
+	return live
+}
+
+// containsEnd reports an obj.End() anywhere in the subtree (same scope).
+func (c *spanChecker) containsEnd(n ast.Node) bool {
+	found := false
+	walkScope(n, func(m ast.Node) bool {
+		if found {
+			return false
+		}
+		if es, ok := m.(*ast.ExprStmt); ok && isEndCall(c.pass, es.X, c.acq.obj) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// reportLiveReturns reports every return in the subtree when entered
+// with a live span but no sequential analysis (loop and switch bodies);
+// an End lexically before the return inside the same subtree excuses it.
+func (c *spanChecker) stmt(st ast.Stmt, live bool) bool {
+	switch s := st.(type) {
+	case *ast.AssignStmt:
+		if s == c.acq.stmt {
+			return true
+		}
+		return live
+	case *ast.ExprStmt:
+		if isEndCall(c.pass, s.X, c.acq.obj) {
+			return false
+		}
+		return live
+	case *ast.ReturnStmt:
+		if live {
+			c.pass.Reportf(s.Pos(), "return with span %s not Ended on this path (defer %s.End() at acquisition)",
+				c.acq.obj.Name(), c.acq.obj.Name())
+		}
+		return live
+	case *ast.BlockStmt:
+		return c.block(s.List, live)
+	case *ast.IfStmt:
+		thenLive := c.block(s.Body.List, live)
+		elseLive := live
+		elseTerm := false
+		if s.Else != nil {
+			elseLive = c.stmt(s.Else, live)
+			if blk, ok := s.Else.(*ast.BlockStmt); ok {
+				elseTerm = terminates(blk.List)
+			}
+		}
+		switch {
+		case terminates(s.Body.List) && elseTerm:
+			return false
+		case terminates(s.Body.List):
+			return elseLive
+		case elseTerm:
+			return thenLive
+		default:
+			// Live if any continuing path is live: the report fires at the
+			// next return, which such a path reaches with the span open.
+			return thenLive || elseLive
+		}
+	case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		// Non-sequential control flow is handled optimistically: an End
+		// anywhere inside counts as Ended afterwards, and returns inside
+		// are walked with the entry liveness.
+		if live {
+			c.reportUnendedReturns(st)
+		}
+		if c.containsEnd(st) {
+			return false
+		}
+		return live
+	default:
+		return live
+	}
+}
+
+// reportUnendedReturns reports returns inside non-sequential control
+// flow (loops, switches) entered with a live span, unless an End call
+// precedes the return lexically within the construct.
+func (c *spanChecker) reportUnendedReturns(st ast.Stmt) {
+	var endPos token.Pos = -1
+	walkScope(st, func(n ast.Node) bool {
+		if es, ok := n.(*ast.ExprStmt); ok && isEndCall(c.pass, es.X, c.acq.obj) {
+			if endPos < 0 || es.Pos() < endPos {
+				endPos = es.Pos()
+			}
+		}
+		return true
+	})
+	walkScope(st, func(n ast.Node) bool {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		if endPos < 0 || ret.Pos() < endPos {
+			c.pass.Reportf(ret.Pos(), "return with span %s not Ended on this path (defer %s.End() at acquisition)",
+				c.acq.obj.Name(), c.acq.obj.Name())
+		}
+		return true
+	})
+}
+
+// checkGuardedEmit enforces the hot-path emission contract: every
+// Collector.Emit inside a //oblint:hotpath function must be inside the
+// body of an if whose condition consults Collector.Enabled or
+// Collector.Tracing.
+func checkGuardedEmit(pass *analysis.Pass, fd *ast.FuncDecl) {
+	type posRange struct{ lo, hi token.Pos }
+	var guarded []posRange
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ifs, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		hasGuard := false
+		ast.Inspect(ifs.Cond, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if ok && (isMethodOn(pass.Info, call, obsPath, "Collector", "Enabled") ||
+				isMethodOn(pass.Info, call, obsPath, "Collector", "Tracing")) {
+				hasGuard = true
+			}
+			return !hasGuard
+		})
+		if hasGuard {
+			guarded = append(guarded, posRange{ifs.Body.Pos(), ifs.Body.End()})
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isMethodOn(pass.Info, call, obsPath, "Collector", "Emit") {
+			return true
+		}
+		for _, r := range guarded {
+			if call.Pos() >= r.lo && call.End() <= r.hi {
+				return true
+			}
+		}
+		pass.Reportf(call.Pos(), "unguarded Emit in hot path (wrap in if c.Tracing() so the disabled path costs one branch)")
+		return true
+	})
+}
+
+// isMethodOn reports whether call invokes the named method with a
+// receiver of type path.typeName (behind pointers and aliases).
+func isMethodOn(info *types.Info, call *ast.CallExpr, path, typeName, method string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Name() != method {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	return typeIs(sig.Recv().Type(), path, typeName)
+}

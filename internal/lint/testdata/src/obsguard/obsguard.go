@@ -1,0 +1,109 @@
+// Package obsguard exercises the obsguard analyzer: acquired spans must
+// be Ended on every return path (defer, or a call on every path), and
+// Collector.Emit inside //oblint:hotpath functions must sit behind an
+// Enabled or Tracing guard.
+package obsguard
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/obs"
+)
+
+// deferred is the sanctioned form: acquire, defer End.
+func deferred(ctx context.Context) error {
+	ctx, sp := obs.Start(ctx, "stage")
+	defer sp.End()
+	_ = ctx
+	return nil
+}
+
+// deferredClosure Ends through a deferred closure, which also counts.
+func deferredClosure(ctx context.Context) {
+	_, sp := obs.Start(ctx, "stage")
+	defer func() { sp.End() }()
+}
+
+// bothBranches Ends explicitly on every path; no defer required.
+func bothBranches(col *obs.Collector, n int) int {
+	sp := col.StartSpan("build")
+	if n > 0 {
+		sp.End()
+		return n
+	}
+	sp.End()
+	return 0
+}
+
+// earlyReturn leaks the span on the error path.
+func earlyReturn(ctx context.Context, fail bool) error {
+	_, sp := obs.Start(ctx, "stage")
+	if fail {
+		return errors.New("fail") // want "span sp not Ended on this path"
+	}
+	sp.End()
+	return nil
+}
+
+// fallThrough Ends on one branch only and falls off the end.
+func fallThrough(col *obs.Collector, n int) {
+	sp := col.StartSpan("build") // want "not Ended before the function falls through"
+	if n > 0 {
+		sp.End()
+	}
+}
+
+// loopReturn returns from inside a loop with the span still open.
+func loopReturn(col *obs.Collector, xs []int) int {
+	sp := col.StartSpan("scan")
+	for _, x := range xs {
+		if x < 0 {
+			return x // want "span sp not Ended on this path"
+		}
+	}
+	sp.End()
+	return 0
+}
+
+// discard throws the span away at acquisition; it can never be Ended.
+func discard(ctx context.Context) {
+	_, _ = obs.Start(ctx, "stage") // want "acquired and discarded"
+}
+
+// handoff returns the span; the caller owns the End, so no diagnostic.
+func handoff(col *obs.Collector) *obs.Span {
+	sp := col.StartSpan("build")
+	return sp
+}
+
+// litSpan acquires inside a function literal; each literal is analyzed
+// as its own scope with its own return paths.
+func litSpan(col *obs.Collector) {
+	f := func(n int) {
+		sp := col.StartSpan("inner") // want "not Ended before the function falls through"
+		if n > 0 {
+			sp.End()
+		}
+	}
+	f(1)
+}
+
+// hotEmit is annotated hot: the bare Emit pays event construction even
+// with no sink attached; the guarded forms are the sanctioned shape.
+//
+//oblint:hotpath
+func hotEmit(col *obs.Collector, ev obs.Event) {
+	col.Emit(ev) // want "unguarded Emit in hot path"
+	if col.Tracing() {
+		col.Emit(ev)
+	}
+	if ev.Type != "" && col.Enabled() {
+		col.Emit(ev)
+	}
+}
+
+// coldEmit is unannotated; bare Emits are fine off the hot path.
+func coldEmit(col *obs.Collector, ev obs.Event) {
+	col.Emit(ev)
+}

@@ -1,0 +1,37 @@
+// Package obs is a fixture stub of the observability contract: the
+// obsguard analyzer matches types by package path and name, so this stub
+// stands in for repro/internal/obs.
+package obs
+
+import "context"
+
+// Event is one engine event.
+type Event struct {
+	Type string
+}
+
+// Collector is the metrics and event hub.
+type Collector struct{}
+
+// Enabled reports whether the collector is non-nil.
+func (c *Collector) Enabled() bool { return c != nil }
+
+// Tracing reports whether a sink is attached.
+func (c *Collector) Tracing() bool { return c != nil }
+
+// Emit forwards an event to the sinks.
+func (c *Collector) Emit(Event) {}
+
+// StartSpan opens a span on the collector.
+func (c *Collector) StartSpan(string) *Span { return &Span{} }
+
+// Span is one timed phase.
+type Span struct{}
+
+// End closes the span.
+func (s *Span) End() {}
+
+// Start opens a span on the context's collector.
+func Start(ctx context.Context, _ string) (context.Context, *Span) {
+	return ctx, &Span{}
+}

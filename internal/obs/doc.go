@@ -1,0 +1,14 @@
+// Package obs is the project's dependency-free observability layer: a
+// metrics registry (counters, float gauges, fixed-bucket log-scale
+// latency histograms), lightweight nesting spans for per-phase wall
+// time, and a typed engine event stream delivered to pluggable sinks
+// (JSON-lines writers, an in-memory ring for tests, an expvar-style
+// HTTP handler).
+//
+// Everything hangs off a *Collector, and every entry point is nil-safe:
+// a nil collector (and the nil metric handles it returns) turns every
+// record call into a single predictable branch, so instrumented hot
+// paths cost nothing when observation is off. Code guards event
+// emission explicitly with Enabled/Tracing — the obsguard analyzer
+// (internal/lint) enforces this inside //oblint:hotpath kernels.
+package obs

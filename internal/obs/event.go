@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// EventType classifies an engine event.
+type EventType uint8
+
+const (
+	// EventArrive is an external request arrival accepted into a slot.
+	EventArrive EventType = iota
+	// EventDepart is an external request departure.
+	EventDepart
+	// EventAdmit is a request placed into a slot by repair migration.
+	EventAdmit
+	// EventEvict is a request removed from its slot by repair migration.
+	EventEvict
+	// EventCompact is a compaction pass that changed the schedule.
+	EventCompact
+	// EventRepair is a repair invocation that changed the schedule.
+	EventRepair
+
+	numEventTypes = iota
+)
+
+var eventTypeNames = [numEventTypes]string{
+	EventArrive:  "arrive",
+	EventDepart:  "depart",
+	EventAdmit:   "admit",
+	EventEvict:   "evict",
+	EventCompact: "compact",
+	EventRepair:  "repair",
+}
+
+// String names the event type as it appears on the wire.
+func (t EventType) String() string {
+	if int(t) < len(eventTypeNames) {
+		return eventTypeNames[t]
+	}
+	return fmt.Sprintf("EventType(%d)", int(t))
+}
+
+// MarshalJSON encodes the type as its string name.
+func (t EventType) MarshalJSON() ([]byte, error) {
+	if int(t) >= len(eventTypeNames) {
+		return nil, fmt.Errorf("obs: cannot marshal unknown EventType(%d)", int(t))
+	}
+	return json.Marshal(t.String())
+}
+
+// UnmarshalJSON decodes a string name back into the type.
+func (t *EventType) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	for i, name := range eventTypeNames {
+		if name == s {
+			*t = EventType(i)
+			return nil
+		}
+	}
+	return fmt.Errorf("obs: unknown event type %q", s)
+}
+
+// Event is one typed engine event. Seq is assigned by the collector at
+// emission and strictly increases over the stream, so sinks (and their
+// readers) can verify ordering and detect gaps. Req and Slot are -1
+// when the event concerns no single request or slot (a compaction, a
+// repair pass). Margin is the O(1) tracker margin of the affected
+// request at the event — 0 when unrecorded or unbounded — and
+// LatencyNs is the wall-clock cost of the engine call that produced
+// the event (0 when timing is off).
+type Event struct {
+	Seq       uint64    `json:"seq"`
+	Type      EventType `json:"type"`
+	Req       int       `json:"req"`
+	Slot      int       `json:"slot"`
+	Margin    float64   `json:"margin,omitempty"`
+	LatencyNs int64     `json:"latency_ns,omitempty"`
+}
+
+// sanitize clears values JSON cannot carry: a request alone in a slot
+// has margin +Inf, which encoding/json rejects.
+func (ev *Event) sanitize() {
+	if math.IsInf(ev.Margin, 0) || math.IsNaN(ev.Margin) {
+		ev.Margin = 0
+	}
+}
+
+// Sink consumes emitted events. The collector serializes Emit calls
+// under its own lock, so implementations need no internal locking for
+// the emission path itself (the Ring locks anyway, because its read
+// side races with emission).
+type Sink interface {
+	Emit(Event)
+}
+
+// JSONLSink writes events as JSON lines to a buffered writer. Encoding
+// errors are sticky: the first one is kept and returned by Flush, and
+// subsequent events are dropped — an event stream with a hole in the
+// middle is worse than a truncated one with a loud error.
+type JSONLSink struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	err error
+	n   int
+}
+
+// NewJSONLSink wraps w in a buffered JSON-lines event writer. Call
+// Flush before closing the underlying writer.
+func NewJSONLSink(w io.Writer) *JSONLSink {
+	bw := bufio.NewWriter(w)
+	return &JSONLSink{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit encodes one event as a JSON line.
+func (s *JSONLSink) Emit(ev Event) {
+	if s.err != nil {
+		return
+	}
+	if err := s.enc.Encode(ev); err != nil {
+		s.err = err
+		return
+	}
+	s.n++
+}
+
+// Events returns the number of events written so far.
+func (s *JSONLSink) Events() int { return s.n }
+
+// Flush drains the buffer and returns the first error the sink hit —
+// encoding or writing.
+func (s *JSONLSink) Flush() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.w.Flush()
+}
+
+// Ring is a fixed-capacity in-memory event buffer keeping the most
+// recent events — the test and TUI sink. Safe for concurrent use.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int
+	total int
+}
+
+// NewRing returns a ring holding the last n events (n ≥ 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, 0, n)}
+}
+
+// Emit appends the event, evicting the oldest when full.
+func (r *Ring) Emit(ev Event) {
+	r.mu.Lock()
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+	} else {
+		r.buf[r.next] = ev
+		r.next = (r.next + 1) % cap(r.buf)
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Events returns the buffered events oldest-first (a copy).
+func (r *Ring) Events() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total returns the number of events ever emitted into the ring,
+// including those already evicted.
+func (r *Ring) Total() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}

@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// Handler serves the collector's metric snapshot as JSON — the live
+// counterpart of oblsched -metrics. A nil collector serves an empty
+// snapshot, never an error: scrapers should not distinguish "nothing
+// recorded yet" from "recording off".
+func (c *Collector) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		// WriteJSON only fails when the ResponseWriter does; there is
+		// nothing useful to report to a peer that is already gone.
+		_ = c.WriteJSON(w)
+	})
+}
+
+// Mux returns a ServeMux exposing the collector at /metrics alongside
+// the runtime profiling endpoints at /debug/pprof/ — what oblsched
+// -http serves while a long solve runs, so hot spots are inspectable
+// live instead of only from post-mortem -cpuprofile files.
+func (c *Collector) Mux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", c.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

@@ -1,0 +1,205 @@
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing event count. All methods are
+// safe for concurrent use and no-ops on a nil receiver, so a handle
+// resolved from a nil collector costs one branch per call.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by d.
+func (c *Counter) Add(d int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(d)
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (0 on a nil counter).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a float64 level — a build size, a slot count, a memory
+// footprint. Safe for concurrent use; no-op on a nil receiver.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores the gauge level.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current level (0 on a nil gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// histBuckets is the fixed bucket count of every histogram: bucket k
+// holds observations whose value has bit length k, i.e. v in
+// [2^(k-1), 2^k), with bucket 0 holding v ≤ 0. 64 doublings cover the
+// full int64 range, so nanosecond latencies from 1 ns to ~292 years
+// land in distinct buckets with at most 2× relative error.
+const histBuckets = 65
+
+// Histogram is a fixed-bucket log₂-scale distribution. Observe is
+// integer-only — one bits.Len64, three atomic adds, no floats and no
+// allocation — so it is safe to call on paths that feed latency
+// percentiles. Quantiles are extracted from the bucket counts at read
+// time. All methods are safe for concurrent use and no-ops (or zero)
+// on a nil receiver.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// bucketOf maps a value to its bucket: the bit length of v, with every
+// non-positive value in bucket 0.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	return bits.Len64(uint64(v))
+}
+
+// BucketUpper returns the inclusive upper bound of bucket idx: 0 for
+// bucket 0, 2^idx−1 for 1 ≤ idx < 64, and MaxInt64 for the last bucket.
+func BucketUpper(idx int) int64 {
+	switch {
+	case idx <= 0:
+		return 0
+	case idx >= 64:
+		return math.MaxInt64
+	default:
+		return 1<<uint(idx) - 1
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v int64) {
+	if h == nil {
+		return
+	}
+	h.buckets[bucketOf(v)].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.Load()
+}
+
+// Mean returns the average observed value (0 when empty).
+func (h *Histogram) Mean() float64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	return float64(h.Sum()) / float64(n)
+}
+
+// Quantile returns an upper bound on the q-quantile of the recorded
+// distribution: the inclusive upper bound of the first bucket whose
+// cumulative count reaches rank ⌈q·n⌉. q is clamped to [0, 1]; an
+// empty (or nil) histogram returns 0. The bound is within a factor 2
+// of the true quantile by the log₂ bucket layout.
+func (h *Histogram) Quantile(q float64) int64 {
+	total := h.Count()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(histBuckets - 1)
+}
+
+// Bucket returns the count of bucket idx (testing and snapshots).
+func (h *Histogram) Bucket(idx int) int64 {
+	if h == nil || idx < 0 || idx >= histBuckets {
+		return 0
+	}
+	return h.buckets[idx].Load()
+}
+
+// BucketCount is one non-empty histogram bucket in a snapshot: the
+// inclusive upper bound of the value range and the observation count.
+type BucketCount struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// HistogramSnapshot is the serializable summary of a histogram:
+// population, sum, the three operational percentiles, and the
+// non-empty buckets.
+type HistogramSnapshot struct {
+	Count   int64         `json:"count"`
+	Sum     int64         `json:"sum"`
+	P50     int64         `json:"p50"`
+	P90     int64         `json:"p90"`
+	P99     int64         `json:"p99"`
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// SnapshotHistogram summarizes the histogram. Concurrent Observes may
+// land between the count and bucket reads; the snapshot is a consistent
+// enough view for reporting, not a linearizable cut.
+func (h *Histogram) SnapshotHistogram() HistogramSnapshot {
+	s := HistogramSnapshot{
+		Count: h.Count(),
+		Sum:   h.Sum(),
+		P50:   h.Quantile(0.50),
+		P90:   h.Quantile(0.90),
+		P99:   h.Quantile(0.99),
+	}
+	if h == nil {
+		return s
+	}
+	for i := 0; i < histBuckets; i++ {
+		if n := h.buckets[i].Load(); n > 0 {
+			s.Buckets = append(s.Buckets, BucketCount{Le: BucketUpper(i), Count: n})
+		}
+	}
+	return s
+}

@@ -1,0 +1,218 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Collector is the root of the observability layer: a named registry of
+// counters, gauges, and histograms, plus the attachment point for event
+// sinks. The zero value is NOT ready for use — construct with
+// NewCollector — but a nil *Collector is a valid, fully disabled
+// collector: every method is a no-op (or returns a nil, no-op handle),
+// so instrumented code passes collectors around without nil checks and
+// the disabled path stays branch-predictable.
+//
+// Metric lookups take a read lock; hot paths resolve their handles once
+// and hold them. A Collector is safe for concurrent use, so one
+// instance can aggregate a whole SolveAll batch across its workers.
+type Collector struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+
+	// sinkMu serializes event emission, so sinks observe a totally
+	// ordered stream and need no locking of their own.
+	sinkMu sync.Mutex
+	sinks  []Sink
+	seq    uint64
+	nsinks atomic.Int32
+}
+
+// NewCollector returns an empty enabled collector.
+func NewCollector() *Collector {
+	return &Collector{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Enabled reports whether the collector records anything at all — it is
+// simply a nil check, the single branch the disabled path pays.
+func (c *Collector) Enabled() bool { return c != nil }
+
+// Tracing reports whether at least one event sink is attached. Event
+// construction can be skipped entirely when it returns false; the
+// obsguard analyzer requires this guard around Emit calls inside
+// //oblint:hotpath kernels.
+func (c *Collector) Tracing() bool { return c != nil && c.nsinks.Load() > 0 }
+
+// Counter returns the named counter, creating it on first use. A nil
+// collector returns a nil (no-op) handle.
+func (c *Collector) Counter(name string) *Counter {
+	if c == nil {
+		return nil
+	}
+	c.mu.RLock()
+	m := c.counters[name]
+	c.mu.RUnlock()
+	if m != nil {
+		return m
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m = c.counters[name]; m == nil {
+		m = &Counter{}
+		c.counters[name] = m
+	}
+	return m
+}
+
+// Gauge returns the named gauge, creating it on first use. A nil
+// collector returns a nil (no-op) handle.
+func (c *Collector) Gauge(name string) *Gauge {
+	if c == nil {
+		return nil
+	}
+	c.mu.RLock()
+	m := c.gauges[name]
+	c.mu.RUnlock()
+	if m != nil {
+		return m
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m = c.gauges[name]; m == nil {
+		m = &Gauge{}
+		c.gauges[name] = m
+	}
+	return m
+}
+
+// Histogram returns the named histogram, creating it on first use. A
+// nil collector returns a nil (no-op) handle.
+func (c *Collector) Histogram(name string) *Histogram {
+	if c == nil {
+		return nil
+	}
+	c.mu.RLock()
+	m := c.hists[name]
+	c.mu.RUnlock()
+	if m != nil {
+		return m
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if m = c.hists[name]; m == nil {
+		m = &Histogram{}
+		c.hists[name] = m
+	}
+	return m
+}
+
+// Attach adds an event sink. Sinks receive events in emission order,
+// serialized under the collector's emit lock, so they need no internal
+// locking. Attaching to a nil collector is a no-op.
+func (c *Collector) Attach(s Sink) {
+	if c == nil || s == nil {
+		return
+	}
+	c.sinkMu.Lock()
+	c.sinks = append(c.sinks, s)
+	c.sinkMu.Unlock()
+	c.nsinks.Add(1)
+}
+
+// Emit stamps the event with the next sequence number and fans it out
+// to every attached sink. Non-finite margins (an unconstrained slot has
+// margin +Inf) are cleared to zero so every sink can JSON-encode the
+// event. With no sinks attached — or on a nil collector — Emit returns
+// after one branch; callers on hot paths should still guard with
+// Tracing to skip building the Event at all.
+func (c *Collector) Emit(ev Event) {
+	if c == nil || c.nsinks.Load() == 0 {
+		return
+	}
+	ev.sanitize()
+	c.sinkMu.Lock()
+	c.seq++
+	ev.Seq = c.seq
+	for _, s := range c.sinks {
+		s.Emit(ev)
+	}
+	c.sinkMu.Unlock()
+}
+
+// Snapshot is a point-in-time copy of every registered metric, shaped
+// for JSON. Map keys marshal sorted, so the encoding is deterministic
+// for a deterministic set of metric names.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot copies out the current value of every metric. A nil
+// collector yields an empty snapshot.
+func (c *Collector) Snapshot() Snapshot {
+	var s Snapshot
+	if c == nil {
+		return s
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if len(c.counters) > 0 {
+		s.Counters = make(map[string]int64, len(c.counters))
+		for name, m := range c.counters {
+			s.Counters[name] = m.Value()
+		}
+	}
+	if len(c.gauges) > 0 {
+		s.Gauges = make(map[string]float64, len(c.gauges))
+		for name, m := range c.gauges {
+			s.Gauges[name] = m.Value()
+		}
+	}
+	if len(c.hists) > 0 {
+		s.Histograms = make(map[string]HistogramSnapshot, len(c.hists))
+		for name, m := range c.hists {
+			s.Histograms[name] = m.SnapshotHistogram()
+		}
+	}
+	return s
+}
+
+// MetricNames returns the sorted names of every registered metric, each
+// prefixed with its kind ("counter ", "gauge ", "histogram ").
+func (c *Collector) MetricNames() []string {
+	if c == nil {
+		return nil
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.counters)+len(c.gauges)+len(c.hists))
+	for name := range c.counters {
+		names = append(names, "counter "+name)
+	}
+	for name := range c.gauges {
+		names = append(names, "gauge "+name)
+	}
+	for name := range c.hists {
+		names = append(names, "histogram "+name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// WriteJSON writes the snapshot as indented JSON followed by a newline
+// — the format of oblsched -metrics and of the /metrics HTTP endpoint.
+func (c *Collector) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(c.Snapshot())
+}

@@ -1,0 +1,410 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestHistogramBuckets pins the log₂ bucket layout: bucket k holds the
+// values of bit length k, bucket 0 everything non-positive, and
+// BucketUpper the inclusive upper bounds the quantiles are quoted at.
+func TestHistogramBuckets(t *testing.T) {
+	h := &obs.Histogram{}
+	cases := []struct {
+		v      int64
+		bucket int
+	}{
+		{-5, 0}, {0, 0},
+		{1, 1},
+		{2, 2}, {3, 2},
+		{4, 3}, {7, 3},
+		{8, 4},
+		{1023, 10}, {1024, 11},
+		{math.MaxInt64, 63},
+	}
+	for _, tc := range cases {
+		h.Observe(tc.v)
+		if got := h.Bucket(tc.bucket); got < 1 {
+			t.Errorf("Observe(%d): bucket %d empty", tc.v, tc.bucket)
+		}
+	}
+	if h.Count() != int64(len(cases)) {
+		t.Errorf("Count = %d, want %d", h.Count(), len(cases))
+	}
+	var total int64
+	for i := 0; i < 65; i++ {
+		total += h.Bucket(i)
+	}
+	if total != int64(len(cases)) {
+		t.Errorf("bucket counts sum to %d, want %d", total, len(cases))
+	}
+
+	uppers := map[int]int64{0: 0, 1: 1, 2: 3, 3: 7, 10: 1023, 63: math.MaxInt64, 64: math.MaxInt64}
+	for idx, want := range uppers {
+		if got := obs.BucketUpper(idx); got != want {
+			t.Errorf("BucketUpper(%d) = %d, want %d", idx, got, want)
+		}
+	}
+}
+
+// TestHistogramQuantiles feeds the values 1..100 and checks the
+// quantile bounds against the layout: rank 50 lands in bucket [32,63]
+// and rank 99 in bucket [64,127], each an upper bound within a factor
+// 2 of the true quantile.
+func TestHistogramQuantiles(t *testing.T) {
+	h := &obs.Histogram{}
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	if got := h.Quantile(0.50); got != 63 {
+		t.Errorf("p50 = %d, want 63 (bucket bound covering rank 50)", got)
+	}
+	if got := h.Quantile(0.99); got != 127 {
+		t.Errorf("p99 = %d, want 127 (bucket bound covering rank 99)", got)
+	}
+	if got := h.Quantile(0); got != 1 {
+		t.Errorf("q0 = %d, want 1 (first non-empty bucket)", got)
+	}
+	if got := h.Quantile(1); got != 127 {
+		t.Errorf("q1 = %d, want 127 (last non-empty bucket)", got)
+	}
+	if got, want := h.Mean(), 50.5; got != want {
+		t.Errorf("Mean = %g, want %g", got, want)
+	}
+	s := h.SnapshotHistogram()
+	if s.Count != 100 || s.Sum != 5050 || s.P50 != 63 || s.P99 != 127 {
+		t.Errorf("snapshot = %+v", s)
+	}
+	var fromBuckets int64
+	for _, b := range s.Buckets {
+		fromBuckets += b.Count
+	}
+	if fromBuckets != 100 {
+		t.Errorf("snapshot buckets sum to %d, want 100", fromBuckets)
+	}
+}
+
+// TestNilSafety drives the whole disabled path: every method of a nil
+// collector, nil handle, and nil span must be a no-op, so instrumented
+// code never nil-checks.
+func TestNilSafety(t *testing.T) {
+	var c *obs.Collector
+	if c.Enabled() || c.Tracing() {
+		t.Error("nil collector reports enabled")
+	}
+	c.Counter("x").Inc()
+	c.Counter("x").Add(5)
+	c.Gauge("y").Set(3)
+	c.Histogram("z").Observe(7)
+	if c.Counter("x").Value() != 0 || c.Gauge("y").Value() != 0 || c.Histogram("z").Count() != 0 {
+		t.Error("nil handles recorded values")
+	}
+	if c.Histogram("z").Quantile(0.5) != 0 || c.Histogram("z").Mean() != 0 {
+		t.Error("nil histogram reads non-zero")
+	}
+	c.Attach(obs.NewRing(1))
+	c.Emit(obs.Event{Type: obs.EventArrive})
+	if s := c.Snapshot(); s.Counters != nil || s.Gauges != nil || s.Histograms != nil {
+		t.Errorf("nil collector snapshot not empty: %+v", s)
+	}
+	if names := c.MetricNames(); names != nil {
+		t.Errorf("nil collector has metric names %v", names)
+	}
+	sp := c.StartSpan("phase")
+	if sp != nil {
+		t.Error("nil collector returned a live span")
+	}
+	sp.End()
+	sp.End()
+	if sp.Parent() != nil {
+		t.Error("nil span has a parent")
+	}
+}
+
+// TestCollectorRegistry checks handle identity (same name, same metric),
+// the kind-prefixed sorted name listing, and concurrent increments
+// through independently resolved handles.
+func TestCollectorRegistry(t *testing.T) {
+	c := obs.NewCollector()
+	if c.Counter("a") != c.Counter("a") {
+		t.Error("same-name counters are distinct")
+	}
+	c.Gauge("g").Set(2.5)
+	c.Histogram("h").Observe(3)
+	want := []string{"counter a", "gauge g", "histogram h"}
+	got := c.MetricNames()
+	if len(got) != len(want) {
+		t.Fatalf("MetricNames = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MetricNames = %v, want %v", got, want)
+		}
+	}
+
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Counter("a").Inc()
+				c.Histogram("h").Observe(int64(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Counter("a").Value(); got != workers*per {
+		t.Errorf("concurrent counter = %d, want %d", got, workers*per)
+	}
+	if got := c.Histogram("h").Count(); got != workers*per+1 {
+		t.Errorf("concurrent histogram count = %d, want %d", got, workers*per+1)
+	}
+}
+
+// TestEmitSeq checks the event stream contract: Tracing flips on with
+// the first sink, Seq is assigned in emission order and strictly
+// increases, and concurrent emitters never produce duplicate or
+// out-of-order sequence numbers.
+func TestEmitSeq(t *testing.T) {
+	c := obs.NewCollector()
+	if c.Tracing() {
+		t.Error("Tracing true with no sink")
+	}
+	ring := obs.NewRing(10000)
+	c.Attach(ring)
+	if !c.Tracing() {
+		t.Error("Tracing false after Attach")
+	}
+
+	const workers, per = 4, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Emit(obs.Event{Type: obs.EventArrive, Req: w, Slot: i})
+			}
+		}(w)
+	}
+	wg.Wait()
+	evs := ring.Events()
+	if len(evs) != workers*per {
+		t.Fatalf("ring holds %d events, want %d", len(evs), workers*per)
+	}
+	for i, ev := range evs {
+		if ev.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d", i, ev.Seq, i+1)
+		}
+	}
+}
+
+// TestRingEviction fills a small ring past capacity: Events keeps the
+// most recent events oldest-first and Total counts everything emitted.
+func TestRingEviction(t *testing.T) {
+	r := obs.NewRing(4)
+	for i := 0; i < 10; i++ {
+		r.Emit(obs.Event{Req: i})
+	}
+	evs := r.Events()
+	if len(evs) != 4 {
+		t.Fatalf("ring holds %d events, want 4", len(evs))
+	}
+	for k, ev := range evs {
+		if ev.Req != 6+k {
+			t.Errorf("event %d is req %d, want %d", k, ev.Req, 6+k)
+		}
+	}
+	if r.Total() != 10 {
+		t.Errorf("Total = %d, want 10", r.Total())
+	}
+	if small := obs.NewRing(0); small == nil {
+		t.Error("NewRing(0) returned nil")
+	}
+}
+
+// TestJSONLSink round-trips events through the JSONL encoding and pins
+// the sticky-error contract: after the first failure the sink drops
+// events and Flush surfaces the error.
+func TestJSONLSink(t *testing.T) {
+	var sb strings.Builder
+	s := obs.NewJSONLSink(&sb)
+	in := []obs.Event{
+		{Seq: 1, Type: obs.EventArrive, Req: 3, Slot: 0, Margin: 1.5, LatencyNs: 42},
+		{Seq: 2, Type: obs.EventDepart, Req: 3, Slot: 0},
+	}
+	for _, ev := range in {
+		s.Emit(ev)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Events() != len(in) {
+		t.Errorf("Events = %d, want %d", s.Events(), len(in))
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != len(in) {
+		t.Fatalf("wrote %d lines, want %d", len(lines), len(in))
+	}
+	for k, line := range lines {
+		var ev obs.Event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			t.Fatalf("line %d does not parse: %v", k, err)
+		}
+		if ev != in[k] {
+			t.Errorf("line %d round-tripped to %+v, want %+v", k, ev, in[k])
+		}
+	}
+
+	bad := obs.NewJSONLSink(&strings.Builder{})
+	bad.Emit(obs.Event{Type: obs.EventType(99)})
+	bad.Emit(obs.Event{Type: obs.EventArrive})
+	if bad.Events() != 0 {
+		t.Errorf("events after encode failure = %d, want 0", bad.Events())
+	}
+	if err := bad.Flush(); err == nil {
+		t.Error("Flush after encode failure returned nil")
+	}
+}
+
+// TestEventSanitize checks that non-finite margins (a request alone in
+// its slot has margin +Inf) are cleared at emission so every sink can
+// JSON-encode the stream.
+func TestEventSanitize(t *testing.T) {
+	c := obs.NewCollector()
+	ring := obs.NewRing(4)
+	c.Attach(ring)
+	c.Emit(obs.Event{Type: obs.EventArrive, Margin: math.Inf(1)})
+	c.Emit(obs.Event{Type: obs.EventArrive, Margin: math.NaN()})
+	c.Emit(obs.Event{Type: obs.EventArrive, Margin: 2.5})
+	for k, ev := range ring.Events() {
+		if k < 2 && ev.Margin != 0 {
+			t.Errorf("event %d margin = %g, want 0", k, ev.Margin)
+		}
+		if k == 2 && ev.Margin != 2.5 {
+			t.Errorf("finite margin rewritten to %g", ev.Margin)
+		}
+	}
+}
+
+// TestEventTypeJSON pins the wire names and the unknown-type errors in
+// both directions.
+func TestEventTypeJSON(t *testing.T) {
+	names := map[obs.EventType]string{
+		obs.EventArrive:  "arrive",
+		obs.EventDepart:  "depart",
+		obs.EventAdmit:   "admit",
+		obs.EventEvict:   "evict",
+		obs.EventCompact: "compact",
+		obs.EventRepair:  "repair",
+	}
+	for typ, name := range names {
+		data, err := json.Marshal(typ)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if string(data) != `"`+name+`"` {
+			t.Errorf("%v marshals to %s", typ, data)
+		}
+		var back obs.EventType
+		if err := json.Unmarshal(data, &back); err != nil || back != typ {
+			t.Errorf("%s round-trips to %v (%v)", name, back, err)
+		}
+	}
+	if _, err := json.Marshal(obs.EventType(99)); err == nil {
+		t.Error("unknown EventType marshals")
+	}
+	var back obs.EventType
+	if err := json.Unmarshal([]byte(`"teleport"`), &back); err == nil {
+		t.Error("unknown event name unmarshals")
+	}
+}
+
+// TestSpanNesting checks the context chain: nested Starts link
+// parents, CurrentSpan sees the innermost, End is idempotent, and each
+// End lands exactly one observation in span/<name>.
+func TestSpanNesting(t *testing.T) {
+	c := obs.NewCollector()
+	ctx := obs.WithCollector(t.Context(), c)
+	if got := obs.FromContext(ctx); got != c {
+		t.Fatal("FromContext lost the collector")
+	}
+	if obs.CurrentSpan(ctx) != nil {
+		t.Error("fresh context has a span")
+	}
+
+	ctx1, outer := obs.Start(ctx, "outer")
+	ctx2, inner := obs.Start(ctx1, "inner")
+	if inner.Parent() != outer {
+		t.Error("inner span not linked to outer")
+	}
+	if outer.Parent() != nil {
+		t.Error("outer span has a parent")
+	}
+	if obs.CurrentSpan(ctx2) != inner || obs.CurrentSpan(ctx1) != outer {
+		t.Error("CurrentSpan does not track nesting")
+	}
+	inner.End()
+	inner.End()
+	outer.End()
+	if got := c.Histogram("span/inner").Count(); got != 1 {
+		t.Errorf("span/inner count = %d, want 1 (End must be idempotent)", got)
+	}
+	if got := c.Histogram("span/outer").Count(); got != 1 {
+		t.Errorf("span/outer count = %d, want 1", got)
+	}
+
+	// Without a collector, Start returns the context unchanged and an
+	// inert span.
+	plain := t.Context()
+	same, sp := obs.Start(plain, "ghost")
+	if same != plain || sp != nil {
+		t.Error("Start without a collector is not inert")
+	}
+}
+
+// TestHTTPHandler smoke-tests the live endpoints: /metrics serves the
+// JSON snapshot and the pprof index answers.
+func TestHTTPHandler(t *testing.T) {
+	c := obs.NewCollector()
+	c.Counter("engine/arrivals").Add(7)
+	c.Gauge("engine/slots").Set(3)
+	srv := httptest.NewServer(c.Mux())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("/metrics content type %q", ct)
+	}
+	var snap obs.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("/metrics body does not parse: %v", err)
+	}
+	if snap.Counters["engine/arrivals"] != 7 || snap.Gauges["engine/slots"] != 3 {
+		t.Errorf("/metrics snapshot = %+v", snap)
+	}
+
+	pp, err := srv.Client().Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pp.Body.Close()
+	if pp.StatusCode != 200 {
+		t.Errorf("/debug/pprof/ status %d", pp.StatusCode)
+	}
+}

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"context"
+	"time"
+)
+
+type collectorKey struct{}
+type spanKey struct{}
+
+// WithCollector returns a context carrying the collector, the handoff
+// point between option plumbing (solver.go's WithObserver) and
+// instrumented code (obs.Start in the pipeline stages). A nil collector
+// is carried as-is and disables every span started under the context.
+func WithCollector(ctx context.Context, c *Collector) context.Context {
+	return context.WithValue(ctx, collectorKey{}, c)
+}
+
+// FromContext returns the collector carried by the context, or nil.
+func FromContext(ctx context.Context) *Collector {
+	if ctx == nil {
+		return nil
+	}
+	c, _ := ctx.Value(collectorKey{}).(*Collector)
+	return c
+}
+
+// Span measures one phase of work: Start it, do the work, End it. The
+// elapsed wall time lands in the histogram "span/<name>", so repeated
+// phases (one per pipeline class, one per HST tree) aggregate into a
+// latency distribution per phase name. A nil span (from a nil or
+// absent collector) is inert; End is idempotent.
+//
+// The obsguard analyzer (internal/lint) checks that every acquired span
+// is Ended on all return paths — defer the End, or call it on every
+// branch that leaves the function.
+type Span struct {
+	parent *Span
+	h      *Histogram
+	start  time.Time
+	ended  bool
+}
+
+// StartSpan opens a span on the collector directly — the non-context
+// entry point for code that is handed a collector rather than a ctx
+// (hst's per-tree builds). Returns nil on a nil collector.
+func (c *Collector) StartSpan(name string) *Span {
+	if c == nil {
+		return nil
+	}
+	return &Span{h: c.Histogram("span/" + name), start: time.Now()}
+}
+
+// Start opens a span named name under the context's collector and
+// returns a context carrying the new span, so nested Starts form a
+// parent chain. With no collector in the context it returns the
+// context unchanged and a nil (inert) span.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	c := FromContext(ctx)
+	if c == nil {
+		return ctx, nil
+	}
+	sp := c.StartSpan(name)
+	sp.parent, _ = ctx.Value(spanKey{}).(*Span)
+	return context.WithValue(ctx, spanKey{}, sp), sp
+}
+
+// CurrentSpan returns the innermost span opened under the context, or
+// nil — the hook a child phase uses to find its parent.
+func CurrentSpan(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	sp, _ := ctx.Value(spanKey{}).(*Span)
+	return sp
+}
+
+// Parent returns the span this one nests under, or nil.
+func (s *Span) Parent() *Span {
+	if s == nil {
+		return nil
+	}
+	return s.parent
+}
+
+// End records the span's elapsed wall time. Safe on a nil span and
+// idempotent: only the first End observes.
+func (s *Span) End() {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	s.h.Observe(time.Since(s.start).Nanoseconds())
+}

@@ -4,8 +4,10 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/affect"
+	"repro/internal/obs"
 	"repro/internal/problem"
 	"repro/internal/sinr"
 )
@@ -44,6 +46,22 @@ type Engine struct {
 	threshold float64 // empty-slot fraction that triggers ThresholdRepair
 
 	stats Stats
+
+	// col is the live observability channel: per-event latency
+	// histograms, counters mirroring Stats, slot/active gauges, and the
+	// typed event stream. Nil (the default) keeps every event on the
+	// original zero-instrumentation path — the handles below are then
+	// nil too, and all recording calls reduce to one predictable branch.
+	col     *obs.Collector
+	cArrive *obs.Counter
+	cDepart *obs.Counter
+	cMove   *obs.Counter
+	cRepack *obs.Counter
+	cRepair *obs.Counter
+	hArrive *obs.Histogram
+	hDepart *obs.Histogram
+	gSlots  *obs.Gauge
+	gActive *obs.Gauge
 }
 
 // slot is one color class: its tracker plus the minimum member length,
@@ -85,6 +103,15 @@ func WithRepair(r Repair) Option { return func(e *Engine) { e.repair = r } }
 // WithThreshold sets the empty-slot fraction at which ThresholdRepair
 // compacts (default 0.25). Values outside (0, 1] are rejected by New.
 func WithThreshold(frac float64) Option { return func(e *Engine) { e.threshold = frac } }
+
+// WithObserver attaches an observability collector: every event then
+// feeds the "engine/arrive_ns"/"engine/depart_ns" latency histograms,
+// the counters mirroring Stats ("engine/arrivals", "engine/departures",
+// "engine/moves", "engine/repacks", "engine/repairs"), and the
+// "engine/slots"/"engine/active" gauges; sinks attached to the
+// collector additionally receive the typed event stream. A nil
+// collector (the default) keeps the engine on the uninstrumented path.
+func WithObserver(c *obs.Collector) Option { return func(e *Engine) { e.setObserver(c) } }
 
 // ErrUnschedulable is wrapped by Arrive when a request cannot hold its
 // SINR constraint even alone in an empty slot (positive noise with
@@ -179,8 +206,43 @@ func (e *Engine) SlotOf(i int) int { return e.slotOf[i] }
 // Slot returns the members of slot s in insertion order (a copy).
 func (e *Engine) Slot(s int) []int { return e.slots[s].tr.Members() }
 
-// Stats returns a snapshot of the lifetime counters.
+// Stats returns a snapshot of the lifetime counters. With a collector
+// attached the same counts stream live through the observer (see
+// WithObserver); the snapshot keeps working either way, and the churn
+// tests pin the two views to agree after every trace.
 func (e *Engine) Stats() Stats { return e.stats }
+
+// Observer returns the attached collector, or nil. sim.Run consults it
+// to decide whether per-event timing is worth collecting.
+func (e *Engine) Observer() *obs.Collector { return e.col }
+
+// Events attaches a sink to the engine's typed event stream
+// (Arrive/Depart/Admit/Evict/Compact/Repair with slot, margin and
+// latency), creating a collector on the fly when none was configured
+// with WithObserver — the hook the daemon and TUI roadmap items attach
+// through.
+func (e *Engine) Events(s obs.Sink) {
+	if e.col == nil {
+		e.setObserver(obs.NewCollector())
+	}
+	e.col.Attach(s)
+}
+
+// setObserver installs the collector and resolves the metric handles
+// once, so the per-event path never pays a registry lookup. A nil
+// collector yields nil handles, whose record calls are no-ops.
+func (e *Engine) setObserver(c *obs.Collector) {
+	e.col = c
+	e.cArrive = c.Counter("engine/arrivals")
+	e.cDepart = c.Counter("engine/departures")
+	e.cMove = c.Counter("engine/moves")
+	e.cRepack = c.Counter("engine/repacks")
+	e.cRepair = c.Counter("engine/repairs")
+	e.hArrive = c.Histogram("engine/arrive_ns")
+	e.hDepart = c.Histogram("engine/depart_ns")
+	e.gSlots = c.Gauge("engine/slots")
+	e.gActive = c.Gauge("engine/active")
+}
 
 // Feasible re-checks every slot's full SINR constraint set through the
 // trackers in O(active) total. It holds after every event by construction;
@@ -221,6 +283,10 @@ func (e *Engine) Snapshot() *problem.Schedule {
 // slot index. It fails if i is out of range, already active, or infeasible
 // even alone (ErrUnschedulable).
 func (e *Engine) Arrive(i int) (int, error) {
+	var start time.Time
+	if e.col.Enabled() {
+		start = time.Now()
+	}
 	if i < 0 || i >= e.in.N() {
 		return -1, fmt.Errorf("online: Arrive(%d): request out of range [0,%d)", i, e.in.N())
 	}
@@ -241,14 +307,34 @@ func (e *Engine) Arrive(i int) (int, error) {
 	e.place(i, s)
 	e.active++
 	e.stats.Arrivals++
+	e.cArrive.Inc()
 	if len(e.slots) > e.stats.PeakSlots {
 		e.stats.PeakSlots = len(e.slots)
+	}
+	if e.col.Enabled() {
+		lat := time.Since(start).Nanoseconds()
+		e.hArrive.Observe(lat)
+		e.gSlots.Set(float64(len(e.slots)))
+		e.gActive.Set(float64(e.active))
+		if e.col.Tracing() {
+			e.col.Emit(obs.Event{
+				Type: obs.EventArrive, Req: i, Slot: s,
+				Margin: e.slots[s].tr.Margin(i), LatencyNs: lat,
+			})
+		}
 	}
 	return s, nil
 }
 
 // Depart removes request i from its slot and runs the repair strategy.
+// With tracing on, the repair events a departure triggers precede its
+// own Depart event: events are emitted when their work completes, and
+// the departure completes only after repair.
 func (e *Engine) Depart(i int) error {
+	var start time.Time
+	if e.col.Enabled() {
+		start = time.Now()
+	}
 	if i < 0 || i >= e.in.N() {
 		return fmt.Errorf("online: Depart(%d): request out of range [0,%d)", i, e.in.N())
 	}
@@ -256,10 +342,27 @@ func (e *Engine) Depart(i int) error {
 	if s < 0 {
 		return fmt.Errorf("online: Depart(%d): not active", i)
 	}
+	var mg float64
+	if e.col.Tracing() {
+		mg = e.slots[s].tr.Margin(i)
+	}
 	e.unplace(i, s)
 	e.active--
 	e.stats.Departures++
+	e.cDepart.Inc()
 	e.runRepair()
+	if e.col.Enabled() {
+		lat := time.Since(start).Nanoseconds()
+		e.hDepart.Observe(lat)
+		e.gSlots.Set(float64(len(e.slots)))
+		e.gActive.Set(float64(e.active))
+		if e.col.Tracing() {
+			e.col.Emit(obs.Event{
+				Type: obs.EventDepart, Req: i, Slot: s,
+				Margin: mg, LatencyNs: lat,
+			})
+		}
+	}
 	return nil
 }
 
@@ -324,6 +427,10 @@ func (e *Engine) runRepair() {
 	}
 	if changed {
 		e.stats.Repairs++
+		e.cRepair.Inc()
+		if e.col.Tracing() {
+			e.col.Emit(obs.Event{Type: obs.EventRepair, Req: -1, Slot: len(e.slots)})
+		}
 	}
 }
 
@@ -384,6 +491,10 @@ func (e *Engine) compact() bool {
 			break
 		}
 		e.stats.Repacks++
+		e.cRepack.Inc()
+	}
+	if changed && e.col.Tracing() {
+		e.col.Emit(obs.Event{Type: obs.EventCompact, Req: -1, Slot: len(e.slots)})
 	}
 	return changed
 }
@@ -404,10 +515,23 @@ func (e *Engine) tryDissolve(k int) (moved, dissolved bool) {
 		if target < 0 {
 			continue
 		}
+		if e.col.Tracing() {
+			e.col.Emit(obs.Event{
+				Type: obs.EventEvict, Req: i, Slot: k,
+				Margin: e.slots[k].tr.Margin(i),
+			})
+		}
 		e.unplace(i, k)
 		e.place(i, target)
 		e.stats.Moves++
+		e.cMove.Inc()
 		moved = true
+		if e.col.Tracing() {
+			e.col.Emit(obs.Event{
+				Type: obs.EventAdmit, Req: i, Slot: target,
+				Margin: e.slots[target].tr.Margin(i),
+			})
+		}
 	}
 	if e.slots[k].tr.Len() > 0 {
 		return moved, false

@@ -186,6 +186,9 @@ type Result struct {
 	// Slots[k] is the slot count right after event k.
 	Slots []int
 	// CostNs[k] is the wall-clock latency of event k in nanoseconds.
+	// Empty when the engine carries no observability collector: timing
+	// costs two clock reads per event, so Run only pays for it when
+	// someone — a collector — is there to consume the latency series.
 	CostNs []int64
 	// PeakSlots is the maximum of Slots.
 	PeakSlots int
@@ -216,26 +219,35 @@ func (r *Result) MaxCostNs() int64 {
 	return max
 }
 
-// Run replays the trace against the engine, timing each event. It stops at
-// the first engine error (a malformed trace); the partial series up to the
-// failing event are returned alongside the error.
+// Run replays the trace against the engine. Per-event timing is gated
+// on the engine's collector: only when one is attached (and hence the
+// latency series has a consumer) does Run pay the two time.Now calls
+// per event — an unobserved replay skips the clock entirely and leaves
+// CostNs empty. It stops at the first engine error (a malformed
+// trace); the partial series up to the failing event are returned
+// alongside the error.
 func Run(e *online.Engine, trace Trace) (*Result, error) {
 	if e == nil {
 		return nil, errors.New("sim: nil engine")
 	}
+	timed := e.Observer().Enabled()
 	r := &Result{
-		Slots:  make([]int, 0, len(trace)),
-		CostNs: make([]int64, 0, len(trace)),
+		Slots: make([]int, 0, len(trace)),
+	}
+	if timed {
+		r.CostNs = make([]int64, 0, len(trace))
 	}
 	for k, ev := range trace {
-		start := time.Now()
+		var start time.Time
+		if timed {
+			start = time.Now()
+		}
 		var err error
 		if ev.Arrive {
 			_, err = e.Arrive(ev.Req)
 		} else {
 			err = e.Depart(ev.Req)
 		}
-		cost := time.Since(start).Nanoseconds()
 		if err != nil {
 			return r, fmt.Errorf("sim: event %d: %w", k, err)
 		}
@@ -245,7 +257,9 @@ func Run(e *online.Engine, trace Trace) (*Result, error) {
 			r.Departures++
 		}
 		r.Events++
-		r.CostNs = append(r.CostNs, cost)
+		if timed {
+			r.CostNs = append(r.CostNs, time.Since(start).Nanoseconds())
+		}
 		s := e.NumSlots()
 		r.Slots = append(r.Slots, s)
 		if s > r.PeakSlots {

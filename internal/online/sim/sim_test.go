@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/instance"
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/power"
 	"repro/internal/problem"
@@ -103,8 +104,12 @@ func TestRunSeries(t *testing.T) {
 	for name, trace := range traces {
 		for _, adm := range online.Admissions() {
 			for _, rep := range online.Repairs() {
+				// The observer turns per-event timing on, so the CostNs
+				// series is populated (see TestRunTimingGated for the
+				// unobserved path).
 				e, err := online.New(m, in, sinr.Bidirectional, powers,
-					online.WithAdmission(adm), online.WithRepair(rep))
+					online.WithAdmission(adm), online.WithRepair(rep),
+					online.WithObserver(obs.NewCollector()))
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -133,6 +138,105 @@ func TestRunSeries(t *testing.T) {
 					if members := e.Slot(s); len(members) > 0 && !m.SetFeasible(in, sinr.Bidirectional, powers, members) {
 						t.Fatalf("%s/%s/%s: slot %d infeasible per the oracle", name, adm, rep, s)
 					}
+				}
+			}
+		}
+	}
+}
+
+// TestRunTimingGated pins the timing gate: an engine without a
+// collector replays clock-free (empty CostNs), one with a collector
+// times every event.
+func TestRunTimingGated(t *testing.T) {
+	in := testInstance(t, 11, 20)
+	m := sinr.Default()
+	powers := power.Powers(m, in, power.Sqrt())
+	trace := Poisson(rand.New(rand.NewSource(13)), in.N(), 8, 2, 100)
+
+	e, err := online.New(m, in, sinr.Bidirectional, powers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(e, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CostNs) != 0 {
+		t.Fatalf("unobserved run recorded %d costs, want none", len(res.CostNs))
+	}
+	if res.Events != len(trace) || len(res.Slots) != len(trace) {
+		t.Fatalf("unobserved run series %d/%d for %d events", res.Events, len(res.Slots), len(trace))
+	}
+
+	eo, err := online.New(m, in, sinr.Bidirectional, powers,
+		online.WithObserver(obs.NewCollector()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reso, err := Run(eo, trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reso.CostNs) != len(trace) {
+		t.Fatalf("observed run recorded %d costs, want %d", len(reso.CostNs), len(trace))
+	}
+}
+
+// TestRunEventStreamAgreement replays traces with a ring sink attached
+// and reconciles the typed event stream against the engine's own
+// counters: one arrive event per accepted arrival, one depart per
+// departure, one repair event per counted repair, and matching
+// evict/admit pairs per migration — all in strictly increasing
+// sequence order.
+func TestRunEventStreamAgreement(t *testing.T) {
+	in := testInstance(t, 21, 40)
+	m := sinr.Default()
+	powers := power.Powers(m, in, power.Sqrt())
+	traces := map[string]Trace{
+		"poisson": Poisson(rand.New(rand.NewSource(31)), in.N(), 12, 2, 300),
+		"replay":  Replay(in),
+	}
+	for name, trace := range traces {
+		for _, rep := range online.Repairs() {
+			e, err := online.New(m, in, sinr.Bidirectional, powers,
+				online.WithAdmission(online.BestFit), online.WithRepair(rep))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ring := obs.NewRing(16 * len(trace))
+			e.Events(ring)
+			if _, err := Run(e, trace); err != nil {
+				t.Fatalf("%s/%s: %v", name, rep, err)
+			}
+			evs := ring.Events()
+			if ring.Total() != len(evs) {
+				t.Fatalf("%s/%s: ring evicted events (%d emitted, %d held) — grow the test ring",
+					name, rep, ring.Total(), len(evs))
+			}
+			byType := make(map[obs.EventType]int)
+			var lastSeq uint64
+			for k, ev := range evs {
+				if ev.Seq <= lastSeq {
+					t.Fatalf("%s/%s: event %d seq %d after %d", name, rep, k, ev.Seq, lastSeq)
+				}
+				lastSeq = ev.Seq
+				byType[ev.Type]++
+			}
+			st := e.Stats()
+			checks := []struct {
+				typ  obs.EventType
+				want int
+			}{
+				{obs.EventArrive, st.Arrivals},
+				{obs.EventDepart, st.Departures},
+				{obs.EventRepair, st.Repairs},
+				{obs.EventEvict, st.Moves},
+				{obs.EventAdmit, st.Moves},
+			}
+			for _, c := range checks {
+				if byType[c.typ] != c.want {
+					t.Errorf("%s/%s: %d %s events, stats say %d",
+						name, rep, byType[c.typ], c.typ, c.want)
 				}
 			}
 		}

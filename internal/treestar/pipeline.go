@@ -5,12 +5,14 @@ import (
 	"errors"
 	"math"
 	"math/rand"
+	"runtime/pprof"
 
 	"repro/internal/affect"
 	"repro/internal/coloring"
 	"repro/internal/geom"
 	"repro/internal/hst"
 	"repro/internal/nodeloss"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/problem"
 	"repro/internal/sinr"
@@ -33,11 +35,35 @@ func (p Pipeline) engineFor(m sinr.Model, in *problem.Instance, powers []float64
 	return affect.New(m, sinr.Bidirectional, in, powers), nil
 }
 
+// stage runs f as one pipeline stage under a span "pipeline/<name>"
+// from the context's collector and a pprof label stage=<name>, so the
+// span histograms and CPU profile samples attribute cost to the same
+// stage names. With no collector in the context the span is inert and
+// only the label remains — profiles stay attributable in unobserved
+// runs (oblsched -cpuprofile without -metrics).
+func stage(ctx context.Context, name string, f func() error) error {
+	_, sp := obs.Start(ctx, "pipeline/"+name)
+	defer sp.End()
+	var err error
+	pprof.Do(ctx, pprof.Labels("stage", name), func(context.Context) { err = f() })
+	return err
+}
+
 // Run executes the Theorem 2 pipeline on the instance and returns one color
 // class of request indices that is feasible in the original metric under
 // the square root power assignment with gain m.Beta (bidirectional SINR
 // constraints), together with per-stage diagnostics.
 func (p Pipeline) Run(m sinr.Model, in *problem.Instance, rng *rand.Rand) ([]int, *PipelineStats, error) {
+	return p.runCtx(context.Background(), m, in, rng)
+}
+
+// runCtx is Run under a context. The context's obs collector (if any)
+// receives one span per stage — "pipeline/stage1" through
+// "pipeline/stage5" — and one "pipeline/hst-build" span per sampled
+// tree; each stage also runs under a stage=<name> pprof label. The
+// context is not polled here: cancellation granularity stays one whole
+// class extraction (see ColoringWithStats).
+func (p Pipeline) runCtx(ctx context.Context, m sinr.Model, in *problem.Instance, rng *rand.Rand) ([]int, *PipelineStats, error) {
 	if err := m.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -47,8 +73,15 @@ func (p Pipeline) Run(m sinr.Model, in *problem.Instance, rng *rand.Rand) ([]int
 	stats := &PipelineStats{}
 
 	// Stage 1 (Section 3.2): split the pairs into the node-loss problem.
-	nl, mapping, err := nodeloss.FromPairs(m, in)
-	if err != nil {
+	var (
+		nl      *nodeloss.Instance
+		mapping *nodeloss.PairMapping
+	)
+	if err := stage(ctx, "stage1", func() error {
+		var err error
+		nl, mapping, err = nodeloss.FromPairs(m, in)
+		return err
+	}); err != nil {
 		return nil, nil, err
 	}
 	stats.ActiveNodes = nl.N()
@@ -60,63 +93,86 @@ func (p Pipeline) Run(m sinr.Model, in *problem.Instance, rng *rand.Rand) ([]int
 
 	// Stage 2 (Lemma 6 / Proposition 7): sample r tree embeddings of the
 	// active nodes and keep the tree whose core covers the most of them.
-	sub, err := geom.NewSub(in.Space, nl.Nodes)
-	if err != nil {
+	var (
+		ensemble *hst.Ensemble
+		bestTree int
+		core     []int
+	)
+	if err := stage(ctx, "stage2", func() error {
+		sub, err := geom.NewSub(in.Space, nl.Nodes)
+		if err != nil {
+			return err
+		}
+		r := p.Trees
+		if r <= 0 {
+			r = int(math.Ceil(math.Log2(float64(nl.N())))) + 2
+		}
+		ensemble, err = hst.BuildEnsembleObserved(sub, r, p.StretchBound, rng, obs.FromContext(ctx))
+		if err != nil {
+			return err
+		}
+		allNodes := make([]int, nl.N())
+		for i := range allNodes {
+			allNodes[i] = i
+		}
+		bestTree, core = ensemble.BestCoreTree(allNodes)
+		stats.CoreNodes = len(core)
+		if len(core) == 0 {
+			return errors.New("treestar: empty tree core")
+		}
+		return nil
+	}); err != nil {
 		return nil, nil, err
-	}
-	r := p.Trees
-	if r <= 0 {
-		r = int(math.Ceil(math.Log2(float64(nl.N())))) + 2
-	}
-	ensemble, err := hst.BuildEnsemble(sub, r, p.StretchBound, rng)
-	if err != nil {
-		return nil, nil, err
-	}
-	allNodes := make([]int, nl.N())
-	for i := range allNodes {
-		allNodes[i] = i
-	}
-	bestTree, core := ensemble.BestCoreTree(allNodes)
-	stats.CoreNodes = len(core)
-	if len(core) == 0 {
-		return nil, nil, errors.New("treestar: empty tree core")
 	}
 
 	// Stage 3 (Lemmas 5 and 9): explicit tree, centroid decomposition,
 	// per-level star selection. Leaf v of the explicit tree is active node
 	// v of the node-loss instance.
-	tree, err := ensemble.Trees[bestTree].ExplicitTree()
-	if err != nil {
+	var kept []int
+	if err := stage(ctx, "stage3", func() error {
+		tree, err := ensemble.Trees[bestTree].ExplicitTree()
+		if err != nil {
+			return err
+		}
+		loss := make(map[int]float64, len(core))
+		for _, v := range core {
+			loss[v] = nl.Loss[v]
+		}
+		// Target gain on the tree: the tree metric dominates the original, so
+		// feasibility transfers to the original metric only after paying the
+		// core stretch (Lemma 8); the final thinning restores the exact pair
+		// gain, so a modest tree gain keeps the kept set large.
+		treeGain := betaNode
+		var treeStats *TreeStats
+		kept, treeStats, err = SelectOnTree(m, tree, core, loss, betaNode, treeGain, TreeOptions{Faithful: p.Faithful})
+		if err != nil {
+			return err
+		}
+		stats.Tree = *treeStats
+		stats.TreeKept = len(kept)
+		return nil
+	}); err != nil {
 		return nil, nil, err
 	}
-	loss := make(map[int]float64, len(core))
-	for _, v := range core {
-		loss[v] = nl.Loss[v]
-	}
-	// Target gain on the tree: the tree metric dominates the original, so
-	// feasibility transfers to the original metric only after paying the
-	// core stretch (Lemma 8); the final thinning restores the exact pair
-	// gain, so a modest tree gain keeps the kept set large.
-	treeGain := betaNode
-	kept, treeStats, err := SelectOnTree(m, tree, core, loss, betaNode, treeGain, TreeOptions{Faithful: p.Faithful})
-	if err != nil {
-		return nil, nil, err
-	}
-	stats.Tree = *treeStats
-	stats.TreeKept = len(kept)
 
 	// Stage 4: back to pairs — keep requests with both endpoints alive.
-	pairs := nodeloss.PairsWithBothEndpoints(mapping, kept)
-	stats.PairsKept = len(pairs)
-	if len(pairs) == 0 {
-		// Guarantee progress: a single request is always feasible alone.
-		longest := 0
-		for i := 1; i < in.N(); i++ {
-			if in.Length(i) > in.Length(longest) {
-				longest = i
+	var pairs []int
+	if err := stage(ctx, "stage4", func() error {
+		pairs = nodeloss.PairsWithBothEndpoints(mapping, kept)
+		stats.PairsKept = len(pairs)
+		if len(pairs) == 0 {
+			// Guarantee progress: a single request is always feasible alone.
+			longest := 0
+			for i := 1; i < in.N(); i++ {
+				if in.Length(i) > in.Length(longest) {
+					longest = i
+				}
 			}
+			pairs = []int{longest}
 		}
-		pairs = []int{longest}
+		return nil
+	}); err != nil {
+		return nil, nil, err
 	}
 
 	// Stage 5 (Lemma 8 / Proposition 3): thin to the full bidirectional
@@ -126,20 +182,27 @@ func (p Pipeline) Run(m sinr.Model, in *problem.Instance, rng *rand.Rand) ([]int
 	// thinning runs on the incremental tracker — the Engine hook picks
 	// dense rows or the sparse grid per restricted instance; the thinning
 	// consumes either transparently through sinr.SetTracker.
-	powers := power.Powers(m, in, power.Sqrt())
-	mThin := m
-	if !p.NoCache && len(pairs) >= 32 {
-		c, err := p.engineFor(m, in, powers)
-		if err != nil {
-			return nil, nil, err
+	var final []int
+	if err := stage(ctx, "stage5", func() error {
+		powers := power.Powers(m, in, power.Sqrt())
+		mThin := m
+		if !p.NoCache && len(pairs) >= 32 {
+			c, err := p.engineFor(m, in, powers)
+			if err != nil {
+				return err
+			}
+			mThin = m.WithCache(c)
 		}
-		mThin = m.WithCache(c)
-	}
-	final, err := coloring.ThinToGain(mThin, in, sinr.Bidirectional, powers, pairs, m.Beta)
-	if err != nil {
+		var err error
+		final, err = coloring.ThinToGain(mThin, in, sinr.Bidirectional, powers, pairs, m.Beta)
+		if err != nil {
+			return err
+		}
+		stats.FinalPairs = len(final)
+		return nil
+	}); err != nil {
 		return nil, nil, err
 	}
-	stats.FinalPairs = len(final)
 	return final, stats, nil
 }
 
@@ -173,7 +236,7 @@ func (p Pipeline) ColoringWithStats(ctx context.Context, m sinr.Model, in *probl
 		if err != nil {
 			return nil, nil, err
 		}
-		class, stats, err := p.Run(m, subInst, rng)
+		class, stats, err := p.runCtx(ctx, m, subInst, rng)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -10,6 +10,7 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/affect/sparse"
 	"repro/internal/coloring"
 	"repro/internal/distributed"
+	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/power"
 	"repro/internal/sinr"
@@ -124,6 +126,10 @@ type Options struct {
 	// Repair names the departure-repair strategy of the online engine:
 	// "lazy", "threshold", or "eager" (online solver only).
 	Repair string
+	// Obs is the observability collector the solve reports into (see
+	// WithObserver). Nil — the default — disables all instrumentation
+	// at a single predictable branch per site.
+	Obs *obs.Collector
 
 	// caches is the per-batch cache store SolveAll shares across its
 	// workers, so solving the same instance repeatedly (solver sweeps,
@@ -278,6 +284,18 @@ func WithAdmission(name string) Option { return func(o *Options) { o.Admission =
 // consults it.
 func WithRepair(name string) Option { return func(o *Options) { o.Repair = name } }
 
+// WithObserver attaches an observability collector (internal/obs) to the
+// solve. Every layer reports into it: the wrapper counts solves and
+// spans the whole call ("span/solve/<name>"), the engine builders record
+// build latency and resident bytes ("affect/…", "sparse/…"), the
+// pipeline spans its stages and HST builds ("span/pipeline/…"), and the
+// online engine mirrors its counters and emits typed events (see
+// online.WithObserver for the metric names). SolveAll passes the same
+// collector to every worker, so a batch aggregates into one snapshot.
+// A nil collector (the default) keeps every hot path on its zero-cost
+// disabled branch.
+func WithObserver(c *obs.Collector) Option { return func(o *Options) { o.Obs = c } }
+
 // withCacheStore hands the workers of one SolveAll batch a shared
 // per-instance cache store.
 func withCacheStore(s *affect.Store) Option { return func(o *Options) { o.caches = s } }
@@ -289,13 +307,42 @@ func withCacheStore(s *affect.Store) Option { return func(o *Options) { o.caches
 // dedupes dense matrices only; a sparse engine is cheap relative to the
 // solves that select it, so each build is per-solve.
 func (o Options) buildEngine(m Model, in *Instance, v Variant, powers []float64) (sinr.Cache, error) {
-	if o.Mode.Resolve(in, o.Epsilon) == AffectSparse {
-		return sparse.For(m, v, in, powers, sparse.Options{Epsilon: o.Epsilon})
+	isSparse := o.Mode.Resolve(in, o.Epsilon) == AffectSparse
+	var start time.Time
+	if o.Obs.Enabled() {
+		start = time.Now()
 	}
-	if o.caches != nil {
-		return o.caches.For(m, v, in, powers), nil
+	var (
+		c   sinr.Cache
+		err error
+	)
+	switch {
+	case isSparse:
+		c, err = sparse.For(m, v, in, powers, sparse.Options{Epsilon: o.Epsilon})
+	case o.caches != nil:
+		c = o.caches.For(m, v, in, powers)
+	default:
+		c = affect.New(m, v, in, powers)
 	}
-	return affect.New(m, v, in, powers), nil
+	if err != nil {
+		return nil, err
+	}
+	if o.Obs.Enabled() {
+		// Build latency is a histogram (the pipeline builds one engine per
+		// kept class, so the distribution matters); resident bytes is a
+		// last-build gauge. The batch-store path times the store lookup —
+		// near-zero on a hit, which is exactly the sharing it should show.
+		name := "affect"
+		if isSparse {
+			name = "sparse"
+		}
+		o.Obs.Counter(name + "/builds").Inc()
+		o.Obs.Histogram(name + "/build_ns").Observe(time.Since(start).Nanoseconds())
+		if sz, ok := c.(interface{ Bytes() int64 }); ok {
+			o.Obs.Gauge(name + "/bytes").Set(float64(sz.Bytes()))
+		}
+	}
+	return c, nil
 }
 
 // attachCache returns m with the affectance engine for (variant,
@@ -394,6 +441,16 @@ func (s solverFunc) Solve(ctx context.Context, m Model, in *Instance, opts ...Op
 		// just the ones whose engine selection happens to reach the
 		// sparse constructor.
 		return nil, fmt.Errorf("%s: epsilon must be ≥ 0, got %g", s.name, o.Epsilon)
+	}
+	if o.Obs.Enabled() {
+		// Carry the collector in the context so instrumented internals
+		// (the pipeline's stage spans) find it without their own plumbing,
+		// and span the whole call — nested stage spans parent under it.
+		ctx = obs.WithCollector(ctx, o.Obs)
+		o.Obs.Counter("solve/" + s.name).Inc()
+		var sp *obs.Span
+		ctx, sp = obs.Start(ctx, "solve/"+s.name)
+		defer sp.End()
 	}
 	start := time.Now()
 	res, err := s.fn(ctx, m, in, o)
@@ -535,7 +592,11 @@ func solveOnline(ctx context.Context, m Model, in *Instance, o Options) (*Result
 	if err != nil {
 		return nil, err
 	}
-	eng, err := online.New(m, in, o.Variant, powers, online.WithAdmission(adm), online.WithRepair(rep))
+	engOpts := []online.Option{online.WithAdmission(adm), online.WithRepair(rep)}
+	if o.Obs.Enabled() {
+		engOpts = append(engOpts, online.WithObserver(o.Obs))
+	}
+	eng, err := online.New(m, in, o.Variant, powers, engOpts...)
 	if err != nil {
 		return nil, err
 	}
@@ -736,20 +797,29 @@ func SolveAll(ctx context.Context, m Model, instances []*Instance, solver Solver
 		errMu.Unlock()
 		cancel()
 	}
+	if o.Obs.Enabled() {
+		o.Obs.Gauge("batch/workers").Set(float64(workers))
+		o.Obs.Counter("batch/instances").Add(int64(len(instances)))
+	}
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
-			for i := range jobs {
-				res, err := solver.Solve(batchCtx, m, instances[i], append(append([]Option(nil), opts...), WithSeed(o.Seed+int64(i)))...)
-				if err != nil {
-					fail(fmt.Errorf("instance %d: %w", i, err))
-					return
+			// The pprof labels make per-solver and per-worker CPU visible in
+			// live profiles (oblsched -http): samples from this goroutine and
+			// everything it calls carry solver=<name> worker=<k>.
+			pprof.Do(batchCtx, pprof.Labels("solver", solver.Name(), "worker", strconv.Itoa(w)), func(ctx context.Context) {
+				for i := range jobs {
+					res, err := solver.Solve(ctx, m, instances[i], append(append([]Option(nil), opts...), WithSeed(o.Seed+int64(i)))...)
+					if err != nil {
+						fail(fmt.Errorf("instance %d: %w", i, err))
+						return
+					}
+					results[i] = res
 				}
-				results[i] = res
-			}
-		}()
+			})
+		}(w)
 	}
 feed:
 	for i := range instances {
