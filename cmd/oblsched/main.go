@@ -31,6 +31,23 @@
 //	oblsched -in instance.json -trace poisson [-nevents 2000]
 //	         [-admission power-fit] [-repair threshold]
 //
+// -chaos hardens a -trace run into a fault-injection drill: the trace
+// is mutated with the named fault kinds (duplicate arrivals, unknown
+// ids, reordered pairs, bursts) and the engine's tracker provider is
+// wrapped with transient failures and latency spikes; the harness
+// (internal/faultinject) verifies the typed-error contract, the
+// no-mutation-on-rejection contract, and per-event feasibility, and
+// -chaos-seeds widens the drill into a sweep:
+//
+//	oblsched -in instance.json -trace poisson -chaos all -chaos-seeds 20
+//	oblsched -in instance.json -trace bursty -chaos duplicate,unknown
+//
+// -checkpoint makes the engine durable across invocations: when the
+// file exists the engine is restored from it (feasibility re-proved)
+// before the replay, and the post-replay state is written back:
+//
+//	oblsched -in instance.json -trace poisson -checkpoint engine.ckpt
+//
 // Observability (internal/obs) is wired through three flags:
 //
 //	oblsched -in instance.json -algo pipeline -metrics metrics.json
@@ -67,10 +84,13 @@ import (
 	"time"
 
 	oblivious "repro"
+	"repro/internal/affect"
 	"repro/internal/affect/sparse"
+	"repro/internal/faultinject"
 	"repro/internal/obs"
 	"repro/internal/online"
 	"repro/internal/online/sim"
+	"repro/internal/sinr"
 )
 
 // config carries every flag of one invocation; run consumes it so the
@@ -89,6 +109,9 @@ type config struct {
 	cpuProfile, memProfile   string
 	metrics, events          string
 	httpAddr                 string
+	chaos                    string
+	chaosSeeds               int
+	checkpoint               string
 }
 
 func main() {
@@ -115,6 +138,9 @@ func main() {
 	flag.StringVar(&cfg.metrics, "metrics", "", "write the metrics snapshot JSON to this path on exit")
 	flag.StringVar(&cfg.events, "events", "", "write the engine event stream as JSON lines to this path (-trace only)")
 	flag.StringVar(&cfg.httpAddr, "http", "", "serve live /metrics and /debug/pprof on this address while running")
+	flag.StringVar(&cfg.chaos, "chaos", "", "inject faults into the -trace replay: \"all\" or a comma list of tracker, latency, duplicate, unknown, reorder, burst, cancel")
+	flag.IntVar(&cfg.chaosSeeds, "chaos-seeds", 1, "number of seeds the -chaos sweep runs (seed, seed+1, ...)")
+	flag.StringVar(&cfg.checkpoint, "checkpoint", "", "engine checkpoint path: restored before the -trace replay when it exists, written after it")
 	flag.Parse()
 	if err := run(os.Stdout, cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "oblsched:", err)
@@ -162,6 +188,21 @@ func run(w io.Writer, cfg config) (err error) {
 	}
 	if cfg.events != "" && cfg.trace == "" {
 		return errors.New("-events streams engine events and needs -trace (the churn event count is -nevents)")
+	}
+	if cfg.chaos != "" && cfg.trace == "" {
+		return errors.New("-chaos injects faults into a churn replay and needs -trace")
+	}
+	if cfg.checkpoint != "" && cfg.trace == "" {
+		return errors.New("-checkpoint snapshots the online engine and needs -trace")
+	}
+	if cfg.chaosSeeds == 0 {
+		cfg.chaosSeeds = 1 // struct-built configs skip the flag default
+	}
+	if cfg.chaosSeeds < 1 {
+		return fmt.Errorf("-chaos-seeds must be ≥ 1, got %d", cfg.chaosSeeds)
+	}
+	if cfg.chaosSeeds > 1 && cfg.checkpoint != "" {
+		return errors.New("-checkpoint works with a single run; drop it or -chaos-seeds")
 	}
 
 	// One collector serves all three observability flags; nil when none
@@ -246,8 +287,14 @@ func run(w io.Writer, cfg config) (err error) {
 	}
 
 	if cfg.trace != "" {
-		if err := runTrace(w, m, in, v, mode, col, cfg); err != nil {
-			return err
+		var terr error
+		if cfg.chaos != "" || cfg.checkpoint != "" {
+			terr = runChaos(w, m, in, v, mode, col, cfg)
+		} else {
+			terr = runTrace(w, m, in, v, mode, col, cfg)
+		}
+		if terr != nil {
+			return terr
 		}
 		return writeMetrics()
 	}
@@ -320,6 +367,219 @@ func writeMemProfile(path string) error {
 	return f.Close()
 }
 
+// genTrace builds the churn trace the -trace flag names.
+func genTrace(rng *rand.Rand, kind string, in *oblivious.Instance, events int) (sim.Trace, error) {
+	n := in.N()
+	switch kind {
+	case "poisson":
+		// Rate and holding time chosen for a steady state of ≈ n/2 active.
+		return sim.Poisson(rng, n, float64(n)/4, 2, events), nil
+	case "bursty":
+		size := n / 8
+		if size < 2 {
+			size = 2
+		}
+		return sim.Bursty(rng, n, 1, size, 2, events), nil
+	case "replay":
+		return sim.Replay(in), nil
+	default:
+		return nil, fmt.Errorf("unknown -trace %q (want poisson, bursty, or replay)", kind)
+	}
+}
+
+// runChaos is the hardened replay path behind -chaos and -checkpoint:
+// the churn trace is mutated into a hostile one (duplicates, unknown
+// ids, reordered pairs, bursts), the tracker provider is wrapped with
+// transient failures and latency spikes, and the whole thing is driven
+// through the fault-injection harness, which enforces the typed-error
+// contract, the no-mutation-on-rejection contract, and per-event
+// feasibility. The cancel kind crashes the replay mid-trace and
+// verifies a checkpoint/restore round trip before finishing on the
+// restored engine. With -chaos-seeds > 1 the run sweeps consecutive
+// seeds. A -checkpoint path is restored before the replay when the
+// file exists and (re)written after it.
+func runChaos(w io.Writer, m oblivious.Model, in *oblivious.Instance, v oblivious.Variant, mode oblivious.AffectanceMode, col *obs.Collector, cfg config) error {
+	var kinds []faultinject.Kind
+	if cfg.chaos != "" {
+		var err error
+		if kinds, err = faultinject.ParseKinds(cfg.chaos); err != nil {
+			return err
+		}
+	}
+	hasKind := func(want faultinject.Kind) bool {
+		for _, k := range kinds {
+			if k == want {
+				return true
+			}
+		}
+		return false
+	}
+	a, err := oblivious.ParseAssignment(cfg.power)
+	if err != nil {
+		return err
+	}
+	adm, err := online.ParseAdmission(cfg.admission)
+	if err != nil {
+		return err
+	}
+	rep, err := online.ParseRepair(cfg.repair)
+	if err != nil {
+		return err
+	}
+	powers := oblivious.PowersFor(m, in, a)
+	n := in.N()
+	events := cfg.nevents
+	if events <= 0 {
+		events = 10 * n
+	}
+
+	engOpts := []online.Option{online.WithAdmission(adm), online.WithRepair(rep)}
+	if col.Enabled() {
+		engOpts = append(engOpts, online.WithObserver(col))
+	}
+	var injCfg faultinject.Config
+	if hasKind(faultinject.KindTrackerError) {
+		injCfg.TrackerFailProb, injCfg.TrackerFailRun = 0.2, 2
+		engOpts = append(engOpts, online.WithRetry(4, 50*time.Microsecond))
+	}
+	if hasKind(faultinject.KindLatency) {
+		injCfg.LatencyProb, injCfg.Latency = 0.02, 200*time.Microsecond
+		engOpts = append(engOpts, online.WithDeadline(100*time.Microsecond))
+	}
+
+	var total faultinject.Result
+	var injectedFails, injectedSpikes int
+	for s := 0; s < cfg.chaosSeeds; s++ {
+		seed := cfg.seed + int64(s)
+		// Fresh cache, injector and engine per seed: the sweep proves
+		// independent runs, not one long one.
+		inner, err := buildTraceCache(m, in, v, mode, powers, cfg.eps)
+		if err != nil {
+			return err
+		}
+		inj := faultinject.NewInjector(seed, injCfg)
+		mm := m
+		if wc := faultinject.WrapCache(inner, inj); wc != nil {
+			mm = m.WithCache(wc)
+		} else {
+			mm = m.WithCache(inner)
+		}
+		var eng *online.Engine
+		restored := false
+		if cfg.checkpoint != "" {
+			if f, oerr := os.Open(cfg.checkpoint); oerr == nil {
+				cp, rerr := online.ReadCheckpoint(f)
+				f.Close()
+				if rerr != nil {
+					return rerr
+				}
+				if eng, rerr = online.Restore(mm, in, powers, cp, engOpts...); rerr != nil {
+					return rerr
+				}
+				restored = true
+				fmt.Fprintf(w, "restored:  %d active requests in %d slots from %s\n",
+					eng.Len(), eng.NumSlots(), cfg.checkpoint)
+			} else if !errors.Is(oerr, os.ErrNotExist) {
+				return oerr
+			}
+		}
+		if eng == nil {
+			if eng, err = online.New(mm, in, v, powers, engOpts...); err != nil {
+				return err
+			}
+		}
+		inj.Arm()
+		rng := rand.New(rand.NewSource(seed))
+		tr, err := genTrace(rng, cfg.trace, in, events)
+		if err != nil {
+			return err
+		}
+		var ft faultinject.FaultTrace
+		if len(kinds) > 0 {
+			ft = faultinject.Mutate(rng, n, tr, kinds, 0.08)
+		} else {
+			ft = faultinject.Lift(tr)
+		}
+		abortAt := -1
+		if hasKind(faultinject.KindCancel) {
+			abortAt = len(ft) / 2
+		}
+		res, err := faultinject.Drive(context.Background(), eng, ft, faultinject.Options{AbortAt: abortAt})
+		if err != nil {
+			return fmt.Errorf("seed %d: %w", seed, err)
+		}
+		if res.Aborted && abortAt >= 0 {
+			// The crash model: checkpoint the survivor, restore, verify
+			// the round trip, and finish the trace on the restored engine.
+			inj.Disarm()
+			cp := eng.Checkpoint()
+			eng, err = online.Restore(mm, in, powers, cp, engOpts...)
+			if err != nil {
+				return fmt.Errorf("seed %d: restore after crash: %w", seed, err)
+			}
+			inj.Arm()
+			rest, err := faultinject.Drive(context.Background(), eng, ft[abortAt:], faultinject.Options{AbortAt: -1})
+			if err != nil {
+				return fmt.Errorf("seed %d: post-restore replay: %w", seed, err)
+			}
+			res.Applied += rest.Applied
+			res.Rejected += rest.Rejected
+			res.TrackerUnavailable += rest.TrackerUnavailable
+		}
+		inj.Disarm()
+		// Oracle re-check, mirroring the plain trace path: every slot
+		// against the uncached model, not just the engine's trackers.
+		for sl := 0; sl < eng.NumSlots(); sl++ {
+			if members := eng.Slot(sl); len(members) > 0 && !m.SetFeasible(in, v, powers, members) {
+				return fmt.Errorf("seed %d: slot %d infeasible per the uncached oracle", seed, sl)
+			}
+		}
+		if cfg.checkpoint != "" {
+			f, cerr := os.Create(cfg.checkpoint)
+			if cerr != nil {
+				return fmt.Errorf("checkpoint: %w", cerr)
+			}
+			if cerr = online.WriteCheckpoint(f, eng.Checkpoint()); cerr != nil {
+				f.Close()
+				return fmt.Errorf("checkpoint: %w", cerr)
+			}
+			if cerr = f.Close(); cerr != nil {
+				return fmt.Errorf("checkpoint: %w", cerr)
+			}
+			verb := "written"
+			if restored {
+				verb = "rewritten"
+			}
+			fmt.Fprintf(w, "checkpoint: %s to %s (%d active, %d slots)\n",
+				verb, cfg.checkpoint, eng.Len(), eng.NumSlots())
+		}
+		total.Applied += res.Applied
+		total.Rejected += res.Rejected
+		total.TrackerUnavailable += res.TrackerUnavailable
+		injectedFails += inj.TrackerFails()
+		injectedSpikes += inj.Latencies()
+	}
+	faults := "none"
+	if cfg.chaos != "" {
+		faults = cfg.chaos
+	}
+	fmt.Fprintf(w, "chaos:     %s over %d seed(s), faults: %s\n", cfg.trace, cfg.chaosSeeds, faults)
+	fmt.Fprintf(w, "events:    %d applied, %d rejected (all with the expected typed error), %d tracker-unavailable\n",
+		total.Applied, total.Rejected, total.TrackerUnavailable)
+	fmt.Fprintf(w, "injected:  %d tracker failures, %d latency spikes\n", injectedFails, injectedSpikes)
+	fmt.Fprintf(w, "feasible:  yes (oracle-checked, every run)\n")
+	return nil
+}
+
+// buildTraceCache builds the affectance engine the resolved mode
+// selects, shared by the chaos and checkpoint paths.
+func buildTraceCache(m oblivious.Model, in *oblivious.Instance, v oblivious.Variant, mode oblivious.AffectanceMode, powers []float64, eps float64) (sinr.Cache, error) {
+	if mode.Resolve(in, eps) == oblivious.AffectSparse {
+		return sparse.For(m, v, in, powers, sparse.Options{Epsilon: eps})
+	}
+	return affect.New(m, v, in, powers), nil
+}
+
 // runTrace replays the instance as a churn trace through the online
 // engine and prints the time-series summary. It always runs observed:
 // the cost line below needs the gated per-event timing, so when run
@@ -375,21 +635,9 @@ func runTrace(w io.Writer, m oblivious.Model, in *oblivious.Instance, v obliviou
 		events = 10 * n
 	}
 	rng := rand.New(rand.NewSource(cfg.seed))
-	var tr sim.Trace
-	switch cfg.trace {
-	case "poisson":
-		// Rate and holding time chosen for a steady state of ≈ n/2 active.
-		tr = sim.Poisson(rng, n, float64(n)/4, 2, events)
-	case "bursty":
-		size := n / 8
-		if size < 2 {
-			size = 2
-		}
-		tr = sim.Bursty(rng, n, 1, size, 2, events)
-	case "replay":
-		tr = sim.Replay(in)
-	default:
-		return fmt.Errorf("unknown -trace %q (want poisson, bursty, or replay)", cfg.trace)
+	tr, err := genTrace(rng, cfg.trace, in, events)
+	if err != nil {
+		return err
 	}
 	res, err := sim.Run(eng, tr)
 	if err != nil {

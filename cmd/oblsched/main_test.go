@@ -198,3 +198,97 @@ func TestRunBadPowerForLP(t *testing.T) {
 		t.Error("lp with a non-sqrt -power should fail")
 	}
 }
+
+// TestRunChaos drives the -chaos flag end to end: every fault kind at
+// once, over a small seed sweep, against the tiny instance. The harness
+// inside enforces the typed-error and feasibility contracts; here we
+// check the CLI surfaces its summary and succeeds.
+func TestRunChaos(t *testing.T) {
+	path := writeInstance(t)
+	var sb strings.Builder
+	cfg := baseConfig(path)
+	cfg.trace, cfg.nevents = "poisson", 60
+	cfg.chaos, cfg.chaosSeeds = "all", 3
+	if err := run(&sb, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"chaos:", "rejected", "injected:", "feasible:  yes"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("chaos output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunCheckpoint cycles the engine through -checkpoint: the first
+// run writes the file, the second restores from it (re-proving
+// feasibility) and rewrites it.
+func TestRunCheckpoint(t *testing.T) {
+	path := writeInstance(t)
+	ckpt := filepath.Join(t.TempDir(), "engine.ckpt")
+	cfg := baseConfig(path)
+	cfg.trace, cfg.nevents = "poisson", 40
+	cfg.checkpoint = ckpt
+	var first strings.Builder
+	if err := run(&first, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first.String(), "checkpoint: written") {
+		t.Fatalf("first run did not write the checkpoint:\n%s", first.String())
+	}
+	if st, err := os.Stat(ckpt); err != nil || st.Size() == 0 {
+		t.Fatalf("checkpoint file missing or empty: %v", err)
+	}
+	var second strings.Builder
+	cfg.seed = 2
+	if err := run(&second, cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := second.String()
+	for _, want := range []string{"restored:", "checkpoint: rewritten"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("second run output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestRunChaosErrors pins the flag validation around -chaos/-checkpoint.
+func TestRunChaosErrors(t *testing.T) {
+	path := writeInstance(t)
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{name: "chaos without trace", err: func() error {
+			cfg := baseConfig(path)
+			cfg.chaos = "all"
+			return run(io.Discard, cfg)
+		}()},
+		{name: "checkpoint without trace", err: func() error {
+			cfg := baseConfig(path)
+			cfg.checkpoint = filepath.Join(t.TempDir(), "c.ckpt")
+			return run(io.Discard, cfg)
+		}()},
+		{name: "bad chaos kind", err: func() error {
+			cfg := baseConfig(path)
+			cfg.trace, cfg.chaos = "poisson", "gremlins"
+			return run(io.Discard, cfg)
+		}()},
+		{name: "checkpoint with sweep", err: func() error {
+			cfg := baseConfig(path)
+			cfg.trace, cfg.chaos, cfg.chaosSeeds = "poisson", "all", 2
+			cfg.checkpoint = filepath.Join(t.TempDir(), "c.ckpt")
+			return run(io.Discard, cfg)
+		}()},
+		{name: "negative chaos seeds", err: func() error {
+			cfg := baseConfig(path)
+			cfg.trace, cfg.chaos, cfg.chaosSeeds = "poisson", "all", -1
+			return run(io.Discard, cfg)
+		}()},
+	}
+	for _, tc := range cases {
+		if tc.err == nil {
+			t.Errorf("%s: expected an error", tc.name)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind names one fault family the harness can inject. Kinds compose:
+// a sweep typically runs each kind in isolation first, then all of
+// them together.
+type Kind int
+
+const (
+	// KindTrackerError makes the wrapped tracker provider transiently
+	// fail (NewSetTracker returns nil) in bursts, exercising the
+	// engine's bounded retry-with-backoff and the ErrTrackerUnavailable
+	// rejection path past it.
+	KindTrackerError Kind = iota
+	// KindLatency injects latency spikes into tracker operations,
+	// exercising deadline-driven admission shedding and repair deferral.
+	KindLatency
+	// KindDuplicate inserts arrivals of already-active requests; the
+	// engine must reject each with ErrDuplicateArrive and mutate nothing.
+	KindDuplicate
+	// KindUnknown inserts departures of inactive requests and events
+	// with out-of-range ids; the engine must reject each with
+	// ErrUnknownRequest and mutate nothing.
+	KindUnknown
+	// KindReorder swaps adjacent event pairs, turning well-formed
+	// sequences into depart-before-arrive patterns.
+	KindReorder
+	// KindBurst inserts floods of back-to-back arrivals (some of which
+	// collide with active requests), stressing admission against a full
+	// system.
+	KindBurst
+	// KindCancel aborts the replay at a random mid-trace event — the
+	// crash model — after which the harness checkpoints the survivor
+	// and verifies the restore.
+	KindCancel
+
+	numKinds = int(iota)
+)
+
+var kindNames = [numKinds]string{
+	KindTrackerError: "tracker",
+	KindLatency:      "latency",
+	KindDuplicate:    "duplicate",
+	KindUnknown:      "unknown",
+	KindReorder:      "reorder",
+	KindBurst:        "burst",
+	KindCancel:       "cancel",
+}
+
+// String names the kind as the CLI spells it.
+func (k Kind) String() string {
+	if int(k) >= 0 && int(k) < numKinds {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Kinds returns every fault kind, in CLI-name order.
+func Kinds() []Kind {
+	out := make([]Kind, numKinds)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].String() < out[b].String() })
+	return out
+}
+
+// ParseKinds parses the CLI syntax: "all", or a comma-separated list of
+// kind names ("latency,burst,cancel").
+func ParseKinds(s string) ([]Kind, error) {
+	if s == "all" {
+		return Kinds(), nil
+	}
+	var out []Kind
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for i := 0; i < numKinds; i++ {
+			if kindNames[i] == name {
+				out = append(out, Kind(i))
+				found = true
+				break
+			}
+		}
+		if !found {
+			names := make([]string, numKinds)
+			copy(names[:], kindNames[:])
+			sort.Strings(names)
+			return nil, fmt.Errorf("faultinject: unknown fault kind %q (want all, or a comma list of %s)",
+				name, strings.Join(names, ", "))
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("faultinject: empty fault kind list")
+	}
+	return out, nil
+}
+
+// Config tunes the injector's provider- and tracker-level faults. The
+// zero value injects nothing; Plan derives a per-kind configuration.
+type Config struct {
+	// TrackerFailProb is the probability that a NewSetTracker call
+	// starts a failure burst of TrackerFailRun consecutive nil returns.
+	TrackerFailProb float64
+	// TrackerFailRun is the burst length (≥ 1 when TrackerFailProb > 0).
+	TrackerFailRun int
+	// LatencyProb is the per-tracker-operation probability of a spike.
+	LatencyProb float64
+	// Latency is the spike duration.
+	Latency time.Duration
+}
+
+// Injector is the shared fault source of one chaos run: the cache and
+// tracker wrappers consult it on every operation. It is armed
+// explicitly so engine construction (which probes the provider) runs
+// clean and faults start only once the harness is watching. The
+// injector is safe for concurrent use — concurrent chaos tests hammer
+// trackers from the drive goroutine while observers read — and fully
+// deterministic for a fixed seed and call order.
+type Injector struct {
+	mu       sync.Mutex
+	rng      *rand.Rand
+	cfg      Config
+	armed    bool
+	failLeft int // remaining nil returns in the current burst
+
+	// Counters of injected faults, for reporting and test assertions.
+	trackerFails int
+	latencies    int
+}
+
+// NewInjector builds a deterministic injector from a seed and config.
+func NewInjector(seed int64, cfg Config) *Injector {
+	return &Injector{rng: rand.New(rand.NewSource(seed)), cfg: cfg}
+}
+
+// Arm starts injecting; Disarm stops. A disarmed injector passes every
+// operation through untouched.
+func (inj *Injector) Arm() { inj.mu.Lock(); inj.armed = true; inj.mu.Unlock() }
+
+// Disarm stops injecting.
+func (inj *Injector) Disarm() { inj.mu.Lock(); inj.armed = false; inj.mu.Unlock() }
+
+// TrackerFails returns the number of NewSetTracker failures injected.
+func (inj *Injector) TrackerFails() int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.trackerFails
+}
+
+// Latencies returns the number of latency spikes injected.
+func (inj *Injector) Latencies() int {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	return inj.latencies
+}
+
+// failTracker reports whether the next NewSetTracker call should fail,
+// advancing the burst state.
+func (inj *Injector) failTracker() bool {
+	inj.mu.Lock()
+	defer inj.mu.Unlock()
+	if !inj.armed || inj.cfg.TrackerFailProb <= 0 {
+		return false
+	}
+	if inj.failLeft == 0 && inj.rng.Float64() < inj.cfg.TrackerFailProb {
+		inj.failLeft = inj.cfg.TrackerFailRun
+		if inj.failLeft < 1 {
+			inj.failLeft = 1
+		}
+	}
+	if inj.failLeft > 0 {
+		inj.failLeft--
+		inj.trackerFails++
+		return true
+	}
+	return false
+}
+
+// maybeLatency sleeps for the configured spike with the configured
+// probability. The spike is a real sleep, not a busy loop: that is what
+// a page fault, a GC assist, or a noisy neighbor looks like to the
+// engine's per-event clock.
+func (inj *Injector) maybeLatency() {
+	inj.mu.Lock()
+	if !inj.armed || inj.cfg.LatencyProb <= 0 || inj.rng.Float64() >= inj.cfg.LatencyProb {
+		inj.mu.Unlock()
+		return
+	}
+	inj.latencies++
+	d := inj.cfg.Latency
+	inj.mu.Unlock()
+	time.Sleep(d)
+}

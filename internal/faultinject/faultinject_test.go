@@ -1,0 +1,309 @@
+package faultinject_test
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"os"
+	"reflect"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/affect"
+	"repro/internal/faultinject"
+	"repro/internal/instance"
+	"repro/internal/obs"
+	"repro/internal/online"
+	"repro/internal/online/sim"
+	"repro/internal/power"
+	"repro/internal/problem"
+	"repro/internal/sinr"
+)
+
+// chaosSeeds returns the sweep width: OBLIVIOUS_CHAOS_SEEDS when set
+// (CI raises it), 20 by default, fewer under -short.
+func chaosSeeds(t *testing.T) int {
+	if s := os.Getenv("OBLIVIOUS_CHAOS_SEEDS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 1 {
+			t.Fatalf("bad OBLIVIOUS_CHAOS_SEEDS=%q", s)
+		}
+		return n
+	}
+	if testing.Short() {
+		return 5
+	}
+	return 20
+}
+
+// harness bundles one chaos run's moving parts.
+type harness struct {
+	in     *problem.Instance
+	m      sinr.Model
+	powers []float64
+	inj    *faultinject.Injector
+	eng    *online.Engine
+	sink   *faultinject.CountingSink
+}
+
+// newHarness builds an engine over a fault-wrapped cache. The injector
+// is armed before returning; engine construction runs clean.
+func newHarness(t *testing.T, seed int64, n int, cfg faultinject.Config, opts ...online.Option) *harness {
+	t.Helper()
+	in, err := instance.UniformRandom(rand.New(rand.NewSource(seed)), n, 100, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sinr.Default()
+	powers := power.Powers(m, in, power.Sqrt())
+	inj := faultinject.NewInjector(seed, cfg)
+	wc := faultinject.WrapCache(affect.New(m, sinr.Directed, in, powers), inj)
+	if wc == nil {
+		t.Fatal("WrapCache returned nil for a dense directed cache")
+	}
+	col := obs.NewCollector()
+	sink := faultinject.NewCountingSink()
+	col.Attach(sink)
+	eng, err := online.New(m.WithCache(wc), in, sinr.Directed, powers,
+		append([]online.Option{online.WithObserver(col)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj.Arm()
+	return &harness{in: in, m: m, powers: powers, inj: inj, eng: eng, sink: sink}
+}
+
+// verify re-checks the engine against the uncached oracle and
+// reconciles the event stream with the counters.
+func (h *harness) verify(t *testing.T) {
+	t.Helper()
+	if !h.eng.Feasible() {
+		t.Fatal("engine reports an infeasible slot")
+	}
+	for s := 0; s < h.eng.NumSlots(); s++ {
+		if members := h.eng.Slot(s); len(members) > 0 &&
+			!h.m.SetFeasible(h.in, sinr.Directed, h.powers, members) {
+			t.Fatalf("slot %d infeasible per the uncached oracle: %v", s, members)
+		}
+	}
+	if err := h.sink.Reconcile(h.eng.Stats()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseKinds(t *testing.T) {
+	all, err := faultinject.ParseKinds("all")
+	if err != nil || len(all) != len(faultinject.Kinds()) {
+		t.Fatalf("ParseKinds(all) = %v, %v", all, err)
+	}
+	got, err := faultinject.ParseKinds("latency, burst,cancel")
+	if err != nil || len(got) != 3 {
+		t.Fatalf("ParseKinds(list) = %v, %v", got, err)
+	}
+	if _, err := faultinject.ParseKinds("latency,nosuch"); err == nil {
+		t.Fatal("ParseKinds accepted an unknown kind")
+	}
+	if _, err := faultinject.ParseKinds(""); err == nil {
+		t.Fatal("ParseKinds accepted an empty list")
+	}
+}
+
+func TestMutateDeterministic(t *testing.T) {
+	base := sim.Poisson(rand.New(rand.NewSource(7)), 40, 3, 4, 300)
+	kinds := []faultinject.Kind{faultinject.KindDuplicate, faultinject.KindUnknown, faultinject.KindBurst}
+	a := faultinject.Mutate(rand.New(rand.NewSource(11)), 40, append(sim.Trace(nil), base...), kinds, 0.1)
+	b := faultinject.Mutate(rand.New(rand.NewSource(11)), 40, append(sim.Trace(nil), base...), kinds, 0.1)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Mutate is not deterministic for a fixed seed")
+	}
+	if len(a) <= len(base) {
+		t.Fatalf("Mutate injected nothing: %d events from %d", len(a), len(base))
+	}
+	rejected := 0
+	for _, ev := range a {
+		if ev.Want != nil {
+			rejected++
+		}
+	}
+	if rejected == 0 {
+		t.Fatal("Mutate produced no expected rejections at rate 0.1")
+	}
+}
+
+func TestClassifyAutomaton(t *testing.T) {
+	ft := faultinject.FaultTrace{
+		{Event: sim.Event{Arrive: true, Req: 0}},
+		{Event: sim.Event{Arrive: true, Req: 0}},  // duplicate
+		{Event: sim.Event{Arrive: false, Req: 1}}, // inactive
+		{Event: sim.Event{Arrive: false, Req: 5}}, // out of range
+		{Event: sim.Event{Arrive: true, Req: -1}}, // negative
+		{Event: sim.Event{Arrive: false, Req: 0}},
+	}
+	if got := faultinject.Classify(3, ft); got != 4 {
+		t.Fatalf("Classify counted %d rejections, want 4", got)
+	}
+	want := []error{nil, online.ErrDuplicateArrive, online.ErrUnknownRequest,
+		online.ErrUnknownRequest, online.ErrUnknownRequest, nil}
+	for k, ev := range ft {
+		if ev.Want != want[k] {
+			t.Fatalf("event %d: Want = %v, want %v", k, ev.Want, want[k])
+		}
+	}
+}
+
+// configFor returns the injector config and engine options exercising
+// one fault kind.
+func configFor(k faultinject.Kind) (faultinject.Config, []online.Option) {
+	switch k {
+	case faultinject.KindTrackerError:
+		return faultinject.Config{TrackerFailProb: 0.6, TrackerFailRun: 2},
+			[]online.Option{online.WithRetry(4, 0)}
+	case faultinject.KindLatency:
+		return faultinject.Config{LatencyProb: 0.05, Latency: 200 * time.Microsecond},
+			[]online.Option{online.WithDeadline(50 * time.Microsecond),
+				online.WithAdmission(online.BestFit), online.WithRepair(online.ThresholdRepair)}
+	default:
+		return faultinject.Config{}, nil
+	}
+}
+
+// TestChaosSweep is the acceptance sweep: every fault kind (plus all of
+// them together) across chaosSeeds seeds, with the full invariant —
+// slots feasible after every event, rejections mutation-free, event
+// stream reconciling with stats — enforced by Drive and verify.
+func TestChaosSweep(t *testing.T) {
+	seeds := chaosSeeds(t)
+	kinds := append(faultinject.Kinds(), faultinject.Kind(-1)) // -1 = all combined
+	for _, kind := range kinds {
+		name := "all"
+		if kind >= 0 {
+			name = kind.String()
+		}
+		t.Run(name, func(t *testing.T) {
+			var fails, spikes int
+			for s := 0; s < seeds; s++ {
+				seed := int64(1000*s + 17)
+				inj := runChaos(t, seed, kind)
+				fails += inj.TrackerFails()
+				spikes += inj.Latencies()
+			}
+			// Injection counts are asserted over the whole sweep: the
+			// engine's tracker pool legitimately absorbs provider calls
+			// on quiet seeds.
+			if kind == faultinject.KindTrackerError && fails == 0 {
+				t.Fatal("tracker kind injected no failures across the sweep")
+			}
+			if kind == faultinject.KindLatency && spikes == 0 {
+				t.Fatal("latency kind injected no spikes across the sweep")
+			}
+		})
+	}
+}
+
+func runChaos(t *testing.T, seed int64, kind faultinject.Kind) *faultinject.Injector {
+	t.Helper()
+	var cfg faultinject.Config
+	var opts []online.Option
+	var mutKinds []faultinject.Kind
+	if kind >= 0 {
+		cfg, opts = configFor(kind)
+		mutKinds = []faultinject.Kind{kind}
+	} else {
+		cfg = faultinject.Config{TrackerFailProb: 0.1, TrackerFailRun: 2,
+			LatencyProb: 0.02, Latency: 100 * time.Microsecond}
+		opts = []online.Option{online.WithRetry(4, 0), online.WithDeadline(100 * time.Microsecond),
+			online.WithAdmission(online.BestFit), online.WithRepair(online.ThresholdRepair)}
+		mutKinds = faultinject.Kinds()
+	}
+	const n = 48
+	h := newHarness(t, seed, n, cfg, opts...)
+	rng := rand.New(rand.NewSource(seed + 1))
+	base := sim.Poisson(rng, n, 4, 3, 400)
+	ft := faultinject.Mutate(rng, n, base, mutKinds, 0.08)
+
+	abortAt := -1
+	if kind == faultinject.KindCancel || kind < 0 {
+		abortAt = len(ft) / 2
+	}
+	res, err := faultinject.Drive(context.Background(), h.eng, ft, faultinject.Options{AbortAt: abortAt})
+	if err != nil {
+		t.Fatalf("seed %d kind %v: %v", seed, kind, err)
+	}
+	h.verify(t)
+
+	if abortAt >= 0 {
+		if !res.Aborted {
+			t.Fatalf("seed %d: replay did not abort at %d", seed, abortAt)
+		}
+		// Crash model: checkpoint the survivor, restore, and demand a
+		// bitwise round trip before replaying the rest of the trace.
+		h.inj.Disarm()
+		cp := h.eng.Checkpoint()
+		restored, err := online.Restore(h.m.WithCache(affect.New(h.m, sinr.Directed, h.in, h.powers)),
+			h.in, h.powers, cp, opts...)
+		if err != nil {
+			t.Fatalf("seed %d: restore: %v", seed, err)
+		}
+		if !reflect.DeepEqual(h.eng.Snapshot(), restored.Snapshot()) {
+			t.Fatalf("seed %d: snapshot mismatch after restore", seed)
+		}
+		if !reflect.DeepEqual(cp, restored.Checkpoint()) {
+			t.Fatalf("seed %d: checkpoint did not round-trip bitwise", seed)
+		}
+		if !restored.Feasible() {
+			t.Fatalf("seed %d: restored engine infeasible", seed)
+		}
+		if _, err := faultinject.Drive(context.Background(), restored, ft[abortAt:], faultinject.Options{AbortAt: -1}); err != nil {
+			t.Fatalf("seed %d: post-restore replay: %v", seed, err)
+		}
+		if !restored.Feasible() {
+			t.Fatalf("seed %d: restored engine infeasible after replay", seed)
+		}
+	}
+	return h.inj
+}
+
+// TestDriveCancellation pins the mid-operation cancellation model: a
+// cancelled context stops the replay between events, the engine stays
+// consistent, and the partial result is returned without error.
+func TestDriveCancellation(t *testing.T) {
+	h := newHarness(t, 5, 32, faultinject.Config{})
+	base := sim.Poisson(rand.New(rand.NewSource(6)), 32, 4, 3, 200)
+	ft := faultinject.Lift(base)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := faultinject.Drive(ctx, h.eng, ft, faultinject.Options{AbortAt: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Aborted || res.Applied != 0 {
+		t.Fatalf("cancelled drive: %+v", res)
+	}
+	h.verify(t)
+}
+
+// TestTrackerStarvationFailsFast pins the no-retry default: an engine
+// with no retry budget over an always-failing provider rejects the
+// first slot-opening arrival with ErrTrackerUnavailable and stays
+// consistent.
+func TestTrackerStarvationFailsFast(t *testing.T) {
+	h := newHarness(t, 9, 16, faultinject.Config{TrackerFailProb: 1, TrackerFailRun: 1})
+	// The construction probe pooled one tracker, so the first arrival
+	// succeeds; keep arriving until the pool is dry and a fresh tracker
+	// is needed.
+	sawUnavailable := false
+	for i := 0; i < 16; i++ {
+		_, err := h.eng.Arrive(i)
+		if err != nil {
+			if !errors.Is(err, online.ErrTrackerUnavailable) {
+				t.Fatalf("Arrive(%d): %v", i, err)
+			}
+			sawUnavailable = true
+		}
+	}
+	if !sawUnavailable {
+		t.Skip("instance fit in the pooled tracker's slot; no fresh tracker needed")
+	}
+	h.verify(t)
+}

@@ -1,0 +1,81 @@
+package faultinject_test
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/obs"
+	"repro/internal/online"
+)
+
+// TestRaceChurnObservers drives seeded Arrive/Depart churn through a
+// fault-wrapped cache while concurrent observers hammer the live event
+// stream — a Ring sink attached via Engine.Events, the CountingSink,
+// and Collector.Snapshot — across all admission × repair combinations.
+// The engine's mutators are single-goroutine by contract; the point of
+// this test under -race is the one-writer/many-reader concurrency of
+// the obs layer the daemon roadmap leans on: sinks and snapshots must
+// be safe to read while the engine emits.
+func TestRaceChurnObservers(t *testing.T) {
+	steps := 400
+	if testing.Short() {
+		steps = 120
+	}
+	combo := 0
+	for _, adm := range online.Admissions() {
+		for _, rep := range online.Repairs() {
+			combo++
+			seed := int64(1000*combo + 7)
+			t.Run(adm.String()+"/"+rep.String(), func(t *testing.T) {
+				h := newHarness(t, seed, 40,
+					faultinject.Config{LatencyProb: 0.01, Latency: 20 * time.Microsecond},
+					online.WithAdmission(adm), online.WithRepair(rep))
+				ring := obs.NewRing(64)
+				h.eng.Events(ring)
+
+				done := make(chan struct{})
+				var wg sync.WaitGroup
+				readers := []func(){
+					func() { _ = h.eng.Observer().Snapshot() },
+					func() { _ = ring.Events(); _ = ring.Total() },
+					func() { _ = h.sink.Count(obs.EventArrive); _ = h.sink.SeqError() },
+				}
+				for _, read := range readers {
+					wg.Add(1)
+					go func(read func()) {
+						defer wg.Done()
+						for {
+							select {
+							case <-done:
+								return
+							default:
+								read()
+							}
+						}
+					}(read)
+				}
+				defer wg.Wait()
+				defer close(done)
+
+				rng := rand.New(rand.NewSource(seed))
+				for step := 0; step < steps; step++ {
+					i := rng.Intn(h.in.N())
+					if h.eng.SlotOf(i) >= 0 {
+						if err := h.eng.Depart(i); err != nil {
+							t.Fatalf("step %d: %v", step, err)
+						}
+					} else if _, err := h.eng.Arrive(i); err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+				}
+				if ring.Total() == 0 {
+					t.Fatal("ring sink saw no events")
+				}
+				h.verify(t)
+			})
+		}
+	}
+}

@@ -1,0 +1,159 @@
+package faultinject
+
+import (
+	"math/rand"
+
+	"repro/internal/online"
+	"repro/internal/online/sim"
+)
+
+// TraceEvent is one event of a hostile trace: a sim.Event plus the
+// injection marker and the sentinel error the engine is expected to
+// reject it with (nil for events that must succeed, assuming no
+// resource faults — see Drive for how transient tracker failures shift
+// the expectation at replay time).
+type TraceEvent struct {
+	sim.Event
+	// Injected marks events inserted or displaced by Mutate, for
+	// reporting; the classification below does not depend on it.
+	Injected bool
+	// Want is the sentinel stamped by Classify: nil, or one of
+	// online.ErrDuplicateArrive / online.ErrUnknownRequest.
+	Want error
+}
+
+// FaultTrace is a classified hostile event sequence.
+type FaultTrace []TraceEvent
+
+// Lift converts a well-formed trace into a FaultTrace with every event
+// expected to succeed.
+func Lift(tr sim.Trace) FaultTrace {
+	out := make(FaultTrace, len(tr))
+	for k, ev := range tr {
+		out[k] = TraceEvent{Event: ev}
+	}
+	return out
+}
+
+// Events strips the fault annotations back to a plain sim.Trace.
+func (ft FaultTrace) Events() sim.Trace {
+	out := make(sim.Trace, len(ft))
+	for k := range ft {
+		out[k] = ft[k].Event
+	}
+	return out
+}
+
+// Mutate rewrites a well-formed trace into a hostile one. For each
+// enabled kind it injects faults at the given per-event rate:
+//
+//   - KindDuplicate inserts an arrival of a currently-active request;
+//   - KindUnknown inserts a departure of an inactive request, or an
+//     event with an out-of-range id (n, n+1, or -1);
+//   - KindReorder swaps an event with its successor, turning
+//     arrive/depart pairs into depart-before-arrive patterns;
+//   - KindBurst inserts a flood of 4–11 back-to-back arrivals of random
+//     ids, some colliding with active requests.
+//
+// Other kinds (tracker, latency, cancel) are replay-time faults and do
+// not change the trace. The result is classified before returning, so
+// every event carries the sentinel the engine must produce for it.
+// Mutation is deterministic for a fixed rng state and mutates base in
+// place when reordering.
+func Mutate(rng *rand.Rand, n int, base sim.Trace, kinds []Kind, rate float64) FaultTrace {
+	enabled := make(map[Kind]bool, len(kinds))
+	for _, k := range kinds {
+		enabled[k] = true
+	}
+	active := make([]bool, n)
+	var activeIDs []int
+	apply := func(ev sim.Event) {
+		if ev.Req < 0 || ev.Req >= n {
+			return
+		}
+		if ev.Arrive && !active[ev.Req] {
+			active[ev.Req] = true
+			activeIDs = append(activeIDs, ev.Req)
+		} else if !ev.Arrive && active[ev.Req] {
+			active[ev.Req] = false
+			for k, id := range activeIDs {
+				if id == ev.Req {
+					activeIDs[k] = activeIDs[len(activeIDs)-1]
+					activeIDs = activeIDs[:len(activeIDs)-1]
+					break
+				}
+			}
+		}
+	}
+	out := make(FaultTrace, 0, len(base)+len(base)/4)
+	emit := func(arrive bool, req int, t float64) {
+		ev := sim.Event{T: t, Arrive: arrive, Req: req}
+		out = append(out, TraceEvent{Event: ev, Injected: true})
+		apply(ev)
+	}
+	for k := 0; k < len(base); k++ {
+		if enabled[KindReorder] && k+1 < len(base) && rng.Float64() < rate {
+			base[k], base[k+1] = base[k+1], base[k]
+		}
+		ev := base[k]
+		if enabled[KindDuplicate] && len(activeIDs) > 0 && rng.Float64() < rate {
+			emit(true, activeIDs[rng.Intn(len(activeIDs))], ev.T)
+		}
+		if enabled[KindUnknown] && rng.Float64() < rate {
+			switch rng.Intn(3) {
+			case 0:
+				emit(false, n+rng.Intn(2), ev.T) // out of range
+			case 1:
+				emit(true, -1, ev.T) // negative id
+			default:
+				if len(activeIDs) < n { // a departure of an inactive request
+					i := rng.Intn(n)
+					for active[i] {
+						i = (i + 1) % n
+					}
+					emit(false, i, ev.T)
+				}
+			}
+		}
+		if enabled[KindBurst] && rng.Float64() < rate/4 {
+			flood := 4 + rng.Intn(8)
+			for b := 0; b < flood; b++ {
+				emit(true, rng.Intn(n), ev.T)
+			}
+		}
+		out = append(out, TraceEvent{Event: ev})
+		apply(ev)
+	}
+	Classify(n, out)
+	return out
+}
+
+// Classify stamps every event with the sentinel error the engine must
+// produce for it, by replaying the trace through the misuse automaton:
+// an out-of-range id is ErrUnknownRequest; an arrival of an active
+// request is ErrDuplicateArrive; a departure of an inactive request is
+// ErrUnknownRequest; everything else must succeed (Want = nil) and
+// advances the active set. It returns the number of events expected to
+// be rejected.
+func Classify(n int, ft FaultTrace) int {
+	active := make([]bool, n)
+	rejected := 0
+	for k := range ft {
+		ev := &ft[k]
+		switch {
+		case ev.Req < 0 || ev.Req >= n:
+			ev.Want = online.ErrUnknownRequest
+		case ev.Arrive && active[ev.Req]:
+			ev.Want = online.ErrDuplicateArrive
+		case !ev.Arrive && !active[ev.Req]:
+			ev.Want = online.ErrUnknownRequest
+		default:
+			ev.Want = nil
+			active[ev.Req] = ev.Arrive
+		}
+		if ev.Want != nil {
+			rejected++
+		}
+	}
+	return rejected
+}

@@ -1,0 +1,159 @@
+package faultinject
+
+import (
+	"repro/internal/affect"
+	"repro/internal/problem"
+	"repro/internal/sinr"
+)
+
+// Cache wraps an inner sinr.Cache as a fault-injecting
+// sinr.TrackerProvider. Row accessors pass through untouched — the
+// faults live in the tracker machinery, where the online engine spends
+// its time:
+//
+//   - NewSetTracker consults the injector and transiently returns nil
+//     (a failure burst), exercising the engine's retry-with-backoff and
+//     the ErrTrackerUnavailable path past it;
+//   - the trackers it does hand out are wrapped so that every hot
+//     operation (CanAdd, AddMargin, Add, Remove, Margin, SetFeasible)
+//     may take a latency spike, exercising deadline shedding and repair
+//     deferral.
+//
+// When the inner cache is itself a TrackerProvider (the sparse engine),
+// its trackers are wrapped; otherwise dense affect.Trackers are built
+// over the inner cache — provided it carries the variant's matrices
+// (affect.NewTracker panics on a variant-less cache, so WrapCache
+// refuses those with nil instead).
+type Cache struct {
+	inner sinr.Cache
+	inj   *Injector
+}
+
+// WrapCache wraps the cache with the injector's faults. The inner cache
+// must either implement sinr.TrackerProvider or carry at least one
+// variant's matrices; otherwise there is no tracker machinery to
+// attack and WrapCache returns nil.
+func WrapCache(inner sinr.Cache, inj *Injector) *Cache {
+	if inner == nil || inj == nil {
+		return nil
+	}
+	if _, ok := inner.(sinr.TrackerProvider); !ok {
+		if inner.DirectedInto(0) == nil && inner.IntoU(0) == nil {
+			return nil
+		}
+	}
+	return &Cache{inner: inner, inj: inj}
+}
+
+// Covers delegates to the inner cache.
+func (c *Cache) Covers(in *problem.Instance, alpha float64, powers []float64) bool {
+	return c.inner.Covers(in, alpha, powers)
+}
+
+// DirectedInto delegates to the inner cache.
+func (c *Cache) DirectedInto(i int) []float64 { return c.inner.DirectedInto(i) }
+
+// DirectedFrom delegates to the inner cache.
+func (c *Cache) DirectedFrom(j int) []float64 { return c.inner.DirectedFrom(j) }
+
+// IntoU delegates to the inner cache.
+func (c *Cache) IntoU(i int) []float64 { return c.inner.IntoU(i) }
+
+// IntoV delegates to the inner cache.
+func (c *Cache) IntoV(i int) []float64 { return c.inner.IntoV(i) }
+
+// FromU delegates to the inner cache.
+func (c *Cache) FromU(j int) []float64 { return c.inner.FromU(j) }
+
+// FromV delegates to the inner cache.
+func (c *Cache) FromV(j int) []float64 { return c.inner.FromV(j) }
+
+// Signals delegates to the inner cache.
+func (c *Cache) Signals() []float64 { return c.inner.Signals() }
+
+// Losses delegates to the inner cache.
+func (c *Cache) Losses() []float64 { return c.inner.Losses() }
+
+// NewSetTracker implements sinr.TrackerProvider: it consults the
+// injector first (an armed injector may fail the call, modelling a
+// transient allocation or backend failure), then builds the real
+// tracker — through the inner provider when there is one, or as a dense
+// affect.Tracker over the inner cache — and wraps it with the
+// injector's latency faults. It returns nil on an injected failure, on
+// an inner-provider refusal, or when the inner cache lacks the
+// variant's matrices.
+func (c *Cache) NewSetTracker(m sinr.Model, v sinr.Variant) sinr.SetTracker {
+	if c.inj.failTracker() {
+		return nil
+	}
+	var tr sinr.SetTracker
+	if tp, ok := c.inner.(sinr.TrackerProvider); ok {
+		tr = tp.NewSetTracker(m, v)
+	} else if hasVariant(c.inner, v) {
+		tr = affect.NewTracker(m, v, c.inner)
+	}
+	if tr == nil {
+		return nil
+	}
+	return &Tracker{inner: tr, inj: c.inj}
+}
+
+// hasVariant reports whether the cache carries the matrices the dense
+// tracker needs for the variant (affect.NewTracker panics otherwise).
+func hasVariant(c sinr.Cache, v sinr.Variant) bool {
+	if v == sinr.Directed {
+		return c.DirectedInto(0) != nil
+	}
+	return c.IntoU(0) != nil
+}
+
+// Tracker wraps a sinr.SetTracker with the injector's latency faults:
+// every operation on the engine's per-event critical path may take a
+// spike. Pure bookkeeping accessors (Len, At, Contains, Members) and
+// Reset pass through untouched — the engine calls them outside the
+// margin arithmetic the deadline ladder guards.
+type Tracker struct {
+	inner sinr.SetTracker
+	inj   *Injector
+}
+
+// Len delegates to the wrapped tracker.
+func (t *Tracker) Len() int { return t.inner.Len() }
+
+// At delegates to the wrapped tracker.
+func (t *Tracker) At(k int) int { return t.inner.At(k) }
+
+// Contains delegates to the wrapped tracker.
+func (t *Tracker) Contains(i int) bool { return t.inner.Contains(i) }
+
+// Members delegates to the wrapped tracker.
+func (t *Tracker) Members() []int { return t.inner.Members() }
+
+// Reset delegates to the wrapped tracker.
+func (t *Tracker) Reset() { t.inner.Reset() }
+
+// Add delegates to the wrapped tracker, possibly after a latency spike.
+func (t *Tracker) Add(i int) { t.inj.maybeLatency(); t.inner.Add(i) }
+
+// Remove delegates to the wrapped tracker, possibly after a latency
+// spike.
+func (t *Tracker) Remove(i int) { t.inj.maybeLatency(); t.inner.Remove(i) }
+
+// Margin delegates to the wrapped tracker, possibly after a latency
+// spike.
+func (t *Tracker) Margin(i int) float64 { t.inj.maybeLatency(); return t.inner.Margin(i) }
+
+// AddMargin delegates to the wrapped tracker, possibly after a latency
+// spike.
+func (t *Tracker) AddMargin(i int) float64 { t.inj.maybeLatency(); return t.inner.AddMargin(i) }
+
+// CanAdd delegates to the wrapped tracker, possibly after a latency
+// spike.
+func (t *Tracker) CanAdd(i int) bool { t.inj.maybeLatency(); return t.inner.CanAdd(i) }
+
+// SetFeasible delegates to the wrapped tracker, possibly after a
+// latency spike.
+func (t *Tracker) SetFeasible() bool { t.inj.maybeLatency(); return t.inner.SetFeasible() }
+
+// WorstMargin delegates to the wrapped tracker.
+func (t *Tracker) WorstMargin() (float64, int) { return t.inner.WorstMargin() }

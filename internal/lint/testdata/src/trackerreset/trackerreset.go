@@ -67,3 +67,47 @@ func freshFunc(p *pool, i int) {
 	tr := p.get()
 	tr.Add(i)
 }
+
+// wrapper models the faultinject.Tracker shape: a decorator holding the
+// tracker it forwards to.
+type wrapper struct{ inner sinr.SetTracker }
+
+// Add is a pass-through, not a population site: the freshness
+// obligation travels with the tracker handed into the wrapper.
+func (w *wrapper) Add(i int) { w.inner.Add(i) }
+
+// fill is NOT a pass-through — the method is not itself named Add, so
+// the wrapper is re-populating its tracker and owes a Reset.
+func (w *wrapper) fill(items []int) {
+	for _, i := range items {
+		w.inner.Add(i) // want "without Reset"
+	}
+}
+
+type leaky struct{ inner sinr.SetTracker }
+
+// Add on a tracker that is not a field of the receiver is still
+// checked, even inside a method named Add.
+func (l *leaky) Add(tr sinr.SetTracker, i int) {
+	tr.Add(i) // want "without Reset"
+}
+
+// newTracker models the engine's pooled acquisition: recycled trackers
+// are Reset on the way in, so the result is fresh by contract — the
+// hand-off site Arrive and checkpoint Restore share.
+func (p *pool) newTracker() sinr.SetTracker {
+	tr := p.get()
+	tr.Reset()
+	return tr
+}
+
+// restoreSlots replays checkpointed membership through the pooled
+// hand-off: no Reset needed at the call site.
+func restoreSlots(p *pool, slots [][]int) {
+	for _, members := range slots {
+		tr := p.newTracker()
+		for _, i := range members {
+			tr.Add(i)
+		}
+	}
+}

@@ -9,21 +9,32 @@ import (
 
 // freshConstructors are the calls whose result is a tracker known to be
 // empty: providers hand trackers out through these, and a freshly
-// constructed tracker needs no Reset.
+// constructed tracker needs no Reset. newTracker is the online engine's
+// pooled acquisition — it Resets recycled trackers on the way in, so it
+// is the hand-off site Arrive and checkpoint Restore share.
 var freshConstructors = map[string]bool{
 	"NewSetTracker": true,
 	"NewTracker":    true,
+	"newTracker":    true,
 }
 
 // TrackerReset enforces the tracker recycling contract from the PR 3–5
 // pooling work: a sinr.SetTracker that may come from a provider pool must
 // be Reset before it is re-populated with Add. The analysis is
 // flow-insensitive and per-function: an Add on a tracker is fine if the
-// same function constructs it via NewSetTracker/NewTracker, calls Reset
-// on it, or carries an //oblint:fresh annotation — on the Add line, on
-// the line above it, at the tracker's acquisition site, or on the
-// function's doc comment (asserting every tracker the function touches is
-// fresh or intentionally extended).
+// same function constructs it via NewSetTracker/NewTracker (or the
+// engine's pooled newTracker, which Resets on recycle — the hand-off
+// site Arrive and checkpoint Restore share), calls Reset on it, or
+// carries an //oblint:fresh annotation — on the Add line, on the line
+// above it, at the tracker's acquisition site, or on the function's doc
+// comment (asserting every tracker the function touches is fresh or
+// intentionally extended).
+//
+// A wrapper's same-named delegation — an Add method forwarding to a
+// SetTracker field of its own receiver, the faultinject.Tracker shape —
+// is a pass-through, not a population site: the wrapped tracker's
+// freshness is whoever handed it into the wrapper's obligation, carried
+// through unchanged.
 var TrackerReset = &analysis.Analyzer{
 	Name: "trackerreset",
 	Doc: "require sinr.SetTracker values to be freshly constructed, Reset, or annotated " +
@@ -144,6 +155,9 @@ func checkTrackerFunc(pass *analysis.Pass, file *ast.File, fd *ast.FuncDecl) {
 		if directiveOnLines(pass, file, "fresh", line, line-1) {
 			continue
 		}
+		if wrapperPassThrough(pass, fd, a.recv) {
+			continue
+		}
 		// A chained call like provider.NewSetTracker(...).Add(i) is fresh
 		// by construction.
 		if call, ok := ast.Unparen(a.recv).(*ast.CallExpr); ok {
@@ -162,4 +176,27 @@ func checkTrackerFunc(pass *analysis.Pass, file *ast.File, fd *ast.FuncDecl) {
 			"Add on %s, which may be a recycled tracker, without Reset in %s (Reset it, or annotate //oblint:fresh with a reason)",
 			name, funcName(fd))
 	}
+}
+
+// wrapperPassThrough reports whether an Add call is a wrapper's
+// delegation: the enclosing function is itself a method named Add, and
+// the call's receiver is a field selected off that method's own
+// receiver. The wrapper is forwarding the operation, not re-populating
+// a recycled tracker — the freshness obligation travels with the
+// tracker handed into the wrapper.
+func wrapperPassThrough(pass *analysis.Pass, fd *ast.FuncDecl, recv ast.Expr) bool {
+	if fd.Recv == nil || fd.Name.Name != "Add" ||
+		len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return false
+	}
+	recvObj := pass.Info.Defs[fd.Recv.List[0].Names[0]]
+	if recvObj == nil {
+		return false
+	}
+	sel, ok := ast.Unparen(recv).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	base, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && pass.Info.Uses[base] == recvObj
 }

@@ -45,6 +45,18 @@ type Engine struct {
 	repair    Repair
 	threshold float64 // empty-slot fraction that triggers ThresholdRepair
 
+	// Overload/failure handling (see degrade.go). deadline > 0 turns on
+	// the per-event clock; evStart is the running event's start time.
+	// repairDebt counts compactions deferred under latency pressure,
+	// saturating at repairBudget. draining rejects arrivals.
+	deadline      time.Duration
+	evStart       time.Time
+	repairBudget  int
+	repairDebt    int
+	retryAttempts int
+	retryBackoff  time.Duration
+	draining      bool
+
 	stats Stats
 
 	// col is the live observability channel: per-event latency
@@ -52,16 +64,19 @@ type Engine struct {
 	// typed event stream. Nil (the default) keeps every event on the
 	// original zero-instrumentation path — the handles below are then
 	// nil too, and all recording calls reduce to one predictable branch.
-	col     *obs.Collector
-	cArrive *obs.Counter
-	cDepart *obs.Counter
-	cMove   *obs.Counter
-	cRepack *obs.Counter
-	cRepair *obs.Counter
-	hArrive *obs.Histogram
-	hDepart *obs.Histogram
-	gSlots  *obs.Gauge
-	gActive *obs.Gauge
+	col       *obs.Collector
+	cArrive   *obs.Counter
+	cDepart   *obs.Counter
+	cMove     *obs.Counter
+	cRepack   *obs.Counter
+	cRepair   *obs.Counter
+	cShed     *obs.Counter
+	cDeferred *obs.Counter
+	cRetry    *obs.Counter
+	hArrive   *obs.Histogram
+	hDepart   *obs.Histogram
+	gSlots    *obs.Gauge
+	gActive   *obs.Gauge
 }
 
 // slot is one color class: its tracker plus the minimum member length,
@@ -87,6 +102,15 @@ type Stats struct {
 	Repacks int
 	// Repairs counts repair invocations that changed the schedule.
 	Repairs int
+	// Shed counts admissions whose best-fit scan was degraded to
+	// first-fit because the event exceeded the WithDeadline budget.
+	Shed int
+	// DeferredRepairs counts compaction passes postponed under latency
+	// pressure (bounded by WithRepairBudget; see degrade.go).
+	DeferredRepairs int
+	// Retries counts transient tracker-provider failures that were
+	// retried under the WithRetry budget.
+	Retries int
 	// RowOps is the total tracker row operations (see type comment).
 	RowOps int64
 }
@@ -113,11 +137,6 @@ func WithThreshold(frac float64) Option { return func(e *Engine) { e.threshold =
 // collector (the default) keeps the engine on the uninstrumented path.
 func WithObserver(c *obs.Collector) Option { return func(e *Engine) { e.setObserver(c) } }
 
-// ErrUnschedulable is wrapped by Arrive when a request cannot hold its
-// SINR constraint even alone in an empty slot (positive noise with
-// insufficient power).
-var ErrUnschedulable = errors.New("online: request infeasible even in an empty slot")
-
 // New builds an engine for the given model, instance, variant and powers.
 // If the model carries an affectance cache covering (instance, powers) for
 // the variant it is reused — SolveAll batch stores thread through here —
@@ -138,13 +157,14 @@ func New(m sinr.Model, in *problem.Instance, v sinr.Variant, powers []float64, o
 		return nil, fmt.Errorf("online: unknown variant %d", int(v))
 	}
 	e := &Engine{
-		m:         m,
-		v:         v,
-		in:        in,
-		powers:    append([]float64(nil), powers...),
-		lens:      in.Lengths(),
-		slotOf:    make([]int, n),
-		threshold: 0.25,
+		m:            m,
+		v:            v,
+		in:           in,
+		powers:       append([]float64(nil), powers...),
+		lens:         in.Lengths(),
+		slotOf:       make([]int, n),
+		threshold:    0.25,
+		repairBudget: 8,
 	}
 	for i := range e.slotOf {
 		e.slotOf[i] = -1
@@ -166,6 +186,15 @@ func New(m sinr.Model, in *problem.Instance, v sinr.Variant, powers []float64, o
 	}
 	if !(e.threshold > 0 && e.threshold <= 1) {
 		return nil, fmt.Errorf("online: compaction threshold must be in (0,1], got %g", e.threshold)
+	}
+	if e.deadline < 0 {
+		return nil, fmt.Errorf("online: deadline must be ≥ 0, got %v", e.deadline)
+	}
+	if e.retryAttempts < 0 || e.retryBackoff < 0 {
+		return nil, fmt.Errorf("online: retry budget must be ≥ 0, got (%d, %v)", e.retryAttempts, e.retryBackoff)
+	}
+	if e.repairBudget < 1 {
+		return nil, fmt.Errorf("online: repair budget must be ≥ 1, got %d", e.repairBudget)
 	}
 	e.cache = m.CacheFor(in, e.powers)
 	if tp, ok := e.cache.(sinr.TrackerProvider); ok {
@@ -194,6 +223,9 @@ func cacheHasVariant(c sinr.Cache, v sinr.Variant) bool {
 
 // Len returns the number of currently active requests.
 func (e *Engine) Len() int { return e.active }
+
+// N returns the instance size: request ids are in [0, N).
+func (e *Engine) N() int { return e.in.N() }
 
 // NumSlots returns the current slot count, the online schedule length.
 // Under LazyRepair interior slots may momentarily be empty; they still
@@ -238,6 +270,9 @@ func (e *Engine) setObserver(c *obs.Collector) {
 	e.cMove = c.Counter("engine/moves")
 	e.cRepack = c.Counter("engine/repacks")
 	e.cRepair = c.Counter("engine/repairs")
+	e.cShed = c.Counter("engine/shed")
+	e.cDeferred = c.Counter("engine/deferred_repairs")
+	e.cRetry = c.Counter("engine/retries")
 	e.hArrive = c.Histogram("engine/arrive_ns")
 	e.hDepart = c.Histogram("engine/depart_ns")
 	e.gSlots = c.Gauge("engine/slots")
@@ -280,23 +315,33 @@ func (e *Engine) Snapshot() *problem.Schedule {
 
 // Arrive admits request i into a slot chosen by the admission policy,
 // opening a new slot when no existing one can take it, and returns the
-// slot index. It fails if i is out of range, already active, or infeasible
-// even alone (ErrUnschedulable).
+// slot index. Rejections are typed and mutate nothing: ErrUnknownRequest
+// (out of range), ErrDuplicateArrive (already active), ErrDraining
+// (BeginDrain), ErrTrackerUnavailable (provider failure past the retry
+// budget), and ErrUnschedulable (infeasible even alone).
 func (e *Engine) Arrive(i int) (int, error) {
 	var start time.Time
-	if e.col.Enabled() {
+	if e.deadline > 0 || e.col.Enabled() {
 		start = time.Now()
+		e.evStart = start
 	}
 	if i < 0 || i >= e.in.N() {
-		return -1, fmt.Errorf("online: Arrive(%d): request out of range [0,%d)", i, e.in.N())
+		return -1, fmt.Errorf("Arrive(%d): %w: out of range [0,%d)", i, ErrUnknownRequest, e.in.N())
+	}
+	if e.draining {
+		return -1, fmt.Errorf("Arrive(%d): %w", i, ErrDraining)
 	}
 	if e.slotOf[i] >= 0 {
-		return -1, fmt.Errorf("online: Arrive(%d): already active in slot %d", i, e.slotOf[i])
+		return -1, fmt.Errorf("Arrive(%d): %w: already in slot %d", i, ErrDuplicateArrive, e.slotOf[i])
 	}
 	s := e.admit(i)
 	if s < 0 {
+		tr := e.newTracker()
+		if tr == nil {
+			return -1, fmt.Errorf("Arrive(%d): %w", i, ErrTrackerUnavailable)
+		}
 		s = len(e.slots)
-		sl := &slot{tr: e.newTracker(), minLen: math.Inf(1)}
+		sl := &slot{tr: tr, minLen: math.Inf(1)}
 		if !e.canAdd(sl, i) {
 			sl.tr.Reset()
 			e.free = append(e.free, sl.tr)
@@ -329,18 +374,22 @@ func (e *Engine) Arrive(i int) (int, error) {
 // Depart removes request i from its slot and runs the repair strategy.
 // With tracing on, the repair events a departure triggers precede its
 // own Depart event: events are emitted when their work completes, and
-// the departure completes only after repair.
+// the departure completes only after repair. Rejections are typed and
+// mutate nothing: ErrUnknownRequest covers both an out-of-range id and
+// a request that is not currently active. Departures are always served,
+// draining or not.
 func (e *Engine) Depart(i int) error {
 	var start time.Time
-	if e.col.Enabled() {
+	if e.deadline > 0 || e.col.Enabled() {
 		start = time.Now()
+		e.evStart = start
 	}
 	if i < 0 || i >= e.in.N() {
-		return fmt.Errorf("online: Depart(%d): request out of range [0,%d)", i, e.in.N())
+		return fmt.Errorf("Depart(%d): %w: out of range [0,%d)", i, ErrUnknownRequest, e.in.N())
 	}
 	s := e.slotOf[i]
 	if s < 0 {
-		return fmt.Errorf("online: Depart(%d): not active", i)
+		return fmt.Errorf("Depart(%d): %w: not active", i, ErrUnknownRequest)
 	}
 	var mg float64
 	if e.col.Tracing() {
@@ -379,6 +428,23 @@ func (e *Engine) admit(i int) int {
 	case BestFit:
 		best, bestMargin := -1, math.Inf(1)
 		for s, sl := range e.slots {
+			// Deadline pressure degrades the scan to first-fit (rung 1 of
+			// the degradation ladder, degrade.go): keep the best slot found
+			// so far, or fall through to the first feasible remaining one.
+			// The clock is polled every 8 slots so the disabled path and
+			// the common under-budget path stay branch-cheap.
+			if e.deadline > 0 && s&7 == 7 && e.overBudget() {
+				e.shed()
+				if best >= 0 {
+					return best
+				}
+				for t := s; t < len(e.slots); t++ {
+					if e.canAdd(e.slots[t], i) {
+						return t
+					}
+				}
+				return -1
+			}
 			// Margin first: a slot that is infeasible for the candidate or
 			// no tighter than the current best needs no member scan.
 			mg := e.addMargin(sl, i)
@@ -412,18 +478,37 @@ func (e *Engine) admit(i int) int {
 
 // runRepair applies the configured strategy after a departure. Any
 // change to the schedule — a trailing trim, an empty-slot deletion, or a
-// migration — counts as one repair, uniformly across strategies.
+// migration — counts as one repair, uniformly across strategies. Under
+// deadline pressure a due compaction is deferred instead (rung 2 of the
+// degradation ladder): the debt saturates at the repair budget, and the
+// next departure that is still under budget — or that finds the budget
+// exhausted — pays the whole debt with one compaction pass.
 func (e *Engine) runRepair() {
 	changed := e.trimTail()
+	wantCompact := false
 	switch e.repair {
 	case LazyRepair:
 		// Trailing trim only.
 	case ThresholdRepair:
 		if empty := e.emptySlots(); empty > 0 && float64(empty) >= e.threshold*float64(len(e.slots)) {
-			changed = e.compact() || changed
+			wantCompact = true
 		}
 	case EagerRepair:
-		changed = e.compact() || changed
+		wantCompact = true
+	}
+	if !wantCompact && e.repairDebt > 0 && e.repair != LazyRepair {
+		// A deferred pass is owed from an earlier over-budget departure.
+		wantCompact = true
+	}
+	if wantCompact {
+		if e.deadline > 0 && e.repairDebt < e.repairBudget && e.overBudget() {
+			e.repairDebt++
+			e.stats.DeferredRepairs++
+			e.cDeferred.Inc()
+		} else {
+			changed = e.compact() || changed
+			e.repairDebt = 0
+		}
 	}
 	if changed {
 		e.stats.Repairs++
@@ -553,16 +638,34 @@ func (e *Engine) renumber() {
 
 // --- tracker plumbing (with RowOps accounting) ---
 
+// newTracker returns an empty slot tracker: a pooled one (Reset by
+// recycle on the way in) when available, else a fresh one from the
+// provider or the dense constructor. A provider that transiently fails
+// (returns nil) is retried with exponential backoff up to the WithRetry
+// budget — rung 3 of the degradation ladder — and nil is returned only
+// once the budget is exhausted; Arrive translates that into
+// ErrTrackerUnavailable without mutating any state.
 func (e *Engine) newTracker() sinr.SetTracker {
 	if n := len(e.free); n > 0 {
 		tr := e.free[n-1]
 		e.free = e.free[:n-1]
 		return tr
 	}
-	if e.provider != nil {
-		return e.provider.NewSetTracker(e.m, e.v)
+	if e.provider == nil {
+		return affect.NewTracker(e.m, e.v, e.cache)
 	}
-	return affect.NewTracker(e.m, e.v, e.cache)
+	tr := e.provider.NewSetTracker(e.m, e.v)
+	backoff := e.retryBackoff
+	for attempt := 0; tr == nil && attempt < e.retryAttempts; attempt++ {
+		e.stats.Retries++
+		e.cRetry.Inc()
+		if backoff > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+		}
+		tr = e.provider.NewSetTracker(e.m, e.v)
+	}
+	return tr
 }
 
 func (e *Engine) recycle(sl *slot) {

@@ -1,13 +1,16 @@
 package online
 
 import (
+	"errors"
 	"math/rand"
+	"reflect"
 	"testing"
 
 	"repro/internal/affect"
 	"repro/internal/coloring"
 	"repro/internal/geom"
 	"repro/internal/instance"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/problem"
 	"repro/internal/sinr"
@@ -302,6 +305,78 @@ func TestEngineErrors(t *testing.T) {
 	if _, err := e.Arrive(3); err == nil {
 		t.Error("double arrive must fail")
 	}
+}
+
+// TestMisuseNoMutation pins the no-mutation-on-rejection contract for
+// every misuse path: the call returns its typed sentinel and leaves the
+// lifetime counters, the assignment, the slot structure, and the
+// observability stream (metric counters and emitted events) exactly as
+// they were.
+func TestMisuseNoMutation(t *testing.T) {
+	in := randomInstance(t, 29, 12)
+	m := sinr.Default()
+	powers := power.Powers(m, in, power.Sqrt())
+	col := obs.NewCollector()
+	sink := obs.NewRing(256)
+	e := newEngine(t, m, in, sinr.Bidirectional, powers, WithObserver(col))
+	e.Events(sink)
+	for i := 0; i < 6; i++ {
+		if _, err := e.Arrive(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	type state struct {
+		assign   []int
+		stats    Stats
+		counters map[string]int64
+		events   int
+		slots    int
+		active   int
+	}
+	capture := func() state {
+		assign := make([]int, in.N())
+		for i := range assign {
+			assign[i] = e.SlotOf(i)
+		}
+		return state{assign, e.Stats(), col.Snapshot().Counters, sink.Total(), e.NumSlots(), e.Len()}
+	}
+
+	cases := []struct {
+		name string
+		call func() error
+		want error
+	}{
+		{"duplicate arrive", func() error { _, err := e.Arrive(3); return err }, ErrDuplicateArrive},
+		{"arrive below range", func() error { _, err := e.Arrive(-1); return err }, ErrUnknownRequest},
+		{"arrive above range", func() error { _, err := e.Arrive(in.N()); return err }, ErrUnknownRequest},
+		{"depart inactive", func() error { return e.Depart(7) }, ErrUnknownRequest},
+		{"depart below range", func() error { return e.Depart(-2) }, ErrUnknownRequest},
+		{"depart above range", func() error { return e.Depart(99) }, ErrUnknownRequest},
+		{"arrive while draining", func() error {
+			e.BeginDrain()
+			defer e.EndDrain()
+			_, err := e.Arrive(8)
+			return err
+		}, ErrDraining},
+	}
+	for _, tc := range cases {
+		before := capture()
+		err := tc.call()
+		if !errors.Is(err, tc.want) {
+			t.Fatalf("%s: got error %v, want %v", tc.name, err, tc.want)
+		}
+		after := capture()
+		if !reflect.DeepEqual(before, after) {
+			t.Fatalf("%s: rejection mutated state:\n before %+v\n after  %+v", tc.name, before, after)
+		}
+	}
+
+	// The engine must still be fully usable after the gauntlet.
+	if _, err := e.Arrive(8); err != nil {
+		t.Fatalf("arrive after misuse gauntlet: %v", err)
+	}
+	checkSlots(t, e, m, in, sinr.Bidirectional, powers)
 }
 
 // TestCacheReuse pins that an engine built from a model that already

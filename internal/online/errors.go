@@ -1,0 +1,43 @@
+package online
+
+import "errors"
+
+// The engine's failure model is a closed taxonomy of sentinel errors:
+// every rejection an Engine method can produce wraps exactly one of
+// these, so callers — the daemon roadmap item, the fault-injection
+// harness, the CLI — can dispatch with errors.Is instead of matching
+// message strings. Rejections never mutate engine state: Stats, the
+// slot assignment, and the event stream are exactly as they were
+// before the rejected call (pinned by TestMisusePathsNoMutation).
+var (
+	// ErrUnschedulable is wrapped by Arrive when a request cannot hold
+	// its SINR constraint even alone in an empty slot (positive noise
+	// with insufficient power).
+	ErrUnschedulable = errors.New("online: request infeasible even in an empty slot")
+
+	// ErrDuplicateArrive is wrapped by Arrive when the request is
+	// already active. The existing placement is untouched.
+	ErrDuplicateArrive = errors.New("online: request already active")
+
+	// ErrUnknownRequest is wrapped by Arrive and Depart when the request
+	// id is outside [0, n), and by Depart when the request is not
+	// currently active.
+	ErrUnknownRequest = errors.New("online: unknown request")
+
+	// ErrDraining is wrapped by Arrive while the engine is draining
+	// (BeginDrain): a draining engine only sheds load, it never admits.
+	ErrDraining = errors.New("online: engine is draining")
+
+	// ErrTrackerUnavailable is wrapped by Arrive (and Restore) when the
+	// tracker provider failed to produce a slot tracker even after the
+	// configured retry budget (WithRetry). The arrival is rejected with
+	// no state change; a later retry of the same Arrive may succeed once
+	// the provider recovers.
+	ErrTrackerUnavailable = errors.New("online: slot tracker unavailable")
+
+	// ErrBadCheckpoint is wrapped by Restore for every way a checkpoint
+	// can fail to reconstruct: size mismatch, out-of-range or duplicate
+	// members, unknown policy names, or a slot that fails its SINR
+	// feasibility re-verification.
+	ErrBadCheckpoint = errors.New("online: invalid checkpoint")
+)

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -227,8 +228,21 @@ func (r *Result) MaxCostNs() int64 {
 // trace); the partial series up to the failing event are returned
 // alongside the error.
 func Run(e *online.Engine, trace Trace) (*Result, error) {
+	return RunContext(context.Background(), e, trace)
+}
+
+// RunContext is Run with cancellation: the context is polled before
+// every event, and a mid-trace cancellation stops the replay cleanly —
+// the engine is left in the consistent state after the last applied
+// event (every slot still SetFeasible, ready to be checkpointed) and
+// the partial series are returned alongside ctx.Err(). The
+// fault-injection harness uses this as its crash model.
+func RunContext(ctx context.Context, e *online.Engine, trace Trace) (*Result, error) {
 	if e == nil {
 		return nil, errors.New("sim: nil engine")
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	timed := e.Observer().Enabled()
 	r := &Result{
@@ -238,6 +252,10 @@ func Run(e *online.Engine, trace Trace) (*Result, error) {
 		r.CostNs = make([]int64, 0, len(trace))
 	}
 	for k, ev := range trace {
+		if err := ctx.Err(); err != nil {
+			r.Stats = e.Stats()
+			return r, err
+		}
 		var start time.Time
 		if timed {
 			start = time.Now()

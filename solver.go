@@ -10,11 +10,13 @@ import (
 	"math"
 	"math/rand"
 	"runtime"
+	"runtime/debug"
 	"runtime/pprof"
 	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/affect"
@@ -130,11 +132,26 @@ type Options struct {
 	// WithObserver). Nil — the default — disables all instrumentation
 	// at a single predictable branch per site.
 	Obs *obs.Collector
+	// Deadline is the online engine's per-event admission budget (see
+	// WithDeadline; online solver only). 0 — the default — disables the
+	// deadline ladder entirely.
+	Deadline time.Duration
+	// RetryAttempts and RetryBackoff bound the online engine's retries
+	// of transient tracker-provider failures (see WithRetry; online
+	// solver only).
+	RetryAttempts int
+	RetryBackoff  time.Duration
 
 	// caches is the per-batch cache store SolveAll shares across its
 	// workers, so solving the same instance repeatedly (solver sweeps,
 	// seed sweeps) fills the matrices once. Nil outside SolveAll.
 	caches *affect.Store
+	// fellBack is set by buildEngine when an auto-resolved sparse build
+	// failed and dense matrices were built instead, so Stats.Engine
+	// reports the engine that actually ran. A shared pointer because
+	// Options travels by value; atomic because the pipeline builds
+	// engines from concurrent stages.
+	fellBack *atomic.Bool
 }
 
 // DefaultOptions returns the settings a bare Solve call runs with:
@@ -296,9 +313,38 @@ func WithRepair(name string) Option { return func(o *Options) { o.Repair = name 
 // disabled branch.
 func WithObserver(c *obs.Collector) Option { return func(o *Options) { o.Obs = c } }
 
+// WithDeadline sets the online engine's per-event admission budget
+// (default 0 = off): an event that exceeds it degrades gracefully —
+// best-fit admission finishes as first-fit, compaction is deferred
+// under the repair budget — instead of blocking. Only the online
+// solver consults it; see online.WithDeadline for the ladder.
+func WithDeadline(d time.Duration) Option { return func(o *Options) { o.Deadline = d } }
+
+// WithRetry bounds the online engine's retries of transient tracker
+// acquisition failures (default 0 = fail fast): up to attempts retries
+// with exponential backoff starting at backoff. Only the online solver
+// consults it; see online.WithRetry.
+func WithRetry(attempts int, backoff time.Duration) Option {
+	return func(o *Options) {
+		o.RetryAttempts = attempts
+		o.RetryBackoff = backoff
+	}
+}
+
 // withCacheStore hands the workers of one SolveAll batch a shared
 // per-instance cache store.
 func withCacheStore(s *affect.Store) Option { return func(o *Options) { o.caches = s } }
+
+// sparseBuild is the sparse-engine constructor, a variable so the
+// resilience tests can force build failures.
+var sparseBuild = sparse.For
+
+// fallbackDenseBytes is the largest dense-matrix footprint buildEngine
+// will fall back to when an auto-resolved sparse build fails: 2 GiB,
+// four times the ~½ GB the auto threshold itself deems routine. Beyond
+// it the sparse failure is surfaced instead — silently allocating tens
+// of gigabytes is worse than failing.
+const fallbackDenseBytes = int64(2) << 30
 
 // buildEngine constructs the affectance engine the resolved mode selects
 // for (instance, variant, powers). It is the single mode→constructor
@@ -318,7 +364,29 @@ func (o Options) buildEngine(m Model, in *Instance, v Variant, powers []float64)
 	)
 	switch {
 	case isSparse:
-		c, err = sparse.For(m, v, in, powers, sparse.Options{Epsilon: o.Epsilon})
+		c, err = sparseBuild(m, v, in, powers, sparse.Options{Epsilon: o.Epsilon})
+		if err != nil && o.Mode == AffectAuto && denseBytes(in, v) <= fallbackDenseBytes {
+			// Resilience fallback: the auto mode selected sparse as an
+			// optimization, not a mandate. When the sparse build fails and
+			// the dense matrices still fit in the fallback budget, build
+			// them instead of failing the solve — and record it, both in
+			// the "resilience/fallbacks" counter and (via fellBack) in
+			// Stats.Engine, so the degradation is visible. A forced sparse
+			// mode still fails loudly: the caller asked for that engine.
+			err = nil
+			isSparse = false
+			if o.fellBack != nil {
+				o.fellBack.Store(true)
+			}
+			if o.Obs.Enabled() {
+				o.Obs.Counter("resilience/fallbacks").Inc()
+			}
+			if o.caches != nil {
+				c = o.caches.For(m, v, in, powers)
+			} else {
+				c = affect.New(m, v, in, powers)
+			}
+		}
 	case o.caches != nil:
 		c = o.caches.For(m, v, in, powers)
 	default:
@@ -343,6 +411,18 @@ func (o Options) buildEngine(m Model, in *Instance, v Variant, powers []float64)
 		}
 	}
 	return c, nil
+}
+
+// denseBytes estimates the dense affectance footprint for the instance
+// under the variant: two n×n float64 matrices for directed (into and
+// from), four for bidirectional.
+func denseBytes(in *Instance, v Variant) int64 {
+	n := int64(in.N())
+	matrices := int64(2)
+	if v == Bidirectional {
+		matrices = 4
+	}
+	return matrices * n * n * 8
 }
 
 // attachCache returns m with the affectance engine for (variant,
@@ -373,6 +453,9 @@ func buildOptions(opts []Option) Options {
 			opt(&o)
 		}
 	}
+	// One shared fallback flag per solve, surviving the by-value copies
+	// the engine builders receive.
+	o.fellBack = new(atomic.Bool)
 	return o
 }
 
@@ -478,6 +561,11 @@ func (s solverFunc) Solve(ctx context.Context, m Model, in *Instance, opts ...Op
 			res.Stats.Engine = "off"
 		}
 	}
+	if o.fellBack != nil && o.fellBack.Load() && res.Stats.Engine == AffectSparse.String() {
+		// The auto-selected sparse build failed and the solve ran on the
+		// dense fallback; Resolve alone cannot know that.
+		res.Stats.Engine = AffectDense.String()
+	}
 	if o.Validate {
 		if err := Validate(m, in, o.Variant, res.Schedule); err != nil {
 			return nil, fmt.Errorf("%s: produced schedule failed validation: %w", s.name, err)
@@ -512,6 +600,15 @@ func Register(name string, s Solver) {
 		panic(fmt.Sprintf("oblivious: Register called twice for solver %q", name))
 	}
 	registry[name] = s
+}
+
+// unregister removes a solver registration. Test use only: the chaos
+// tests register deliberately misbehaving solvers and must not leak
+// them into the registry other tests iterate.
+func unregister(name string) {
+	registryMu.Lock()
+	delete(registry, name)
+	registryMu.Unlock()
 }
 
 // Lookup returns the solver registered under name. It never returns nil:
@@ -595,6 +692,12 @@ func solveOnline(ctx context.Context, m Model, in *Instance, o Options) (*Result
 	engOpts := []online.Option{online.WithAdmission(adm), online.WithRepair(rep)}
 	if o.Obs.Enabled() {
 		engOpts = append(engOpts, online.WithObserver(o.Obs))
+	}
+	if o.Deadline > 0 {
+		engOpts = append(engOpts, online.WithDeadline(o.Deadline))
+	}
+	if o.RetryAttempts > 0 || o.RetryBackoff > 0 {
+		engOpts = append(engOpts, online.WithRetry(o.RetryAttempts, o.RetryBackoff))
 	}
 	eng, err := online.New(m, in, o.Variant, powers, engOpts...)
 	if err != nil {
@@ -745,6 +848,20 @@ func solveDistributed(ctx context.Context, m Model, in *Instance, o Options) (*R
 	}, nil
 }
 
+// safeSolve runs one Solve call with a panic barrier: a panicking
+// solver core surfaces as that instance's error (with the panicking
+// goroutine's stack attached) instead of killing the whole process —
+// one poisoned instance must not take a batch down.
+func safeSolve(ctx context.Context, solver Solver, m Model, in *Instance, opts ...Option) (res *Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("solver %s panicked: %v\n%s", solver.Name(), r, debug.Stack())
+		}
+	}()
+	return solver.Solve(ctx, m, in, opts...)
+}
+
 // SolveAll fans the instances out across a worker pool and solves each
 // with the given solver, returning one Result per instance in input
 // order. Instance i is solved with seed Seed+i so a batch mixes
@@ -811,7 +928,7 @@ func SolveAll(ctx context.Context, m Model, instances []*Instance, solver Solver
 			// everything it calls carry solver=<name> worker=<k>.
 			pprof.Do(batchCtx, pprof.Labels("solver", solver.Name(), "worker", strconv.Itoa(w)), func(ctx context.Context) {
 				for i := range jobs {
-					res, err := solver.Solve(ctx, m, instances[i], append(append([]Option(nil), opts...), WithSeed(o.Seed+int64(i)))...)
+					res, err := safeSolve(ctx, solver, m, instances[i], append(append([]Option(nil), opts...), WithSeed(o.Seed+int64(i)))...)
 					if err != nil {
 						fail(fmt.Errorf("instance %d: %w", i, err))
 						return
