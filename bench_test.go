@@ -35,12 +35,12 @@ import (
 )
 
 // TestMain flushes the benchmark trajectories (BENCH_affect.json,
-// BENCH_online.json, BENCH_scale.json — see the recorders below and in
-// scale_test.go) after a -bench run; plain test runs record nothing and
+// BENCH_online.json, BENCH_scale.json, BENCH_pipeline.json — see the
+// recorders below and in scale_test.go) after a -bench run; plain test runs record nothing and
 // write nothing. The emission machinery lives in internal/benchio.
 func TestMain(m *testing.M) {
 	code := m.Run()
-	for _, rec := range []*benchio.Recorder{affectRec, onlineRec, scaleRec} {
+	for _, rec := range []*benchio.Recorder{affectRec, onlineRec, scaleRec, pipelineRec} {
 		if err := rec.Flush(); err != nil {
 			fmt.Fprintln(os.Stderr, "bench: ", err)
 			if code == 0 {
@@ -563,5 +563,82 @@ func BenchmarkThinToGain(b *testing.B) {
 				recordAffectBench(b, cp, "ThinToGain", n, cached)
 			})
 		}
+	}
+}
+
+// pipelineRec accumulates BENCH_pipeline.json: the per-stage cost
+// profile of the Theorem 2 pipeline (see the rows below), flushed by
+// TestMain next to the other trajectories.
+var pipelineRec = benchio.NewRecorder("BENCH_pipeline.json")
+
+// pipelineStageRow is one per-stage row of BENCH_pipeline.json: the
+// aggregate of one "span/pipeline/<stage>" histogram over an observed
+// end-to-end coloring — how many spans the stage ran (one per extracted
+// color class; hst-build runs once per sampled tree) and the mean
+// nanoseconds per span.
+type pipelineStageRow struct {
+	Benchmark string  `json:"benchmark"`
+	N         int     `json:"n"`
+	Stage     string  `json:"stage"`
+	Spans     int64   `json:"spans"`
+	NsPerSpan float64 `json:"ns_per_span"`
+}
+
+// pipelineTotalRow is the end-to-end row of BENCH_pipeline.json: one
+// full pipeline solve through the public registry, with the engine the
+// auto mode resolved to and the schedule length.
+type pipelineTotalRow struct {
+	Benchmark string `json:"benchmark"`
+	N         int    `json:"n"`
+	Engine    string `json:"engine"`
+	Colors    int    `json:"peak_slots"`
+	benchio.Metrics
+}
+
+// pipelineStageNames are the spans runCtx emits, in pipeline order.
+var pipelineStageNames = []string{"stage1", "stage2", "stage3", "stage4", "stage5", "hst-build"}
+
+// BenchmarkPipelineStages profiles the pipeline solver end to end at n ∈
+// {2000, 10000} with an obs collector attached, then breaks the
+// "span/pipeline/*" histograms out into per-stage BENCH_pipeline.json
+// rows next to the end-to-end total. This is the benchmark behind the
+// per-stage cost table in ARCHITECTURE.md: it shows where a coloring
+// spends its time (the stage-2 tree scans and stage-5 thinning at
+// scale) and pins the arena/worker-pool savings against regressions.
+func BenchmarkPipelineStages(b *testing.B) {
+	m := oblivious.DefaultModel()
+	for _, n := range []int{2000, 10000} {
+		in := scaleInstance(b, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			b.ReportAllocs()
+			col := obs.NewCollector()
+			var sched *oblivious.Schedule
+			var stats oblivious.Stats
+			cp := benchio.Begin()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := oblivious.Lookup("pipeline").Solve(context.Background(), m, in,
+					oblivious.WithSeed(1), oblivious.WithObserver(col))
+				if err != nil {
+					b.Fatal(err)
+				}
+				sched, stats = res.Schedule, res.Stats
+			}
+			b.StopTimer()
+			met := cp.End(b)
+			snap := col.Snapshot()
+			for _, stage := range pipelineStageNames {
+				h, ok := snap.Histograms["span/pipeline/"+stage]
+				if !ok || h.Count == 0 {
+					continue
+				}
+				pipelineRec.Record(fmt.Sprintf("PipelineStages/%07d/%s", n, stage),
+					pipelineStageRow{Benchmark: "PipelineStages", N: n, Stage: stage,
+						Spans: h.Count, NsPerSpan: float64(h.Sum) / float64(h.Count)})
+			}
+			pipelineRec.Record(fmt.Sprintf("PipelineStages/%07d/total", n),
+				pipelineTotalRow{Benchmark: "PipelineStages", N: n, Engine: stats.Engine,
+					Colors: sched.NumColors(), Metrics: met})
+		})
 	}
 }

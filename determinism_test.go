@@ -1,0 +1,56 @@
+// Seed-determinism suite for the parallelized pipeline: the PR that
+// fanned stage 2/3/5 across a bounded worker pool promises that
+// schedules stay bitwise-reproducible — same seed, same instance, same
+// engine ⇒ the same schedule regardless of GOMAXPROCS. This suite pins
+// that contract for the pipeline solver under both affectance engines.
+package oblivious_test
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	oblivious "repro"
+	"repro/internal/instance"
+)
+
+// TestPipelineSeedDeterminismAcrossGOMAXPROCS solves the same instance
+// with the same seed at GOMAXPROCS 1 and 4 for pipeline × {dense,
+// sparse} and requires bitwise-identical schedules: identical color
+// vectors and identical power assignments.
+func TestPipelineSeedDeterminismAcrossGOMAXPROCS(t *testing.T) {
+	m := oblivious.DefaultModel()
+	in, err := instance.UniformRandom(rand.New(rand.NewSource(41)), 96, 150, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	modes := map[string]oblivious.AffectanceMode{
+		"dense":  oblivious.AffectDense,
+		"sparse": oblivious.AffectSparse,
+	}
+	for name, mode := range modes {
+		t.Run(name, func(t *testing.T) {
+			solve := func(workers int) *oblivious.Schedule {
+				old := runtime.GOMAXPROCS(workers)
+				defer runtime.GOMAXPROCS(old)
+				res, err := oblivious.Lookup("pipeline").Solve(context.Background(), m, in,
+					oblivious.WithSeed(7), oblivious.WithAffectanceMode(mode))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res.Schedule
+			}
+			a, b := solve(1), solve(4)
+			for i := range a.Colors {
+				if a.Colors[i] != b.Colors[i] {
+					t.Fatalf("Colors[%d]: GOMAXPROCS=1 gives %d, GOMAXPROCS=4 gives %d",
+						i, a.Colors[i], b.Colors[i])
+				}
+				if a.Powers[i] != b.Powers[i] {
+					t.Fatalf("Powers[%d] differs across GOMAXPROCS", i)
+				}
+			}
+		})
+	}
+}

@@ -1,12 +1,14 @@
 package coloring
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 	"math/rand"
 
 	"repro/internal/affect"
+	"repro/internal/par"
 	"repro/internal/problem"
 	"repro/internal/sinr"
 )
@@ -51,7 +53,14 @@ func (s ThinStrategy) String() string {
 //
 // The returned subset preserves the input order of the surviving requests.
 func ThinToGain(m sinr.Model, in *problem.Instance, v sinr.Variant, powers []float64, set []int, betaPrime float64) ([]int, error) {
-	return ThinToGainStrategy(m, in, v, powers, set, betaPrime, ThinWorstOffender, nil)
+	return ThinToGainCtx(context.Background(), m, in, v, powers, set, betaPrime, nil)
+}
+
+// ThinToGainCtx is ThinToGain polling ctx once per removal round — a
+// canceled context aborts a long thinning mid-set instead of after it —
+// and drawing its score buffers from sc when non-nil (see ThinScratch).
+func ThinToGainCtx(ctx context.Context, m sinr.Model, in *problem.Instance, v sinr.Variant, powers []float64, set []int, betaPrime float64, sc *ThinScratch) ([]int, error) {
+	return ThinToGainStrategyCtx(ctx, m, in, v, powers, set, betaPrime, ThinWorstOffender, nil, sc)
 }
 
 // ThinToGainStrategy is ThinToGain with an explicit victim heuristic; rng
@@ -63,6 +72,34 @@ func ThinToGain(m sinr.Model, in *problem.Instance, v sinr.Variant, powers []flo
 // O(|set|²), making the whole thinning O(|set|²) instead of O(|set|³).
 // Without a cache the direct computation below remains the oracle.
 func ThinToGainStrategy(m sinr.Model, in *problem.Instance, v sinr.Variant, powers []float64, set []int, betaPrime float64, strat ThinStrategy, rng *rand.Rand) ([]int, error) {
+	return ThinToGainStrategyCtx(context.Background(), m, in, v, powers, set, betaPrime, strat, rng, nil)
+}
+
+// ThinScratch holds the reusable buffers of the tracked thinning loop.
+// The zero value is ready; one scratch reused across calls (the pipeline
+// keeps one per coloring) amortizes the O(n) score allocations. A
+// scratch must not be shared by concurrent thinning calls.
+type ThinScratch struct {
+	score []float64
+	inv   []float64
+}
+
+// buffers returns the score and inverse-signal slices, reallocating only
+// on growth. Entries are not cleared: the initial score scan writes
+// every member's entry before any read.
+func (sc *ThinScratch) buffers(n, members int) (score, inv []float64) {
+	if cap(sc.score) < n {
+		sc.score = make([]float64, n)
+	}
+	if cap(sc.inv) < members {
+		sc.inv = make([]float64, members)
+	}
+	return sc.score[:n], sc.inv[:members]
+}
+
+// ThinToGainStrategyCtx is ThinToGainStrategy with cancellation (ctx is
+// polled once per removal round) and optional buffer reuse through sc.
+func ThinToGainStrategyCtx(ctx context.Context, m sinr.Model, in *problem.Instance, v sinr.Variant, powers []float64, set []int, betaPrime float64, strat ThinStrategy, rng *rand.Rand, sc *ThinScratch) ([]int, error) {
 	if betaPrime < m.Beta {
 		return nil, fmt.Errorf("coloring: betaPrime %g below model gain %g", betaPrime, m.Beta)
 	}
@@ -72,13 +109,16 @@ func ThinToGainStrategy(m sinr.Model, in *problem.Instance, v sinr.Variant, powe
 	strict := m.WithBeta(betaPrime)
 	if tp, probe, c := engineFor(strict, in, v, powers); tp != nil {
 		if pb, ok := tp.(pairBounder); ok {
-			return thinTrackedSparse(v, probe, pb, set, strat, rng)
+			return thinTrackedSparse(ctx, v, probe, pb, set, strat, rng, sc)
 		}
 	} else if c != nil {
-		return thinTracked(strict, v, c, set, strat, rng)
+		return thinTracked(ctx, strict, v, c, set, strat, rng, sc)
 	}
 	cur := append([]int(nil), set...)
 	for len(cur) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if strict.SetFeasible(in, v, powers, cur) {
 			return cur, nil
 		}
@@ -132,7 +172,7 @@ func ThinToGainStrategy(m sinr.Model, in *problem.Instance, v sinr.Variant, powe
 // members in input order with the same strict comparisons as the direct
 // loop, so the two paths pick the same victims except on floating-point
 // near-ties at the drift scale (~1e-15 relative).
-func thinTracked(strict sinr.Model, v sinr.Variant, c sinr.Cache, set []int, strat ThinStrategy, rng *rand.Rand) ([]int, error) {
+func thinTracked(ctx context.Context, strict sinr.Model, v sinr.Variant, c sinr.Cache, set []int, strat ThinStrategy, rng *rand.Rand, sc *ThinScratch) ([]int, error) {
 	// tot(j→i) is the worst-endpoint interference j adds at i, the score
 	// numerator of the direct loop.
 	tot := func(i, j int) float64 {
@@ -147,7 +187,7 @@ func thinTracked(strict sinr.Model, v sinr.Variant, c sinr.Cache, set []int, str
 			return t
 		}
 	}
-	return thinWithTracker(affect.NewTracker(strict, v, c), c.Signals(), tot, set, strat, rng)
+	return thinWithTracker(ctx, affect.NewTracker(strict, v, c), c.Signals(), tot, set, strat, rng, sc)
 }
 
 // pairBounder is the optional per-pair query of the sparse engine: a
@@ -162,7 +202,7 @@ type pairBounder interface {
 // scores from the per-pair bounds. The surviving subset is feasible at
 // the strict gain under the exact constraints (conservative margins only
 // over-thin, never under-thin).
-func thinTrackedSparse(v sinr.Variant, tr sinr.SetTracker, pb pairBounder, set []int, strat ThinStrategy, rng *rand.Rand) ([]int, error) {
+func thinTrackedSparse(ctx context.Context, v sinr.Variant, tr sinr.SetTracker, pb pairBounder, set []int, strat ThinStrategy, rng *rand.Rand, sc *ThinScratch) ([]int, error) {
 	tot := func(i, j int) float64 {
 		b1, b2 := pb.PairBound(i, j)
 		if v == sinr.Bidirectional && b2 > b1 {
@@ -172,7 +212,7 @@ func thinTrackedSparse(v sinr.Variant, tr sinr.SetTracker, pb pairBounder, set [
 	}
 	// The sparse engine implements sinr.Cache for exactly this metadata.
 	signals := pb.(sinr.Cache).Signals()
-	return thinWithTracker(tr, signals, tot, set, strat, rng)
+	return thinWithTracker(ctx, tr, signals, tot, set, strat, rng, sc)
 }
 
 // thinWithTracker is the victim-selection loop shared by the dense and
@@ -184,25 +224,24 @@ func thinTrackedSparse(v sinr.Variant, tr sinr.SetTracker, pb pairBounder, set [
 //
 //oblint:fresh callers pass a freshly constructed tracker
 //oblint:hotpath
-func thinWithTracker(tr sinr.SetTracker, signals []float64, tot func(i, j int) float64, set []int, strat ThinStrategy, rng *rand.Rand) ([]int, error) {
+func thinWithTracker(ctx context.Context, tr sinr.SetTracker, signals []float64, tot func(i, j int) float64, set []int, strat ThinStrategy, rng *rand.Rand, sc *ThinScratch) ([]int, error) {
 	for _, j := range set {
 		tr.Add(j)
 	}
 	var score []float64
 	if strat != ThinWorstMargin && strat != ThinRandom {
-		score = make([]float64, len(signals))
-		for k := 0; k < tr.Len(); k++ {
-			i := tr.At(k)
-			inv := 1 / signals[i]
-			for l := 0; l < tr.Len(); l++ {
-				if j := tr.At(l); j != i {
-					score[j] += tot(i, j) * inv
-				}
-			}
+		if sc == nil {
+			sc = &ThinScratch{}
 		}
+		var inv []float64
+		score, inv = sc.buffers(len(signals), tr.Len())
+		initThinScores(tr, signals, tot, score, inv)
 	}
 
 	for tr.Len() > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if tr.SetFeasible() {
 			return tr.Members(), nil
 		}
@@ -257,6 +296,42 @@ func thinWithTracker(tr sinr.SetTracker, signals []float64, tot func(i, j int) f
 		}
 	}
 	return nil, errors.New("coloring: thinning removed every request")
+}
+
+// thinParallelThreshold is the member count above which the O(|set|²)
+// initial score scan fans out; below it the goroutine overhead exceeds
+// the scan.
+const thinParallelThreshold = 256
+
+// initThinScores fills score[j] = Σ_{i≠j} tot(i,j)/signals[i] for every
+// tracked member j. Each member's sum is computed independently, inner
+// loop in member order, so the result is bitwise-identical whether the
+// members are scanned sequentially or fanned out across the worker pool
+// — removal order, and hence the schedule, cannot depend on GOMAXPROCS.
+//
+//oblint:hotpath
+func initThinScores(tr sinr.SetTracker, signals []float64, tot func(i, j int) float64, score, inv []float64) {
+	members := tr.Len()
+	for k := 0; k < members; k++ {
+		inv[k] = 1 / signals[tr.At(k)]
+	}
+	sumAt := func(l int) {
+		j := tr.At(l)
+		var s float64
+		for k := 0; k < members; k++ {
+			if i := tr.At(k); i != j {
+				s += tot(i, j) * inv[k]
+			}
+		}
+		score[j] = s
+	}
+	if members >= thinParallelThreshold {
+		par.ForEach(members, sumAt)
+		return
+	}
+	for l := 0; l < members; l++ {
+		sumAt(l)
+	}
 }
 
 // isFinite reports whether f is neither ±Inf nor NaN.

@@ -1,6 +1,8 @@
 package coloring
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
@@ -102,5 +104,25 @@ func TestWorstOffenderNoWorseThanRandom(t *testing.T) {
 	if float64(len(offender)) < float64(randomTotal)/trials-1 {
 		t.Errorf("worst-offender retained %d, random average %.1f",
 			len(offender), float64(randomTotal)/trials)
+	}
+}
+
+// TestThinToGainCtxCanceled: a canceled context aborts the thinning at
+// the next removal round with the context's error.
+func TestThinToGainCtxCanceled(t *testing.T) {
+	m := sinr.Default()
+	in, err := instance.UniformRandom(rand.New(rand.NewSource(31)), 24, 80, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	powers := power.Powers(m, in, power.Sqrt())
+	set := make([]int, in.N())
+	for i := range set {
+		set[i] = i
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ThinToGainCtx(ctx, m, in, sinr.Bidirectional, powers, set, m.Beta, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

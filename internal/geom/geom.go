@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Metric is a finite metric space over nodes 0..N()-1.
@@ -301,17 +302,50 @@ func (t *Tree) Neighbors(u int) (nodes []int, weights []float64) {
 	return nodes, weights
 }
 
+// Degree returns the number of neighbors of u. With Neighbor it offers
+// the allocation-free view of the adjacency that the centroid
+// decomposition walks millions of times per solve.
+func (t *Tree) Degree(u int) int { return len(t.adj[u]) }
+
+// Neighbor returns the k-th neighbor of u and the edge weight, without
+// allocating. k must be in [0, Degree(u)).
+func (t *Tree) Neighbor(u, k int) (int, float64) {
+	e := t.adj[u][k]
+	return e.to, e.w
+}
+
 // Sub is a metric restricted to a subset of another metric's nodes. Node i
 // of the sub-metric corresponds to nodes[i] of the base metric.
 type Sub struct {
 	base  Metric
 	nodes []int
+
+	// distOnce/distFn memoize DistFunc's flattened evaluator: the pipeline
+	// resolves the same Sub once per tree build plus once per embedding,
+	// and the flatten is O(n·dim) each time. The memo is concurrency-safe
+	// because concurrent tree builds share one Sub.
+	distOnce sync.Once
+	distFn   func(i, j int) float64
 }
 
 var _ Metric = (*Sub)(nil)
 
-// NewSub builds a restriction of base to the given node indices.
+// NewSub builds a restriction of base to the given node indices. The
+// slice is copied; see NewSubOwned for the zero-copy variant.
 func NewSub(base Metric, nodes []int) (*Sub, error) {
+	s, err := NewSubOwned(base, nodes)
+	if err != nil {
+		return nil, err
+	}
+	s.nodes = append([]int(nil), nodes...)
+	return s, nil
+}
+
+// NewSubOwned is NewSub taking ownership of the nodes slice instead of
+// copying it. The caller must not mutate nodes while the Sub is live;
+// the pipeline's arena uses this to restrict a metric once per color
+// class without re-copying the active-node list it already owns.
+func NewSubOwned(base Metric, nodes []int) (*Sub, error) {
 	if len(nodes) == 0 {
 		return nil, errors.New("geom: empty sub-metric")
 	}
@@ -320,7 +354,7 @@ func NewSub(base Metric, nodes []int) (*Sub, error) {
 			return nil, fmt.Errorf("geom: node %d out of range [0,%d)", v, base.N())
 		}
 	}
-	return &Sub{base: base, nodes: append([]int(nil), nodes...)}, nil
+	return &Sub{base: base, nodes: nodes}, nil
 }
 
 // N returns the number of nodes in the restriction.
@@ -342,39 +376,11 @@ func (s *Sub) Dist(i, j int) float64 { return s.base.Dist(s.nodes[i], s.nodes[j]
 func DistFunc(m Metric) func(i, j int) float64 {
 	switch t := m.(type) {
 	case *Sub:
-		// Coordinate bases flatten the selected points into one
-		// contiguous array: the evaluator then runs the base's exact
-		// distance formula (same operations on the same float values)
-		// without the per-query node translation or pointer chases.
-		switch base := t.base.(type) {
-		case *Euclidean:
-			dim := base.dim
-			flat := make([]float64, len(t.nodes)*dim)
-			for i, nd := range t.nodes {
-				copy(flat[i*dim:(i+1)*dim], base.pts[nd])
-			}
-			return func(i, j int) float64 {
-				if i == j {
-					return 0
-				}
-				var s float64
-				pi, pj := flat[i*dim:(i+1)*dim], flat[j*dim:(j+1)*dim]
-				for k := 0; k < dim; k++ {
-					d := pi[k] - pj[k]
-					s += d * d
-				}
-				return math.Sqrt(s)
-			}
-		case *Line:
-			xs := make([]float64, len(t.nodes))
-			for i, nd := range t.nodes {
-				xs[i] = base.xs[nd]
-			}
-			return func(i, j int) float64 { return math.Abs(xs[i] - xs[j]) }
-		}
-		inner := DistFunc(t.base)
-		nodes := t.nodes
-		return func(i, j int) float64 { return inner(nodes[i], nodes[j]) }
+		// The flattened evaluator is memoized on the Sub: an HST ensemble
+		// resolves the same restriction once per tree, and re-flattening
+		// O(n·dim) coordinates per resolution was pure waste.
+		t.distOnce.Do(func() { t.distFn = subDistFunc(t) })
+		return t.distFn
 	case *Euclidean:
 		return t.Dist
 	case *Line:
@@ -388,6 +394,43 @@ func DistFunc(m Metric) func(i, j int) float64 {
 	default:
 		return m.Dist
 	}
+}
+
+// subDistFunc builds the direct evaluator of a Sub view. Coordinate
+// bases flatten the selected points into one contiguous array: the
+// evaluator then runs the base's exact distance formula (same operations
+// on the same float values) without the per-query node translation or
+// pointer chases.
+func subDistFunc(t *Sub) func(i, j int) float64 {
+	switch base := t.base.(type) {
+	case *Euclidean:
+		dim := base.dim
+		flat := make([]float64, len(t.nodes)*dim)
+		for i, nd := range t.nodes {
+			copy(flat[i*dim:(i+1)*dim], base.pts[nd])
+		}
+		return func(i, j int) float64 {
+			if i == j {
+				return 0
+			}
+			var s float64
+			pi, pj := flat[i*dim:(i+1)*dim], flat[j*dim:(j+1)*dim]
+			for k := 0; k < dim; k++ {
+				d := pi[k] - pj[k]
+				s += d * d
+			}
+			return math.Sqrt(s)
+		}
+	case *Line:
+		xs := make([]float64, len(t.nodes))
+		for i, nd := range t.nodes {
+			xs[i] = base.xs[nd]
+		}
+		return func(i, j int) float64 { return math.Abs(xs[i] - xs[j]) }
+	}
+	inner := DistFunc(t.base)
+	nodes := t.nodes
+	return func(i, j int) float64 { return inner(nodes[i], nodes[j]) }
 }
 
 // MinDist returns the minimum distance over all distinct node pairs.

@@ -5,10 +5,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sync"
 
 	"repro/internal/geom"
 	"repro/internal/obs"
+	"repro/internal/par"
 )
 
 // Embedding is one random HST over the nodes of a base metric.
@@ -309,9 +309,16 @@ func BuildEnsemble(base geom.Metric, r int, stretchBound float64, rng *rand.Rand
 // builds aggregate into one per-tree latency distribution. It takes the
 // collector directly rather than a context: the per-tree goroutines are
 // the instrumented unit, and a nil collector keeps them span-free.
+//
+// Validation runs before any seed is drawn from rng: an error return
+// leaves the caller's rng stream exactly where it was, so retrying with
+// fixed arguments reproduces the same ensemble.
 func BuildEnsembleObserved(base geom.Metric, r int, stretchBound float64, rng *rand.Rand, col *obs.Collector) (*Ensemble, error) {
 	if r <= 0 {
 		return nil, fmt.Errorf("hst: need r ≥ 1 trees, got %d", r)
+	}
+	if base.N() == 0 {
+		return nil, errors.New("hst: empty metric")
 	}
 	if stretchBound <= 0 {
 		stretchBound = 24 * math.Log(float64(base.N())+1)
@@ -320,25 +327,18 @@ func BuildEnsembleObserved(base geom.Metric, r int, stretchBound float64, rng *r
 	for i := range seeds {
 		seeds[i] = rng.Int63()
 	}
-	if base.N() == 0 {
-		return nil, errors.New("hst: empty metric")
-	}
 	// The metric extremes are tree-independent; computing the two O(n²)
 	// scans once here instead of inside every Build is an r-fold saving.
 	minD, maxD := geom.MinDist(base), geom.MaxDist(base)
 	trees := make([]*Embedding, r)
 	errs := make([]error, r)
-	var wg sync.WaitGroup
-	for i := range trees {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sp := col.StartSpan("pipeline/hst-build")
-			defer sp.End()
-			trees[i], errs[i] = build(base, rand.New(rand.NewSource(seeds[i])), minD, maxD)
-		}(i)
-	}
-	wg.Wait()
+	// Bounded fan-out: each concurrent build holds O(n·depth) scratch, so
+	// the pool caps peak memory at GOMAXPROCS builds instead of r.
+	par.ForEach(r, func(i int) {
+		sp := col.StartSpan("pipeline/hst-build")
+		defer sp.End()
+		trees[i], errs[i] = build(base, rand.New(rand.NewSource(seeds[i])), minD, maxD)
+	})
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -377,36 +377,100 @@ func (en *Ensemble) GoodTreeFraction(v int) float64 {
 // nodes of the given set, together with the covered subset (Proposition 7's
 // constructive counterpart).
 func (en *Ensemble) BestCoreTree(set []int) (int, []int) {
-	bestTree, bestCovered := 0, []int(nil)
-	type result struct {
-		covered []int
-	}
 	// One stretch scan per (tree, node) pair is the pipeline's hottest
-	// loop at scale; the trees are independent, so fan them out.
-	results := make([]result, len(en.Trees))
-	var wg sync.WaitGroup
-	for t := range en.Trees {
-		wg.Add(1)
-		go func(t int) {
-			defer wg.Done()
-			tree := en.Trees[t]
-			violated := tree.violatedMask(en.StretchBound)
-			var covered []int
-			for _, v := range set {
-				if !violated[v] {
-					covered = append(covered, v)
-				}
-			}
-			results[t].covered = covered
-		}(t)
-	}
-	wg.Wait()
-	for t := range results {
-		if covered := results[t].covered; len(covered) > len(bestCovered) {
-			bestTree, bestCovered = t, covered
+	// loop at scale; the trees are independent, so fan them out — bounded
+	// at GOMAXPROCS, because each in-flight scan holds an O(n) mask.
+	covered := make([][]int, len(en.Trees))
+	par.ForEach(len(en.Trees), func(t int) {
+		covered[t] = en.coveredOf(t, set)
+	})
+	bestTree, bestCovered := 0, []int(nil)
+	for t := range covered {
+		if len(covered[t]) > len(bestCovered) {
+			bestTree, bestCovered = t, covered[t]
 		}
 	}
 	return bestTree, bestCovered
+}
+
+// coveredOf returns the members of set inside tree t's core, via one
+// exact violatedMask scan.
+func (en *Ensemble) coveredOf(t int, set []int) []int {
+	violated := en.Trees[t].violatedMask(en.StretchBound)
+	covered := make([]int, 0, len(set))
+	for _, v := range set {
+		if !violated[v] {
+			covered = append(covered, v)
+		}
+	}
+	return covered
+}
+
+// Sampling parameters of BestCoreTreeSampled: below the threshold the
+// exact scan is cheap enough to keep; above it each tree is scored on a
+// fixed-size rng-drawn subset.
+const (
+	coreSampleThreshold = 4096
+	coreSampleSize      = 1024
+)
+
+// BestCoreTreeSampled is BestCoreTree with the full (tree × node)
+// stretch scan — the measured hot spot of the pipeline at scale —
+// replaced, for len(set) ≥ 4096, by a two-round tournament: every tree
+// is scored by core coverage of a 1024-node sample drawn from rng, and
+// only the top two candidates pay the exact violatedMask rescan
+// (exactness fallback). The returned covered subset is always exact for
+// the returned tree. The sample is drawn from rng before any concurrent
+// work, so equal rng states give equal results regardless of
+// GOMAXPROCS; below the threshold rng is not consumed at all and the
+// result equals BestCoreTree's.
+func (en *Ensemble) BestCoreTreeSampled(set []int, rng *rand.Rand) (int, []int) {
+	if len(set) < coreSampleThreshold || len(en.Trees) <= 2 {
+		return en.BestCoreTree(set)
+	}
+	// Partial Fisher–Yates over a copy: the first coreSampleSize entries
+	// become a uniform sample without replacement.
+	sample := append([]int(nil), set...)
+	for i := 0; i < coreSampleSize; i++ {
+		j := i + rng.Intn(len(sample)-i)
+		sample[i], sample[j] = sample[j], sample[i]
+	}
+	sample = sample[:coreSampleSize]
+	counts := make([]int, len(en.Trees))
+	par.ForEach(len(en.Trees), func(t int) {
+		tree := en.Trees[t]
+		good := 0
+		for _, v := range sample {
+			if tree.StretchWithin(v, en.StretchBound) {
+				good++
+			}
+		}
+		counts[t] = good
+	})
+	// Top two by sampled count; ties keep the lower tree index.
+	first, second := 0, 1
+	if counts[second] > counts[first] {
+		first, second = second, first
+	}
+	for t := 2; t < len(counts); t++ {
+		switch {
+		case counts[t] > counts[first]:
+			first, second = t, first
+		case counts[t] > counts[second]:
+			second = t
+		}
+	}
+	finalists := [2]int{first, second}
+	var exact [2][]int
+	par.ForEach(len(finalists), func(k int) {
+		exact[k] = en.coveredOf(finalists[k], set)
+	})
+	best := 0
+	if len(exact[1]) > len(exact[0]) ||
+		(len(exact[1]) == len(exact[0]) && finalists[1] < finalists[0]) {
+		best = 1
+	}
+	return finalists[best], exact[best]
 }
 
 // ExplicitTree materializes the HST as an explicit edge-weighted tree whose
@@ -418,43 +482,61 @@ func (e *Embedding) ExplicitTree() (*geom.Tree, error) {
 	if n == 1 {
 		return geom.NewTree(1)
 	}
-	// Collect cluster node ids per level (level 0 clusters are the leaves
-	// themselves).
-	type clusterKey struct {
-		level, id int
-	}
-	nodeOf := make(map[clusterKey]int)
+	depth := len(e.level)
+	// Cluster ids are dense per level — the builder assigns them
+	// 0,1,2,... in order of first appearance — so per-level slices index
+	// cluster → explicit node directly, replacing the map-keyed
+	// materialization that dominated stage 3 allocations at scale.
+	// Level 0 clusters are the leaves themselves (nodes 0..n-1).
+	nodeOf := make([][]int32, depth)
 	next := n
-	for i := 1; i < len(e.level); i++ {
-		seen := make(map[int]bool)
-		for u := 0; u < n; u++ {
-			id := e.level[i][u]
-			if !seen[id] {
-				seen[id] = true
-				nodeOf[clusterKey{level: i, id: id}] = next
+	for i := 1; i < depth; i++ {
+		lv := e.level[i]
+		maxID := 0
+		for _, id := range lv {
+			if id > maxID {
+				maxID = id
+			}
+		}
+		ids := make([]int32, maxID+1)
+		for k := range ids {
+			ids[k] = -1
+		}
+		for _, id := range lv {
+			if ids[id] < 0 {
+				ids[id] = int32(next)
 				next++
 			}
 		}
+		nodeOf[i] = ids
 	}
 	t, err := geom.NewTree(next)
 	if err != nil {
 		return nil, err
 	}
 	// Edges: each cluster at level i-1 connects to its parent at level i
-	// with weight equal to the level-i radius.
-	added := make(map[[2]int]bool)
-	for u := 0; u < n; u++ {
-		child := u
-		for i := 1; i < len(e.level); i++ {
-			parent := nodeOf[clusterKey{level: i, id: e.level[i][u]}]
-			ek := [2]int{child, parent}
-			if !added[ek] {
-				added[ek] = true
-				if err := t.AddEdge(child, parent, e.radii[i]); err != nil {
-					return nil, err
+	// with weight equal to the level-i radius — one edge per child
+	// cluster (all members of a child share the same parent; the family
+	// is laminar).
+	for i := 1; i < depth; i++ {
+		lv := e.level[i]
+		var added []bool
+		if i > 1 {
+			added = make([]bool, len(nodeOf[i-1]))
+		}
+		for u := 0; u < n; u++ {
+			child := u
+			if i > 1 {
+				cid := e.level[i-1][u]
+				if added[cid] {
+					continue
 				}
+				added[cid] = true
+				child = int(nodeOf[i-1][cid])
 			}
-			child = parent
+			if err := t.AddEdge(child, int(nodeOf[i][lv[u]]), e.radii[i]); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if err := t.Finalize(); err != nil {

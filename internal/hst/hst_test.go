@@ -3,6 +3,7 @@ package hst
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -262,6 +263,115 @@ func TestEmbeddingDistSymmetric(t *testing.T) {
 			if e.Dist(u, v) != e.Dist(v, u) {
 				t.Errorf("asymmetric HST distance (%d,%d)", u, v)
 			}
+		}
+	}
+}
+
+// emptyMetric triggers BuildEnsembleObserved's n=0 validation without
+// tripping the metric constructors' own guards.
+type emptyMetric struct{}
+
+func (emptyMetric) N() int                { return 0 }
+func (emptyMetric) Dist(i, j int) float64 { return 0 }
+
+// TestBuildEnsembleErrorLeavesRNGUntouched is the regression test for the
+// rng error-path bug: a failing BuildEnsembleObserved used to draw the
+// per-tree seeds before validating, silently advancing the caller's rng
+// stream. Every validation error must now leave the stream exactly where
+// it was.
+func TestBuildEnsembleErrorLeavesRNGUntouched(t *testing.T) {
+	cases := map[string]func(*rand.Rand) error{
+		"empty metric": func(r *rand.Rand) error {
+			_, err := BuildEnsembleObserved(emptyMetric{}, 4, 0, r, nil)
+			return err
+		},
+		"r=0": func(r *rand.Rand) error {
+			_, err := BuildEnsembleObserved(randomPoints(rand.New(rand.NewSource(1)), 4, 10), 0, 0, r, nil)
+			return err
+		},
+	}
+	for name, call := range cases {
+		used := rand.New(rand.NewSource(99))
+		fresh := rand.New(rand.NewSource(99))
+		if err := call(used); err == nil {
+			t.Fatalf("%s: expected an error", name)
+		}
+		for i := 0; i < 16; i++ {
+			if got, want := used.Int63(), fresh.Int63(); got != want {
+				t.Fatalf("%s: rng stream diverged at draw %d after the error", name, i)
+			}
+		}
+	}
+}
+
+// TestBestCoreTreeSampledSmallSetDelegates: below the sampling threshold
+// the result equals BestCoreTree's and the rng is not consumed at all.
+func TestBestCoreTreeSampledSmallSetDelegates(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	base := randomPoints(rng, 24, 100)
+	en, err := BuildEnsemble(base, 6, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := make([]int, base.N())
+	for i := range all {
+		all[i] = i
+	}
+	wantTree, wantCov := en.BestCoreTree(all)
+	sampled := rand.New(rand.NewSource(5))
+	twin := rand.New(rand.NewSource(5))
+	gotTree, gotCov := en.BestCoreTreeSampled(all, sampled)
+	if gotTree != wantTree || len(gotCov) != len(wantCov) {
+		t.Fatalf("sampled (%d, %d nodes) != exact (%d, %d nodes)", gotTree, len(gotCov), wantTree, len(wantCov))
+	}
+	for i := range gotCov {
+		if gotCov[i] != wantCov[i] {
+			t.Fatalf("covered[%d] = %d, want %d", i, gotCov[i], wantCov[i])
+		}
+	}
+	for i := 0; i < 8; i++ {
+		if sampled.Int63() != twin.Int63() {
+			t.Fatal("small-set call consumed the rng")
+		}
+	}
+}
+
+// TestBestCoreTreeSampledLargeSet drives the sampling path (set larger
+// than the threshold, duplicated node ids keep the metric small): the
+// returned covered subset must be exact for the returned tree, and the
+// result must be identical across GOMAXPROCS settings for equal rng
+// states.
+func TestBestCoreTreeSampledLargeSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	base := randomPoints(rng, 48, 100)
+	en, err := BuildEnsemble(base, 6, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := make([]int, coreSampleThreshold+512)
+	for i := range set {
+		set[i] = i % base.N()
+	}
+	tree1, cov1 := en.BestCoreTreeSampled(set, rand.New(rand.NewSource(3)))
+	want := en.coveredOf(tree1, set)
+	if len(cov1) != len(want) {
+		t.Fatalf("covered has %d nodes, exact rescan %d", len(cov1), len(want))
+	}
+	for i := range cov1 {
+		if cov1[i] != want[i] {
+			t.Fatalf("covered[%d] = %d, exact %d", i, cov1[i], want[i])
+		}
+	}
+	old := runtime.GOMAXPROCS(4)
+	tree2, cov2 := en.BestCoreTreeSampled(set, rand.New(rand.NewSource(3)))
+	runtime.GOMAXPROCS(old)
+	if tree2 != tree1 || len(cov2) != len(cov1) {
+		t.Fatalf("GOMAXPROCS=4 gave (%d, %d nodes), GOMAXPROCS=1 gave (%d, %d nodes)",
+			tree2, len(cov2), tree1, len(cov1))
+	}
+	for i := range cov2 {
+		if cov2[i] != cov1[i] {
+			t.Fatalf("covered diverges at %d across GOMAXPROCS", i)
 		}
 	}
 }

@@ -102,3 +102,68 @@ func quietLoop(ctx context.Context, in *instance) {
 		algorithmA(in, nil)
 	}
 }
+
+// LevelWaveCtx mirrors the pipeline's stage-3 wave loop: frames fan out
+// per recursion level and the poll at the top of every level keeps
+// cancellation latency at one level, not one full decomposition.
+func LevelWaveCtx(ctx context.Context, in *instance) error {
+	wave := make([]int, in.n())
+	for depth := 1; len(wave) > 0; depth++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		next := wave[:0]
+		for _, f := range wave {
+			if len(algorithmA(in, []int{f})) > 1 {
+				next = append(next, f)
+			}
+		}
+		wave = next
+	}
+	return nil
+}
+
+// LevelWaveCtxUnpolled is the pre-fix stage-3 shape: the level loop does
+// per-frame work but never checks the context.
+func LevelWaveCtxUnpolled(ctx context.Context, in *instance) error {
+	wave := make([]int, in.n())
+	for depth := 1; len(wave) > 0; depth++ { // want "never polls ctx"
+		next := wave[:0]
+		for _, f := range wave {
+			if len(algorithmA(in, []int{f})) > 1 {
+				next = append(next, f)
+			}
+		}
+		wave = next
+	}
+	return nil
+}
+
+// ThinRoundsCtx mirrors the stage-5 thinning loop: one feasibility check
+// and one removal per round, ctx polled at the top of each round.
+func ThinRoundsCtx(ctx context.Context, in *instance, set []int) ([]int, error) {
+	cur := set
+	for len(cur) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if len(algorithmA(in, cur)) == len(cur) {
+			return cur, nil
+		}
+		cur = cur[:len(cur)-1]
+	}
+	return cur, nil
+}
+
+// ThinRoundsCtxUnpolled is the pre-fix stage-5 shape: removal rounds that
+// can run for thousands of iterations without a poll.
+func ThinRoundsCtxUnpolled(ctx context.Context, in *instance, set []int) ([]int, error) {
+	cur := set
+	for len(cur) > 0 { // want "never polls ctx"
+		if len(algorithmA(in, cur)) == len(cur) {
+			return cur, nil
+		}
+		cur = cur[:len(cur)-1]
+	}
+	return cur, nil
+}

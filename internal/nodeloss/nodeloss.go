@@ -74,31 +74,78 @@ type PairMapping struct {
 // must not share endpoint nodes (coincident nodes would make the node-loss
 // interference infinite).
 func FromPairs(m sinr.Model, in *problem.Instance) (*Instance, *PairMapping, error) {
-	seen := make(map[int]bool, 2*in.N())
-	nodes := make([]int, 0, 2*in.N())
-	loss := make([]float64, 0, 2*in.N())
-	mapping := &PairMapping{
-		NodeOfEndpoint: make([]int, 2*in.N()),
-		PairOfNode:     make([]int, 0, 2*in.N()),
+	return FromPairsScratch(m, in, nil)
+}
+
+// Scratch holds the reusable backing buffers of FromPairsScratch. The
+// zero value is ready to use; a scratch reused across calls amortizes
+// every allocation of the split (the pipeline reuses one per coloring,
+// across all extracted color classes).
+type Scratch struct {
+	nodes  []int
+	loss   []float64
+	endp   []int
+	pairOf []int
+	// seen[w] == epoch marks base node w as used by the current call; the
+	// epoch bump replaces an O(n) clear (and the map of the original
+	// implementation) per call.
+	seen    []int64
+	epoch   int64
+	inst    Instance
+	mapping PairMapping
+}
+
+// FromPairsScratch is FromPairs drawing every buffer from sc instead of
+// the heap (a nil sc allocates fresh, exactly like FromPairs). The
+// returned Instance and PairMapping alias sc's buffers: they are valid
+// until the next FromPairsScratch call with the same scratch, and the
+// caller must not retain them past it.
+func FromPairsScratch(m sinr.Model, in *problem.Instance, sc *Scratch) (*Instance, *PairMapping, error) {
+	if sc == nil {
+		sc = &Scratch{}
 	}
+	nn := 2 * in.N()
+	if cap(sc.nodes) < nn {
+		sc.nodes = make([]int, 0, nn)
+		sc.loss = make([]float64, 0, nn)
+		sc.endp = make([]int, nn)
+		sc.pairOf = make([]int, 0, nn)
+	}
+	nodes, loss, pairOf := sc.nodes[:0], sc.loss[:0], sc.pairOf[:0]
+	endp := sc.endp[:nn]
+	if len(sc.seen) < in.Space.N() {
+		sc.seen = make([]int64, in.Space.N())
+		sc.epoch = 0
+	}
+	sc.epoch++
 	for i, r := range in.Reqs {
 		l := m.RequestLoss(in, i)
 		for e, w := range [2]int{r.U, r.V} {
-			if seen[w] {
+			if w < 0 || w >= in.Space.N() {
+				return nil, nil, fmt.Errorf("nodeloss: node %d out of range", w)
+			}
+			if sc.seen[w] == sc.epoch {
 				return nil, nil, fmt.Errorf("nodeloss: node %d used by more than one request", w)
 			}
-			seen[w] = true
-			mapping.NodeOfEndpoint[2*i+e] = len(nodes)
-			mapping.PairOfNode = append(mapping.PairOfNode, i)
+			sc.seen[w] = sc.epoch
+			endp[2*i+e] = len(nodes)
+			pairOf = append(pairOf, i)
 			nodes = append(nodes, w)
 			loss = append(loss, l)
 		}
 	}
-	nl, err := New(in.Space, nodes, loss)
-	if err != nil {
-		return nil, nil, err
+	if len(nodes) == 0 {
+		return nil, nil, fmt.Errorf("nodeloss: %d nodes, %d losses", 0, 0)
 	}
-	return nl, mapping, nil
+	for k, l := range loss {
+		if !(l > 0) || math.IsInf(l, 0) || math.IsNaN(l) {
+			return nil, nil, fmt.Errorf("nodeloss: invalid loss %g at node %d", l, k)
+		}
+	}
+	sc.nodes, sc.loss, sc.pairOf = nodes, loss, pairOf
+	sc.inst = Instance{Space: in.Space, Nodes: nodes, Loss: loss}
+	sc.mapping = PairMapping{NodeOfEndpoint: endp, PairOfNode: pairOf}
+	return &sc.inst, &sc.mapping, nil
 }
 
 // PairGainToNodeGain converts a gain for the bidirectional pair problem to

@@ -1,0 +1,50 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 7, 100, 1000} {
+		hits := make([]atomic.Int32, n)
+		ForEach(n, func(i int) { hits[i].Add(1) })
+		for i := range hits {
+			if got := hits[i].Load(); got != 1 {
+				t.Fatalf("n=%d: index %d visited %d times, want 1", n, i, got)
+			}
+		}
+	}
+}
+
+func TestForEachBoundsConcurrency(t *testing.T) {
+	limit := int32(runtime.GOMAXPROCS(0))
+	var cur, peak atomic.Int32
+	ForEach(256, func(int) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		cur.Add(-1)
+	})
+	if p := peak.Load(); p > limit {
+		t.Fatalf("observed %d concurrent calls, limit %d", p, limit)
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if w := Workers(0); w != 1 {
+		t.Fatalf("Workers(0) = %d, want 1", w)
+	}
+	if w := Workers(1); w != 1 {
+		t.Fatalf("Workers(1) = %d, want 1", w)
+	}
+	max := runtime.GOMAXPROCS(0)
+	if w := Workers(10 * max); w != max {
+		t.Fatalf("Workers(%d) = %d, want GOMAXPROCS=%d", 10*max, w, max)
+	}
+}

@@ -54,16 +54,32 @@ func stage(ctx context.Context, name string, f func() error) error {
 // the square root power assignment with gain m.Beta (bidirectional SINR
 // constraints), together with per-stage diagnostics.
 func (p Pipeline) Run(m sinr.Model, in *problem.Instance, rng *rand.Rand) ([]int, *PipelineStats, error) {
-	return p.runCtx(context.Background(), m, in, rng)
+	return p.runCtx(context.Background(), m, in, rng, &arena{})
+}
+
+// arena bundles the buffers one class extraction needs and the next one
+// can reuse: the node-loss split's scratch (stage 1), the selection
+// marker arrays (stage 3), the thinning score buffers (stage 5), and the
+// all-nodes identity list of stage 2. ColoringWithStats allocates one
+// arena and threads it through every restricted instance, so the
+// per-class setup cost stops scaling with the number of colors. An arena
+// must not be shared by concurrent runs.
+type arena struct {
+	nl       nodeloss.Scratch
+	tree     treeScratch
+	thin     coloring.ThinScratch
+	allNodes []int
+	loss     map[int]float64
 }
 
 // runCtx is Run under a context. The context's obs collector (if any)
 // receives one span per stage — "pipeline/stage1" through
 // "pipeline/stage5" — and one "pipeline/hst-build" span per sampled
-// tree; each stage also runs under a stage=<name> pprof label. The
-// context is not polled here: cancellation granularity stays one whole
-// class extraction (see ColoringWithStats).
-func (p Pipeline) runCtx(ctx context.Context, m sinr.Model, in *problem.Instance, rng *rand.Rand) ([]int, *PipelineStats, error) {
+// tree; each stage also runs under a stage=<name> pprof label. The two
+// long stages poll the context: stage 3 once per recursion level and
+// stage 5 once per thinning round, so cancellation does not wait for a
+// whole class extraction.
+func (p Pipeline) runCtx(ctx context.Context, m sinr.Model, in *problem.Instance, rng *rand.Rand, ar *arena) ([]int, *PipelineStats, error) {
 	if err := m.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -79,7 +95,7 @@ func (p Pipeline) runCtx(ctx context.Context, m sinr.Model, in *problem.Instance
 	)
 	if err := stage(ctx, "stage1", func() error {
 		var err error
-		nl, mapping, err = nodeloss.FromPairs(m, in)
+		nl, mapping, err = nodeloss.FromPairsScratch(m, in, &ar.nl)
 		return err
 	}); err != nil {
 		return nil, nil, err
@@ -99,7 +115,10 @@ func (p Pipeline) runCtx(ctx context.Context, m sinr.Model, in *problem.Instance
 		core     []int
 	)
 	if err := stage(ctx, "stage2", func() error {
-		sub, err := geom.NewSub(in.Space, nl.Nodes)
+		// NewSubOwned: nl.Nodes lives in the arena's node-loss scratch,
+		// which is stable until the next class's stage 1 — after this
+		// class's ensemble is dead.
+		sub, err := geom.NewSubOwned(in.Space, nl.Nodes)
 		if err != nil {
 			return err
 		}
@@ -111,11 +130,14 @@ func (p Pipeline) runCtx(ctx context.Context, m sinr.Model, in *problem.Instance
 		if err != nil {
 			return err
 		}
-		allNodes := make([]int, nl.N())
+		if cap(ar.allNodes) < nl.N() {
+			ar.allNodes = make([]int, nl.N())
+		}
+		allNodes := ar.allNodes[:nl.N()]
 		for i := range allNodes {
 			allNodes[i] = i
 		}
-		bestTree, core = ensemble.BestCoreTree(allNodes)
+		bestTree, core = ensemble.BestCoreTreeSampled(allNodes, rng)
 		stats.CoreNodes = len(core)
 		if len(core) == 0 {
 			return errors.New("treestar: empty tree core")
@@ -134,7 +156,12 @@ func (p Pipeline) runCtx(ctx context.Context, m sinr.Model, in *problem.Instance
 		if err != nil {
 			return err
 		}
-		loss := make(map[int]float64, len(core))
+		if ar.loss == nil {
+			ar.loss = make(map[int]float64, len(core))
+		} else {
+			clear(ar.loss)
+		}
+		loss := ar.loss
 		for _, v := range core {
 			loss[v] = nl.Loss[v]
 		}
@@ -144,7 +171,8 @@ func (p Pipeline) runCtx(ctx context.Context, m sinr.Model, in *problem.Instance
 		// gain, so a modest tree gain keeps the kept set large.
 		treeGain := betaNode
 		var treeStats *TreeStats
-		kept, treeStats, err = SelectOnTree(m, tree, core, loss, betaNode, treeGain, TreeOptions{Faithful: p.Faithful})
+		kept, treeStats, err = SelectOnTreeCtx(ctx, m, tree, core, loss, betaNode, treeGain,
+			TreeOptions{Faithful: p.Faithful, scratch: &ar.tree})
 		if err != nil {
 			return err
 		}
@@ -194,7 +222,7 @@ func (p Pipeline) runCtx(ctx context.Context, m sinr.Model, in *problem.Instance
 			mThin = m.WithCache(c)
 		}
 		var err error
-		final, err = coloring.ThinToGain(mThin, in, sinr.Bidirectional, powers, pairs, m.Beta)
+		final, err = coloring.ThinToGainCtx(ctx, mThin, in, sinr.Bidirectional, powers, pairs, m.Beta, &ar.thin)
 		if err != nil {
 			return err
 		}
@@ -218,9 +246,19 @@ func (p Pipeline) Coloring(m sinr.Model, in *problem.Instance, rng *rand.Rand) (
 // ColoringWithStats is Coloring, additionally reporting the per-stage
 // diagnostics of the first extracted color class — the run over the full
 // instance, and hence the most informative one. The context is checked
-// before every extracted class, so a canceled ctx aborts a long coloring
-// between pipeline runs.
+// before every extracted class and, inside a class, once per stage-3
+// recursion level and once per stage-5 thinning round, so a canceled ctx
+// aborts a long coloring mid-class rather than minutes later.
+//
+// Reusable buffers (one arena) are threaded through every class, and the
+// per-class randomness is split up front: each color draws exactly one
+// seed from rng and runs on its own derived stream — mirroring
+// BuildEnsemble's per-tree seeds — so the stream consumed inside one
+// class can never shift the classes after it.
 func (p Pipeline) ColoringWithStats(ctx context.Context, m sinr.Model, in *problem.Instance, rng *rand.Rand) (*problem.Schedule, *PipelineStats, error) {
+	if rng == nil {
+		return nil, nil, errors.New("treestar: nil rng")
+	}
 	s := problem.NewSchedule(in.N())
 	copy(s.Powers, power.Powers(m, in, power.Sqrt()))
 	remaining := make([]int, in.N())
@@ -228,15 +266,17 @@ func (p Pipeline) ColoringWithStats(ctx context.Context, m sinr.Model, in *probl
 		remaining[i] = i
 	}
 	var firstStats *PipelineStats
+	ar := &arena{}
 	for color := 0; len(remaining) > 0; color++ {
 		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
+		classRng := rand.New(rand.NewSource(rng.Int63()))
 		subInst, mapping, err := in.Restrict(remaining)
 		if err != nil {
 			return nil, nil, err
 		}
-		class, stats, err := p.runCtx(ctx, m, subInst, rng)
+		class, stats, err := p.runCtx(ctx, m, subInst, classRng, ar)
 		if err != nil {
 			return nil, nil, err
 		}

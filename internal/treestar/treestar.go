@@ -1,11 +1,13 @@
 package treestar
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/geom"
+	"repro/internal/par"
 	"repro/internal/sinr"
 	"repro/internal/star"
 )
@@ -18,6 +20,38 @@ type TreeOptions struct {
 	// target gain — which retains far more nodes on benign inputs while
 	// guaranteeing the same feasibility postcondition.
 	Faithful bool
+
+	// scratch supplies the reusable per-selection buffers; the pipeline
+	// threads one through every color class. Nil allocates fresh.
+	scratch *treeScratch
+}
+
+// treeScratch holds the O(t.N()) marker arrays of SelectOnTreeCtx, reused
+// across the restricted instances of a coloring.
+type treeScratch struct {
+	alive  []bool
+	compID []int32
+	pos    []int32
+	// lossv is the loss map flattened to node-indexed storage; only
+	// terminal entries are written (and only terminal entries are read),
+	// so it needs no clearing between classes.
+	lossv []float64
+	ix    distIndex
+}
+
+// sized returns the marker arrays for an n-node tree, reallocating only
+// on growth. alive and compID are cleared (component id 0 is the root
+// frame); pos is stamped per frame before any read.
+func (sc *treeScratch) sized(n int) (alive []bool, compID, pos []int32) {
+	if cap(sc.alive) < n {
+		sc.alive = make([]bool, n)
+		sc.compID = make([]int32, n)
+		sc.pos = make([]int32, n)
+	}
+	alive, compID, pos = sc.alive[:n], sc.compID[:n], sc.pos[:n]
+	clear(alive)
+	clear(compID)
+	return alive, compID, pos
 }
 
 // TreeStats reports diagnostics from SelectOnTree.
@@ -47,21 +81,61 @@ type TreeStats struct {
 // the star of the level at which it is separated, so the per-level star
 // budgets sum to a global interference bound.
 func SelectOnTree(m sinr.Model, t *geom.Tree, terminals []int, loss map[int]float64, betaPrime, beta float64, opts TreeOptions) ([]int, *TreeStats, error) {
+	return SelectOnTreeCtx(context.Background(), m, t, terminals, loss, betaPrime, beta, opts)
+}
+
+// frameResult carries one component's parallel-phase output into the
+// sequential merge.
+type frameResult struct {
+	active   bool
+	err      error
+	centroid int
+	dropped  []int
+	comps    [][]int
+}
+
+// SelectOnTreeCtx is SelectOnTree under a context, polled once per
+// recursion level — stage 3 of the pipeline runs minutes at scale, and
+// cancellation must not wait for the whole selection.
+//
+// The centroid recursion is processed level-synchronously: all
+// components of one depth are independent (they partition the tree
+// nodes, and a star selection only reads terminals of its own
+// component), so each level fans out across the bounded worker pool and
+// merges its results in component order. The merge order, the in-frame
+// scan orders, and the component numbering are all deterministic, so the
+// kept set is bitwise-identical to the sequential recursion regardless
+// of GOMAXPROCS.
+func SelectOnTreeCtx(ctx context.Context, m sinr.Model, t *geom.Tree, terminals []int, loss map[int]float64, betaPrime, beta float64, opts TreeOptions) ([]int, *TreeStats, error) {
 	if err := m.Validate(); err != nil {
 		return nil, nil, err
 	}
 	if len(terminals) == 0 {
 		return nil, nil, errors.New("treestar: no terminals")
 	}
+	missing := -1
 	for _, v := range terminals {
 		if _, ok := loss[v]; !ok {
-			return nil, nil, fmt.Errorf("treestar: terminal %d has no loss parameter", v)
+			missing = v
+			break
 		}
 	}
+	if missing >= 0 {
+		return nil, nil, fmt.Errorf("treestar: terminal %d has no loss parameter", missing)
+	}
 	stats := &TreeStats{}
-	alive := make(map[int]bool, len(terminals))
+	sc := opts.scratch
+	if sc == nil {
+		sc = &treeScratch{}
+	}
+	alive, compID, pos := sc.sized(t.N())
+	if cap(sc.lossv) < t.N() {
+		sc.lossv = make([]float64, t.N())
+	}
+	lossv := sc.lossv[:t.N()]
 	for _, v := range terminals {
 		alive[v] = true
+		lossv[v] = loss[v]
 	}
 
 	// Per-level star gain: the recursion depth is at most log2 of the tree
@@ -74,73 +148,109 @@ func SelectOnTree(m sinr.Model, t *geom.Tree, terminals []int, loss map[int]floa
 		starGain = betaPrime
 	}
 
-	// Iterative recursion over components (stack of node sets).
 	all := make([]int, t.N())
+	ident := int32(0)
 	for i := range all {
 		all[i] = i
+		pos[i] = ident
+		ident++
 	}
 	type frame struct {
 		nodes []int
-		depth int
+		id    int32
 	}
-	stack := []frame{{nodes: all, depth: 1}}
-	for len(stack) > 0 {
-		f := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if f.depth > stats.Levels {
-			stats.Levels = f.depth
-		}
-		termsHere := make([]int, 0, len(f.nodes))
-		inComp := make(map[int]bool, len(f.nodes))
-		for _, v := range f.nodes {
-			inComp[v] = true
-		}
-		for _, v := range f.nodes {
-			if alive[v] {
-				termsHere = append(termsHere, v)
-			}
-		}
-		if len(termsHere) <= 1 || len(f.nodes) <= 1 {
-			continue
-		}
-		c := centroid(t, f.nodes, inComp)
-
-		// Star selection at this level.
-		kept, err := selectStarAt(m, t, c, termsHere, loss, betaPrime, starGain, beta, opts)
-		if err != nil {
+	wave := []frame{{nodes: all, id: 0}}
+	nextID := int32(1)
+	for depth := 1; len(wave) > 0; depth++ {
+		if err := ctx.Err(); err != nil {
 			return nil, nil, err
 		}
-		stats.StarCalls++
-		keptSet := make(map[int]bool, len(kept))
-		for _, v := range kept {
-			keptSet[v] = true
-		}
-		for _, v := range termsHere {
-			if !keptSet[v] {
-				alive[v] = false
-				stats.DroppedByStars++
+		stats.Levels = depth
+		results := make([]frameResult, len(wave))
+		// Parallel phase: per-component reads only — alive, compID and pos
+		// are written exclusively by the sequential merge below, and the
+		// components of one wave are node-disjoint.
+		par.ForEach(len(wave), func(fi int) {
+			f := &wave[fi]
+			res := &results[fi]
+			if len(f.nodes) <= 1 {
+				return
 			}
-		}
+			terms := make([]int, 0, len(f.nodes))
+			for _, v := range f.nodes {
+				if alive[v] {
+					terms = append(terms, v)
+				}
+			}
+			if len(terms) <= 1 {
+				return
+			}
+			c := centroid(t, f.nodes, compID, f.id, pos)
 
-		// Split at the centroid: the components of f.nodes \ {c}, with c
-		// attached to its largest component (the paper keeps one incident
-		// edge).
-		comps := componentsWithout(t, f.nodes, inComp, c)
-		if len(comps) == 0 {
-			continue
-		}
-		largest := 0
-		for i := 1; i < len(comps); i++ {
-			if len(comps[i]) > len(comps[largest]) {
-				largest = i
+			// Star selection at this level.
+			kept, err := selectStarAt(m, t, c, terms, lossv, betaPrime, starGain, beta, opts)
+			if err != nil {
+				res.err = err
+				return
+			}
+			keptSet := make(map[int]bool, len(kept))
+			for _, v := range kept {
+				keptSet[v] = true
+			}
+			dropped := make([]int, 0, len(terms)-len(kept))
+			for _, v := range terms {
+				if !keptSet[v] {
+					dropped = append(dropped, v)
+				}
+			}
+			res.active = true
+			res.centroid = c
+			res.dropped = dropped
+			res.comps = componentsWithout(t, f.nodes, compID, f.id, pos, c)
+		})
+		// Sequential merge in component order: apply drops, stamp the
+		// child components, build the next wave.
+		next := wave[:0]
+		for fi := range results {
+			res := &results[fi]
+			if res.err != nil {
+				return nil, nil, res.err
+			}
+			if !res.active {
+				continue
+			}
+			stats.StarCalls++
+			stats.DroppedByStars += len(res.dropped)
+			for _, v := range res.dropped {
+				alive[v] = false
+			}
+			// Split at the centroid: the components without it, with the
+			// centroid attached to its largest component (the paper keeps
+			// one incident edge).
+			comps := res.comps
+			if len(comps) == 0 {
+				continue
+			}
+			largest := 0
+			for i := 1; i < len(comps); i++ {
+				if len(comps[i]) > len(comps[largest]) {
+					largest = i
+				}
+			}
+			comps[largest] = append(comps[largest], res.centroid)
+			for _, comp := range comps {
+				if len(comp) > 1 {
+					id := nextID
+					nextID++
+					for i, v := range comp {
+						compID[v] = id
+						pos[v] = int32(i)
+					}
+					next = append(next, frame{nodes: comp, id: id})
+				}
 			}
 		}
-		comps[largest] = append(comps[largest], c)
-		for _, comp := range comps {
-			if len(comp) > 1 {
-				stack = append(stack, frame{nodes: comp, depth: f.depth + 1})
-			}
-		}
+		wave = next
 	}
 
 	// Final verification on the tree metric at gain beta with greedy repair.
@@ -150,7 +260,7 @@ func SelectOnTree(m sinr.Model, t *geom.Tree, terminals []int, loss map[int]floa
 			kept = append(kept, v)
 		}
 	}
-	kept, repaired := repairOnTree(m, t, kept, loss, beta)
+	kept, repaired := repairOnTree(m, t, kept, lossv, beta, &sc.ix)
 	stats.DroppedRepair = repaired
 	if len(kept) == 0 {
 		return nil, stats, errors.New("treestar: selection removed every terminal")
@@ -163,7 +273,7 @@ func SelectOnTree(m sinr.Model, t *geom.Tree, terminals []int, loss map[int]floa
 // exactly at c receives a tiny positive radius, which only overestimates
 // its received interference (the star distance ε+δ_v ≈ δ_v is the exact
 // tree distance).
-func selectStarAt(m sinr.Model, t *geom.Tree, c int, terms []int, loss map[int]float64, betaPrime, starGain, beta float64, opts TreeOptions) ([]int, error) {
+func selectStarAt(m sinr.Model, t *geom.Tree, c int, terms []int, loss []float64, betaPrime, starGain, beta float64, opts TreeOptions) ([]int, error) {
 	radii := make([]float64, len(terms))
 	losses := make([]float64, len(terms))
 	minPos := math.Inf(1)
@@ -205,48 +315,62 @@ func selectStarAt(m sinr.Model, t *geom.Tree, c int, terms []int, loss map[int]f
 }
 
 // centroid returns a node of the component whose removal leaves connected
-// pieces of at most half the component's size.
-func centroid(t *geom.Tree, nodes []int, inComp map[int]bool) int {
+// pieces of at most half the component's size. Membership is the stamp
+// test compID[v] == id, and pos maps a member to its index in nodes, so
+// all bookkeeping runs on position-indexed slices instead of the maps
+// that dominated stage 3's profile.
+func centroid(t *geom.Tree, nodes []int, compID []int32, id int32, pos []int32) int {
 	if len(nodes) == 1 {
 		return nodes[0]
 	}
-	root := nodes[0]
-	// Iterative post-order to compute subtree sizes within the component.
-	size := make(map[int]int, len(nodes))
-	parent := make(map[int]int, len(nodes))
-	order := make([]int, 0, len(nodes))
-	stack := []int{root}
-	parent[root] = -1
-	seen := map[int]bool{root: true}
+	n := len(nodes)
+	// Iterative pre-order from nodes[0] to compute subtree sizes within
+	// the component; everything is indexed by position in nodes.
+	size := make([]int32, n)
+	parent := make([]int32, n)
+	order := make([]int32, 0, n)
+	stack := make([]int32, 0, n)
+	seen := make([]bool, n)
+	seen[0] = true
+	parent[0] = -1
+	stack = append(stack, 0)
 	for len(stack) > 0 {
-		u := stack[len(stack)-1]
+		p := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		order = append(order, u)
-		nbrs, _ := t.Neighbors(u)
-		for _, v := range nbrs {
-			if inComp[v] && !seen[v] {
-				seen[v] = true
-				parent[v] = u
-				stack = append(stack, v)
+		order = append(order, p)
+		u := nodes[p]
+		for k, deg := 0, t.Degree(u); k < deg; k++ {
+			v, _ := t.Neighbor(u, k)
+			if compID[v] != id {
+				continue
+			}
+			if q := pos[v]; !seen[q] {
+				seen[q] = true
+				parent[q] = p
+				stack = append(stack, q)
 			}
 		}
 	}
 	for i := len(order) - 1; i >= 0; i-- {
-		u := order[i]
-		size[u]++
-		if p := parent[u]; p >= 0 {
-			size[p] += size[u]
+		p := order[i]
+		size[p]++
+		if pp := parent[p]; pp >= 0 {
+			size[pp] += size[p]
 		}
 	}
-	total := len(order)
-	best, bestMax := root, total
-	for _, u := range order {
-		// Maximum component size if u is removed.
-		worst := total - size[u]
-		nbrs, _ := t.Neighbors(u)
-		for _, v := range nbrs {
-			if inComp[v] && parent[v] == u && size[v] > worst {
-				worst = size[v]
+	total := int32(len(order))
+	best, bestMax := nodes[0], total
+	for _, p := range order {
+		// Maximum component size if this node is removed.
+		worst := total - size[p]
+		u := nodes[p]
+		for k, deg := 0, t.Degree(u); k < deg; k++ {
+			v, _ := t.Neighbor(u, k)
+			if compID[v] != id {
+				continue
+			}
+			if q := pos[v]; parent[q] == p && size[q] > worst {
+				worst = size[q]
 			}
 		}
 		if worst < bestMax {
@@ -257,28 +381,31 @@ func centroid(t *geom.Tree, nodes []int, inComp map[int]bool) int {
 	return best
 }
 
-// componentsWithout returns the connected components of the component after
-// removing node c.
-func componentsWithout(t *geom.Tree, nodes []int, inComp map[int]bool, c int) [][]int {
-	visited := map[int]bool{c: true}
+// componentsWithout returns the connected components of the component
+// (the nodes stamped with id) after removing node c.
+func componentsWithout(t *geom.Tree, nodes []int, compID []int32, id int32, pos []int32, c int) [][]int {
+	visited := make([]bool, len(nodes))
+	visited[pos[c]] = true
 	var comps [][]int
+	stack := make([]int, 0, len(nodes))
 	for _, s := range nodes {
-		if visited[s] {
+		if visited[pos[s]] {
 			continue
 		}
+		visited[pos[s]] = true
 		var comp []int
-		stack := []int{s}
-		visited[s] = true
+		stack = append(stack[:0], s)
 		for len(stack) > 0 {
 			u := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
 			comp = append(comp, u)
-			nbrs, _ := t.Neighbors(u)
-			for _, v := range nbrs {
-				if inComp[v] && !visited[v] {
-					visited[v] = true
-					stack = append(stack, v)
+			for k, deg := 0, t.Degree(u); k < deg; k++ {
+				v, _ := t.Neighbor(u, k)
+				if compID[v] != id || visited[pos[v]] {
+					continue
 				}
+				visited[pos[v]] = true
+				stack = append(stack, v)
 			}
 		}
 		comps = append(comps, comp)
@@ -286,51 +413,205 @@ func componentsWithout(t *geom.Tree, nodes []int, inComp map[int]bool, c int) []
 	return comps
 }
 
+// distIndex answers tree-metric distance queries in O(1): dist(u,v) =
+// wd[u] + wd[v] - 2·wd[lca(u,v)], with the LCA found by a range-minimum
+// over an Euler tour (sparse table). Building is O(n log n); the repair
+// pass below issues O(k²) distance queries, which made Tree.Dist's
+// per-query ancestor walk the measured stage-3 hot spot at scale. The
+// buffers are grow-only scratch, reused across color classes.
+type distIndex struct {
+	wd        []float64 // weighted depth from the DFS root (node 0)
+	depth     []int32   // hop depth, the RMQ key
+	first     []int32   // first Euler position of each node
+	parent    []int32
+	kidx      []int32
+	stack     []int32
+	eulerNode []int32
+	eulerDep  []int32
+	table     []int32 // levels × elen sparse table of min-depth positions
+	lg        []uint8 // floor(log2) lookup
+	elen      int
+}
+
+// build indexes the tree. The DFS runs from node 0 (every tree here is
+// connected — ExplicitTree and the test trees alike).
+func (ix *distIndex) build(t *geom.Tree) {
+	n := t.N()
+	if cap(ix.wd) < n {
+		ix.wd = make([]float64, n)
+		ix.depth = make([]int32, n)
+		ix.first = make([]int32, n)
+		ix.parent = make([]int32, n)
+		ix.kidx = make([]int32, n)
+		ix.stack = make([]int32, 0, n)
+	}
+	wd, depth, first := ix.wd[:n], ix.depth[:n], ix.first[:n]
+	parent, kidx := ix.parent[:n], ix.kidx[:n]
+	clear(kidx)
+	elen := 2*n - 1
+	if cap(ix.eulerNode) < elen {
+		ix.eulerNode = make([]int32, 0, elen)
+		ix.eulerDep = make([]int32, 0, elen)
+	}
+	euler, edep := ix.eulerNode[:0], ix.eulerDep[:0]
+	wd[0], depth[0], first[0], parent[0] = 0, 0, 0, -1
+	euler, edep = append(euler, 0), append(edep, 0)
+	stack := append(ix.stack[:0], 0)
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		advanced := false
+		for kidx[u] < int32(t.Degree(int(u))) {
+			v, w := t.Neighbor(int(u), int(kidx[u]))
+			kidx[u]++
+			if int32(v) == parent[u] {
+				continue
+			}
+			parent[v] = u
+			wd[v] = wd[u] + w
+			depth[v] = depth[u] + 1
+			first[v] = int32(len(euler))
+			euler, edep = append(euler, int32(v)), append(edep, depth[v])
+			stack = append(stack, int32(v))
+			advanced = true
+			break
+		}
+		if !advanced {
+			stack = stack[:len(stack)-1]
+			if len(stack) > 0 {
+				p := stack[len(stack)-1]
+				euler, edep = append(euler, p), append(edep, depth[p])
+			}
+		}
+	}
+	ix.eulerNode, ix.eulerDep, ix.stack = euler, edep, stack[:0]
+	elen = len(euler)
+	ix.elen = elen
+	levels := 1
+	for 1<<levels <= elen {
+		levels++
+	}
+	if cap(ix.table) < levels*elen {
+		ix.table = make([]int32, levels*elen)
+	}
+	tbl := ix.table[:levels*elen]
+	row := tbl[:elen]
+	pi := int32(0)
+	for i := range row {
+		row[i] = pi
+		pi++
+	}
+	for k := 1; k < levels; k++ {
+		half := 1 << (k - 1)
+		prev, row := tbl[(k-1)*elen:k*elen], tbl[k*elen:(k+1)*elen]
+		for i := 0; i+(1<<k) <= elen; i++ {
+			a, b := prev[i], prev[i+half]
+			if edep[b] < edep[a] {
+				a = b
+			}
+			row[i] = a
+		}
+	}
+	if cap(ix.lg) < elen+1 {
+		ix.lg = make([]uint8, elen+1)
+	}
+	lg := ix.lg[:elen+1]
+	for i := 2; i <= elen; i++ {
+		lg[i] = lg[i/2] + 1
+	}
+}
+
+// dist returns the tree shortest-path distance between u and v.
+//
+//oblint:hotpath
+func (ix *distIndex) dist(u, v int) float64 {
+	if u == v {
+		return 0
+	}
+	a, b := ix.first[u], ix.first[v]
+	if a > b {
+		a, b = b, a
+	}
+	k := ix.lg[b-a+1]
+	row := ix.table[int(k)*ix.elen:]
+	p, q := row[a], row[int(b)+1-(1<<k)]
+	if ix.eulerDep[q] < ix.eulerDep[p] {
+		p = q
+	}
+	return ix.wd[u] + ix.wd[v] - 2*ix.wd[ix.eulerNode[p]]
+}
+
 // repairOnTree greedily removes terminals until the set is beta-feasible
 // under the square root assignment in the tree metric. It returns the
 // surviving set and the number of removals.
-func repairOnTree(m sinr.Model, t *geom.Tree, kept []int, loss map[int]float64, beta float64) ([]int, int) {
-	var removed int
-	signal := func(v int) float64 { return 1 / math.Sqrt(loss[v]) }
-	interf := func(set []int, u int) float64 {
+//
+// The removal order matches the original per-round recomputation — worst
+// normalized offender first, earliest index on ties — but the
+// interference sums are accumulated once up front (O(k²), fanned over
+// the worker pool with per-row sums in member order, so the result is
+// GOMAXPROCS-independent) and maintained incrementally per removal. The
+// offender score factors as score(u) = √ℓ_u · I(u) with I(u) the
+// interference sum, so one accumulator serves both the feasibility test
+// and the removal choice.
+//
+//oblint:hotpath
+func repairOnTree(m sinr.Model, t *geom.Tree, kept []int, loss []float64, beta float64, ix *distIndex) ([]int, int) {
+	k := len(kept)
+	if k == 0 {
+		return kept, 0
+	}
+	ix.build(t)
+	sq := make([]float64, k)
+	for a, v := range kept {
+		sq[a] = math.Sqrt(loss[v])
+	}
+	inter := make([]float64, k)
+	par.ForEach(k, func(a int) {
+		u := kept[a]
 		var sum float64
-		for _, v := range set {
-			if v == u {
+		for b, v := range kept {
+			if b == a {
 				continue
 			}
-			sum += math.Sqrt(loss[v]) / m.Loss(t.Dist(u, v))
+			sum += sq[b] / m.Loss(ix.dist(u, v))
 		}
-		return sum
-	}
-	for len(kept) > 0 {
+		inter[a] = sum
+	})
+	dead := make([]bool, k)
+	removed := 0
+	for {
 		feasible := true
-		for _, u := range kept {
-			if signal(u) < beta*interf(kept, u)*(1-1e-9) {
+		worst, worstScore := -1, math.Inf(-1)
+		for a := 0; a < k; a++ {
+			if dead[a] {
+				continue
+			}
+			if 1/sq[a] < beta*inter[a]*(1-1e-9) {
 				feasible = false
-				break
 			}
-		}
-		if feasible {
-			return kept, removed
-		}
-		worst, worstScore := 0, math.Inf(-1)
-		for a, u := range kept {
-			var score float64
-			for _, v := range kept {
-				if v == u {
-					continue
-				}
-				score += math.Sqrt(loss[u]) / m.Loss(t.Dist(u, v)) / signal(v)
-			}
-			if score > worstScore {
+			if score := sq[a] * inter[a]; score > worstScore {
 				worstScore = score
 				worst = a
 			}
 		}
-		kept = append(kept[:worst], kept[worst+1:]...)
+		if feasible || worst < 0 {
+			out := kept[:0]
+			for a := 0; a < k; a++ {
+				if !dead[a] {
+					out = append(out, kept[a])
+				}
+			}
+			return out, removed
+		}
+		dead[worst] = true
 		removed++
+		w := kept[worst]
+		for a := 0; a < k; a++ {
+			if dead[a] {
+				continue
+			}
+			inter[a] -= sq[worst] / m.Loss(ix.dist(kept[a], w))
+		}
 	}
-	return kept, removed
 }
 
 // PipelineStats aggregates diagnostics of one run of the Theorem 2 pipeline.

@@ -1,9 +1,11 @@
 package treestar
 
 import (
+	"context"
 	"errors"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 	"testing/quick"
 
@@ -33,14 +35,25 @@ func pathTree(t *testing.T, n int) *geom.Tree {
 	return tr
 }
 
+// fullComp builds the compID/pos stamp arrays marking every node of the
+// tree as one component with id 1, matching the helpers' calling
+// convention inside SelectOnTreeCtx.
+func fullComp(n int) (nodes []int, compID, pos []int32) {
+	nodes = make([]int, n)
+	compID = make([]int32, n)
+	pos = make([]int32, n)
+	for i := range nodes {
+		nodes[i] = i
+		compID[i] = 1
+		pos[i] = int32(i)
+	}
+	return nodes, compID, pos
+}
+
 func TestCentroidOfPath(t *testing.T) {
 	tr := pathTree(t, 7)
-	nodes := []int{0, 1, 2, 3, 4, 5, 6}
-	inComp := make(map[int]bool)
-	for _, v := range nodes {
-		inComp[v] = true
-	}
-	c := centroid(tr, nodes, inComp)
+	nodes, compID, pos := fullComp(7)
+	c := centroid(tr, nodes, compID, 1, pos)
 	if c != 3 {
 		t.Errorf("centroid of a 7-path = %d, want 3", c)
 	}
@@ -59,9 +72,8 @@ func TestCentroidOfStar(t *testing.T) {
 	if err := tr.Finalize(); err != nil {
 		t.Fatal(err)
 	}
-	nodes := []int{0, 1, 2, 3, 4, 5}
-	inComp := map[int]bool{0: true, 1: true, 2: true, 3: true, 4: true, 5: true}
-	if c := centroid(tr, nodes, inComp); c != 0 {
+	nodes, compID, pos := fullComp(6)
+	if c := centroid(tr, nodes, compID, 1, pos); c != 0 {
 		t.Errorf("centroid of a star = %d, want the hub 0", c)
 	}
 }
@@ -84,14 +96,9 @@ func TestCentroidBalancedProperty(t *testing.T) {
 		if err := tr.Finalize(); err != nil {
 			return false
 		}
-		nodes := make([]int, n)
-		inComp := make(map[int]bool, n)
-		for i := range nodes {
-			nodes[i] = i
-			inComp[i] = true
-		}
-		c := centroid(tr, nodes, inComp)
-		for _, comp := range componentsWithout(tr, nodes, inComp, c) {
+		nodes, compID, pos := fullComp(n)
+		c := centroid(tr, nodes, compID, 1, pos)
+		for _, comp := range componentsWithout(tr, nodes, compID, 1, pos, c) {
 			if len(comp) > n/2 {
 				return false
 			}
@@ -106,9 +113,8 @@ func TestCentroidBalancedProperty(t *testing.T) {
 
 func TestComponentsWithout(t *testing.T) {
 	tr := pathTree(t, 5)
-	nodes := []int{0, 1, 2, 3, 4}
-	inComp := map[int]bool{0: true, 1: true, 2: true, 3: true, 4: true}
-	comps := componentsWithout(tr, nodes, inComp, 2)
+	nodes, compID, pos := fullComp(5)
+	comps := componentsWithout(tr, nodes, compID, 1, pos, 2)
 	if len(comps) != 2 {
 		t.Fatalf("components = %d, want 2", len(comps))
 	}
@@ -350,5 +356,68 @@ func TestPipelineEngineHook(t *testing.T) {
 	}}.Coloring(m, in, rand.New(rand.NewSource(2)))
 	if !errors.Is(err, wantErr) {
 		t.Errorf("hook error not propagated: %v", err)
+	}
+}
+
+// TestSelectOnTreeCtxCanceled: a canceled context aborts the selection at
+// the next recursion level with the context's error.
+func TestSelectOnTreeCtxCanceled(t *testing.T) {
+	m := sinr.Default()
+	tr := pathTree(t, 32)
+	terminals := make([]int, 0, 16)
+	loss := make(map[int]float64)
+	rng := rand.New(rand.NewSource(5))
+	for v := 0; v < 32; v += 2 {
+		terminals = append(terminals, v)
+		loss[v] = 0.5 + rng.Float64()*8
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := SelectOnTreeCtx(ctx, m, tr, terminals, loss, 1.0, 0.05, TreeOptions{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestColoringCanceled: ColoringWithStats under an already-canceled
+// context returns the context's error instead of a schedule.
+func TestColoringCanceled(t *testing.T) {
+	m := sinr.Default()
+	in, err := instance.UniformRandom(rand.New(rand.NewSource(13)), 20, 150, 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := (Pipeline{}).ColoringWithStats(ctx, m, in, rand.New(rand.NewSource(1))); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestColoringDeterministicAcrossGOMAXPROCS: the per-class rng split and
+// the deterministic merges keep the full coloring bitwise identical no
+// matter how many workers the pools run (satellite of the scale PR).
+func TestColoringDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	m := sinr.Default()
+	in, err := instance.UniformRandom(rand.New(rand.NewSource(21)), 48, 200, 1, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solve := func(workers int) *problem.Schedule {
+		old := runtime.GOMAXPROCS(workers)
+		defer runtime.GOMAXPROCS(old)
+		s, err := (Pipeline{}).Coloring(m, in, rand.New(rand.NewSource(17)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	a, b := solve(1), solve(4)
+	for i := range a.Colors {
+		if a.Colors[i] != b.Colors[i] {
+			t.Fatalf("Colors[%d]: GOMAXPROCS=1 gives %d, GOMAXPROCS=4 gives %d", i, a.Colors[i], b.Colors[i])
+		}
+		if a.Powers[i] != b.Powers[i] {
+			t.Fatalf("Powers[%d] differs across GOMAXPROCS", i)
+		}
 	}
 }

@@ -212,35 +212,43 @@ func BenchmarkSparseScale(b *testing.B) {
 	// public registry under the forced sparse engine, dense-oracle-checked
 	// untimed. The GC stays on here (unlike the greedy loop above): these
 	// cores are allocation-heavy and the CI scale-smoke job pins their
-	// peak RSS under the same 1 GB ceiling as greedy.
+	// peak RSS under the same 1 GB ceiling as greedy. The pipeline gets
+	// an additional n=50000 row behind the same OBLIVIOUS_SCALE_FULL=1
+	// opt-in as the greedy n=50000 run (the arena + bounded-pool rework
+	// is what makes that size finish at all).
 	for _, solver := range []string{"pipeline", "distributed"} {
-		const n = 10000
-		in := scaleInstance(b, n)
-		b.Run(fmt.Sprintf("n=%d/solver=%s/mode=sparse", n, solver), func(b *testing.B) {
-			b.ReportAllocs()
-			runtime.GC()
-			var sched *oblivious.Schedule
-			var stats oblivious.Stats
-			cp := benchio.Begin()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				res, err := oblivious.Lookup(solver).Solve(context.Background(), m, in,
-					oblivious.WithAffectanceMode(oblivious.AffectSparse))
-				if err != nil {
-					b.Fatal(err)
+		sizes := []int{10000}
+		if solver == "pipeline" && os.Getenv("OBLIVIOUS_SCALE_FULL") != "" {
+			sizes = append(sizes, 50000)
+		}
+		for _, n := range sizes {
+			in := scaleInstance(b, n)
+			b.Run(fmt.Sprintf("n=%d/solver=%s/mode=sparse", n, solver), func(b *testing.B) {
+				b.ReportAllocs()
+				runtime.GC()
+				var sched *oblivious.Schedule
+				var stats oblivious.Stats
+				cp := benchio.Begin()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					res, err := oblivious.Lookup(solver).Solve(context.Background(), m, in,
+						oblivious.WithAffectanceMode(oblivious.AffectSparse))
+					if err != nil {
+						b.Fatal(err)
+					}
+					sched, stats = res.Schedule, res.Stats
 				}
-				sched, stats = res.Schedule, res.Stats
-			}
-			b.StopTimer()
-			met := cp.End(b)
-			if stats.Engine != "sparse" {
-				b.Fatalf("%s ran on engine %q, want sparse", solver, stats.Engine)
-			}
-			if err := m.CheckSchedule(in, sinr.Bidirectional, sched); err != nil {
-				b.Fatalf("%s schedule fails the dense oracle: %v", solver, err)
-			}
-			scaleRec.Record(fmt.Sprintf("SparseScale/%07d/%s/sparse", n, solver),
-				scaleRow{Benchmark: "SparseScale", N: n, Solver: solver, Mode: "sparse", Colors: sched.NumColors(), Metrics: met})
-		})
+				b.StopTimer()
+				met := cp.End(b)
+				if stats.Engine != "sparse" {
+					b.Fatalf("%s ran on engine %q, want sparse", solver, stats.Engine)
+				}
+				if err := m.CheckSchedule(in, sinr.Bidirectional, sched); err != nil {
+					b.Fatalf("%s schedule fails the dense oracle: %v", solver, err)
+				}
+				scaleRec.Record(fmt.Sprintf("SparseScale/%07d/%s/sparse", n, solver),
+					scaleRow{Benchmark: "SparseScale", N: n, Solver: solver, Mode: "sparse", Colors: sched.NumColors(), Metrics: met})
+			})
+		}
 	}
 }

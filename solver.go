@@ -792,6 +792,12 @@ func solveLP(ctx context.Context, m Model, in *Instance, o Options) (*Result, er
 // affectance options: the pipeline re-resolves the mode per restricted
 // instance it extracts a class from, so under auto a large instance thins
 // on the sparse grid and the shrinking tail drops back to dense rows.
+//
+// The pipeline's internal fan-out (HST builds, core scans, stage-3 star
+// selection, stage-5 score init) is bounded at GOMAXPROCS and splits one
+// rng seed per extracted color class, so the schedule for a given
+// WithSeed is bitwise identical at any parallelism — WithParallelism
+// governs only the SolveAll batch pool, not the per-solve workers.
 func solvePipeline(ctx context.Context, m Model, in *Instance, o Options) (*Result, error) {
 	if err := requireSqrtBidirectional(o); err != nil {
 		return nil, err
